@@ -1,0 +1,77 @@
+package imin
+
+import (
+	"github.com/imin-dev/imin/internal/analysis"
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Structural analysis and cascade forensics: the tools for understanding a
+// network before intervening and for inspecting what a single realized
+// cascade did.
+
+// DOTOptions controls Graphviz export; see Graph.WriteDOT.
+type DOTOptions = graph.DOTOptions
+
+// Trace is one timestamped diffusion realization: activation times, the
+// realized infection forest, and per-round counts.
+type Trace = cascade.Trace
+
+// SimulateCascade runs one timestamped IC diffusion from the seeds,
+// skipping blocked vertices (blockers may be nil), with the given random
+// seed. Use it for forensics — who was activated when and by whom — rather
+// than for spread estimation (EstimateSpread averages thousands of runs).
+func SimulateCascade(g *Graph, seeds []Vertex, blockers []Vertex, rngSeed uint64) *Trace {
+	var blocked []bool
+	if len(blockers) > 0 {
+		blocked = make([]bool, g.N())
+		for _, v := range blockers {
+			blocked[v] = true
+		}
+	}
+	return cascade.SimulateTrace(g, seeds, blocked, rng.New(rngSeed))
+}
+
+// AverageCascadeRounds estimates the expected number of diffusion rounds
+// and the expected spread over sims timestamped simulations.
+func AverageCascadeRounds(g *Graph, seeds []Vertex, blockers []Vertex, sims int, rngSeed uint64) (rounds, spread float64) {
+	var blocked []bool
+	if len(blockers) > 0 {
+		blocked = make([]bool, g.N())
+		for _, v := range blockers {
+			blocked[v] = true
+		}
+	}
+	return cascade.AverageRounds(g, seeds, blocked, sims, rng.New(rngSeed))
+}
+
+// Components summarizes a graph's connectivity.
+type Components struct {
+	// StrongCount and WeakCount are the numbers of strongly / weakly
+	// connected components.
+	StrongCount, WeakCount int
+	// LargestWeakFraction is the share of vertices in the biggest weak
+	// component — near 1.0 for well-formed social graphs.
+	LargestWeakFraction float64
+}
+
+// AnalyzeComponents computes connectivity statistics.
+func AnalyzeComponents(g *Graph) Components {
+	scc := analysis.StronglyConnectedComponents(g)
+	wcc := analysis.WeaklyConnectedComponents(g)
+	return Components{
+		StrongCount:         scc.Count,
+		WeakCount:           wcc.Count,
+		LargestWeakFraction: wcc.LargestComponentFraction(g.N()),
+	}
+}
+
+// DegreeHistogram returns the vertex count per total degree (in+out).
+func DegreeHistogram(g *Graph) []int { return analysis.DegreeHistogram(g) }
+
+// PowerLawAlpha estimates the degree distribution's power-law exponent
+// over vertices with total degree ≥ dmin (Clauset–Shalizi–Newman MLE);
+// social networks typically land in [2, 3]. NaN when too few vertices
+// qualify.
+func PowerLawAlpha(g *Graph, dmin int) float64 { return analysis.PowerLawAlpha(g, dmin) }

@@ -1,0 +1,134 @@
+package imin
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/fixture"
+)
+
+func TestFacadeSimulateCascade(t *testing.T) {
+	g := fixture.Toy()
+	tr := SimulateCascade(g, []Vertex{fixture.Seed}, nil, 1)
+	if tr.Total < 7 || tr.Total > 9 {
+		t.Fatalf("trace total %d out of range", tr.Total)
+	}
+	if tr.ActivatedAt[fixture.V5] != 2 {
+		t.Fatalf("v5 activated at %d, want 2", tr.ActivatedAt[fixture.V5])
+	}
+	// With v5 blocked only the seed's two out-neighbors activate.
+	tr = SimulateCascade(g, []Vertex{fixture.Seed}, []Vertex{fixture.V5}, 2)
+	if tr.Total != 3 {
+		t.Fatalf("blocked trace total %d, want 3", tr.Total)
+	}
+}
+
+func TestFacadeAverageCascadeRounds(t *testing.T) {
+	g := fixture.Toy()
+	rounds, spread := AverageCascadeRounds(g, []Vertex{fixture.Seed}, nil, 50000, 3)
+	if math.Abs(spread-fixture.ExpectedSpread) > 0.04 {
+		t.Fatalf("spread %v, want %v", spread, fixture.ExpectedSpread)
+	}
+	// The certain part takes 3 rounds; v8/v7 can extend to 4-5.
+	if rounds < 3 || rounds > 4 {
+		t.Fatalf("average rounds %v out of [3,4]", rounds)
+	}
+}
+
+func TestFacadeAnalyzeComponents(t *testing.T) {
+	g := fixture.Toy()
+	c := AnalyzeComponents(g)
+	if c.StrongCount != 9 {
+		t.Errorf("StrongCount = %d, want 9 (DAG)", c.StrongCount)
+	}
+	if c.WeakCount != 1 || c.LargestWeakFraction != 1 {
+		t.Errorf("weak connectivity wrong: %+v", c)
+	}
+}
+
+func TestFacadeDegreeHistogram(t *testing.T) {
+	g := fixture.Toy()
+	hist := DegreeHistogram(g)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != g.N() {
+		t.Fatalf("histogram covers %d vertices", total)
+	}
+}
+
+func TestFacadeMinimizeEdgesToy(t *testing.T) {
+	g := fixture.Toy()
+	res, err := MinimizeEdges(g, []Vertex{fixture.Seed}, 1, Options{Theta: 20000, Workers: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 || res.Edges[0].From != fixture.V5 || res.Edges[0].To != fixture.V9 {
+		t.Fatalf("edge blockers = %+v, want (v5,v9)", res.Edges)
+	}
+}
+
+func TestFacadeWriteDOT(t *testing.T) {
+	g := fixture.Toy()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{Name: "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph fig1") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestFacadeSpreadCurve(t *testing.T) {
+	g := fixture.Toy()
+	curve, err := SpreadCurve(g, []Vertex{fixture.Seed}, []Vertex{fixture.V5, fixture.V2}, 50000, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d, want 3", len(curve))
+	}
+	if math.Abs(curve[0]-fixture.ExpectedSpread) > 0.05 {
+		t.Errorf("curve[0] = %v, want %v", curve[0], fixture.ExpectedSpread)
+	}
+	if math.Abs(curve[1]-3) > 0.05 {
+		t.Errorf("curve[1] = %v, want 3", curve[1])
+	}
+	if math.Abs(curve[2]-2) > 0.05 {
+		t.Errorf("curve[2] = %v, want 2", curve[2])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+0.05 {
+			t.Error("spread curve not non-increasing")
+		}
+	}
+}
+
+func TestFacadeTopDegreeSeedSet(t *testing.T) {
+	g := fixture.Toy()
+	seeds, err := TopDegreeSeedSet(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 1 || seeds[0] != fixture.V5 {
+		t.Fatalf("top-degree seed = %v, want v5", seeds)
+	}
+}
+
+func TestFacadeReuseSamplesOption(t *testing.T) {
+	g := fixture.Toy()
+	opt := Options{Theta: 4000, Workers: 2, Seed: 5, ReuseSamples: true}
+	res, err := MinimizeWith(g, []Vertex{fixture.Seed}, 1, AdvancedGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("pooled AG = %v, want [v5]", res.Blockers)
+	}
+	if res.SampledGraphs != 4000 {
+		t.Fatalf("pool drawn %d samples, want 4000", res.SampledGraphs)
+	}
+}

@@ -1,0 +1,156 @@
+// Command imin solves influence-minimization instances from the command
+// line: load a graph (edge-list file or generated dataset), pick seeds,
+// choose an algorithm and budget, and print the blockers plus the
+// before/after expected spread.
+//
+// Examples:
+//
+//	imin -dataset Wiki-Vote -scale 0.05 -model TR -seeds 10 -b 20 -alg greedy-replace
+//	imin -graph edges.txt -seed-vertices 0,17,42 -b 5 -alg advanced-greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	imin "github.com/imin-dev/imin"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge-list file (u v [p] per line); mutually exclusive with -dataset")
+		undirected = flag.Bool("undirected", false, "treat the edge-list file as undirected")
+		dataset    = flag.String("dataset", "", "generate a synthetic stand-in dataset (one of "+strings.Join(imin.DatasetNames(), ", ")+")")
+		scale      = flag.Float64("scale", 0.02, "dataset scale as a fraction of the published size")
+		model      = flag.String("model", "TR", "probability model: TR (trivalency), WC (weighted cascade) or keep (file probabilities)")
+		diffusion  = flag.String("diffusion", "IC", "diffusion model: IC or LT")
+		alg        = flag.String("alg", string(imin.GreedyReplace), "algorithm: rand, outdegree, baseline-greedy, advanced-greedy, greedy-replace")
+		budget     = flag.Int("b", 10, "blocker budget")
+		numSeeds   = flag.Int("seeds", 10, "number of random seed vertices (ignored when -seed-vertices is set)")
+		seedList   = flag.String("seed-vertices", "", "comma-separated explicit seed vertex ids")
+		theta      = flag.Int("theta", 10000, "sampled graphs per estimation round")
+		mcsRounds  = flag.Int("mcs", 10000, "Monte-Carlo rounds for baseline-greedy")
+		evalRounds = flag.Int("eval", 20000, "Monte-Carlo rounds for the final spread report")
+		rngSeed    = flag.Uint64("rng", 1, "random seed for reproducibility")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *undirected, *dataset, *scale, *model, *rngSeed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	seeds, err := chooseSeeds(g, *seedList, *numSeeds, *rngSeed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("seeds: %v\n", seeds)
+
+	opt := imin.Options{
+		Theta:     *theta,
+		MCSRounds: *mcsRounds,
+		Workers:   *workers,
+		Seed:      *rngSeed,
+		Timeout:   *timeout,
+	}
+	if strings.EqualFold(*diffusion, "LT") {
+		opt.Diffusion = imin.LT
+	}
+
+	before, err := imin.EstimateSpread(g, seeds, nil, *evalRounds, opt)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := imin.MinimizeWith(g, seeds, *budget, imin.Algorithm(*alg), opt)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := imin.EstimateSpread(g, seeds, res.Blockers, *evalRounds, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nalgorithm:        %s\n", *alg)
+	fmt.Printf("blockers (%d):     %v\n", len(res.Blockers), res.Blockers)
+	fmt.Printf("selection time:   %v\n", res.Runtime.Round(time.Millisecond))
+	if res.TimedOut {
+		fmt.Println("NOTE: run hit the timeout; blockers are partial")
+	}
+	fmt.Printf("expected spread:  %.3f -> %.3f (%.1f%% reduction)\n",
+		before, after, 100*(before-after)/before)
+	if res.SampledGraphs > 0 {
+		fmt.Printf("sampled graphs:   %d\n", res.SampledGraphs)
+	}
+	if res.MCSSimulations > 0 {
+		fmt.Printf("MCS simulations:  %d\n", res.MCSSimulations)
+	}
+}
+
+func loadGraph(path string, undirected bool, dataset string, scale float64, model string, seed uint64) (*imin.Graph, error) {
+	var g *imin.Graph
+	switch {
+	case path != "" && dataset != "":
+		return nil, fmt.Errorf("set only one of -graph and -dataset")
+	case strings.HasSuffix(path, ".bin"):
+		var err error
+		g, err = imin.ReadBinaryGraphFile(path)
+		if err != nil {
+			return nil, err
+		}
+	case path != "":
+		var err error
+		g, _, err = imin.ReadEdgeListFile(path, undirected, 0)
+		if err != nil {
+			return nil, err
+		}
+	case dataset != "":
+		var err error
+		g, err = imin.GenerateDataset(dataset, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+	switch strings.ToUpper(model) {
+	case "TR":
+		g = imin.AssignProbabilities(g, imin.Trivalency, seed^0x7112)
+	case "WC":
+		g = imin.AssignProbabilities(g, imin.WeightedCascade, 0)
+	case "KEEP":
+		// keep file probabilities
+	default:
+		return nil, fmt.Errorf("unknown probability model %q (want TR, WC or keep)", model)
+	}
+	return g, nil
+}
+
+func chooseSeeds(g *imin.Graph, explicit string, count int, seed uint64) ([]imin.Vertex, error) {
+	if explicit == "" {
+		return imin.RandomSeedSet(g, count, true, seed^0x5eed)
+	}
+	var seeds []imin.Vertex
+	for _, part := range strings.Split(explicit, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad seed vertex %q: %w", part, err)
+		}
+		if id < 0 || id >= g.N() {
+			return nil, fmt.Errorf("seed vertex %d out of range [0,%d)", id, g.N())
+		}
+		seeds = append(seeds, imin.Vertex(id))
+	}
+	return seeds, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package imin
+
+import (
+	"fmt"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Dataset generation: synthetic stand-ins for the paper's 8 SNAP datasets
+// (Table IV) plus general-purpose random-graph generators. Structural
+// graphs carry probability 1 on every edge; follow up with
+// AssignProbabilities to pick a propagation model.
+
+// DatasetNames lists the evaluation datasets of the paper's Table IV in
+// order: EmailCore, Facebook, Wiki-Vote, EmailAll, DBLP, Twitter, Stanford,
+// Youtube.
+func DatasetNames() []string { return datasets.Names() }
+
+// GenerateDataset produces a synthetic stand-in for the named Table IV
+// dataset at the given scale (fraction of the published vertex count,
+// clamped to at least 50 vertices), deterministically from seed. The
+// stand-in preserves the dataset's direction, density, and heavy-tailed
+// degree distribution.
+func GenerateDataset(name string, scale float64, seed uint64) (*Graph, error) {
+	spec, ok := datasets.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("imin: unknown dataset %q (have %v)", name, datasets.Names())
+	}
+	return spec.Generate(scale, seed), nil
+}
+
+// GeneratePreferentialAttachment produces a Barabási–Albert-style random
+// graph: n vertices, about edgesPerVertex·n edges, power-law degree tail.
+func GeneratePreferentialAttachment(n int, edgesPerVertex float64, directed bool, seed uint64) *Graph {
+	return datasets.PreferentialAttachment(n, edgesPerVertex, directed, rng.New(seed))
+}
+
+// GenerateErdosRenyi produces a uniform G(n, m) random graph.
+func GenerateErdosRenyi(n, m int, directed bool, seed uint64) *Graph {
+	return datasets.ErdosRenyi(n, m, directed, rng.New(seed))
+}
+
+// GenerateWattsStrogatz produces a small-world graph: ring lattice with k
+// neighbors per side, rewired with probability beta.
+func GenerateWattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return datasets.WattsStrogatz(n, k, beta, rng.New(seed))
+}
+
+// RandomSeedSet draws count distinct random seed vertices; with requireOut
+// set, only vertices with outgoing edges qualify (so cascades are
+// non-trivial).
+func RandomSeedSet(g *Graph, count int, requireOut bool, seed uint64) ([]Vertex, error) {
+	return datasets.RandomSeeds(g, count, requireOut, rng.New(seed))
+}
+
+// TopDegreeSeedSet returns the count highest-out-degree vertices — the
+// worst-case "influential sources" seeding, complementing RandomSeedSet.
+func TopDegreeSeedSet(g *Graph, count int) ([]Vertex, error) {
+	return datasets.TopOutDegreeSeeds(g, count)
+}
+
+// SpreadCurve evaluates the expected spread after blocking each prefix of
+// blockers: curve[0] is the unblocked spread, curve[i] the spread with the
+// first i blockers applied. Useful for budget/benefit reporting after a
+// Minimize run (the blockers are returned in selection order).
+func SpreadCurve(g *Graph, seeds []Vertex, blockers []Vertex, rounds int, opt Options) ([]float64, error) {
+	curve := make([]float64, 0, len(blockers)+1)
+	for i := 0; i <= len(blockers); i++ {
+		s, err := core.EvaluateSpread(g, seeds, blockers[:i], rounds, opt)
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, s)
+	}
+	return curve, nil
+}

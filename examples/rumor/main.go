@@ -1,0 +1,95 @@
+// Command rumor walks through the paper's running example (the Figure 1
+// toy graph) and reproduces Examples 1-4 and Table III: activation
+// probabilities, exact spreads under different blocker sets, the
+// per-vertex spread decreases of Example 2, and the Greedy vs OutNeighbors
+// vs GreedyReplace comparison.
+//
+// Run with:
+//
+//	go run ./examples/rumor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imin "github.com/imin-dev/imin"
+)
+
+// Vertex names: paper's v1..v9 are ids 0..8.
+const (
+	v1 imin.Vertex = iota
+	v2
+	v3
+	v4
+	v5
+	v6
+	v7
+	v8
+	v9
+)
+
+func name(v imin.Vertex) string { return fmt.Sprintf("v%d", v+1) }
+
+func toyGraph() *imin.Graph {
+	return imin.FromEdges(9, []imin.Edge{
+		{From: v1, To: v2, P: 1}, {From: v1, To: v4, P: 1},
+		{From: v2, To: v5, P: 1}, {From: v4, To: v5, P: 1},
+		{From: v5, To: v3, P: 1}, {From: v5, To: v6, P: 1}, {From: v5, To: v9, P: 1},
+		{From: v5, To: v8, P: 0.5}, {From: v9, To: v8, P: 0.2},
+		{From: v8, To: v7, P: 0.1},
+	})
+}
+
+func main() {
+	g := toyGraph()
+	seed := v1
+
+	// Example 1: the expected spread is 7.66; blocking v5 drops it to 3.
+	spread, err := imin.ExactSpread(g, seed, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 1: E({v1}, G) = %.2f\n", spread)
+	for _, blocker := range []imin.Vertex{v5, v2, v4} {
+		s, err := imin.ExactSpread(g, seed, []imin.Vertex{blocker}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  blocking %s -> spread %.2f\n", name(blocker), s)
+	}
+
+	// Example 2: Algorithm 2's estimate of every vertex's spread decrease,
+	// computed from sampled graphs and their dominator trees.
+	fmt.Println("\nExample 2: estimated spread decrease per candidate blocker")
+	delta := imin.SpreadDecreasePerVertex(g, seed, 100000, 1)
+	for v := imin.Vertex(1); int(v) < g.N(); v++ {
+		fmt.Printf("  Δ[%s] = %.2f\n", name(v), delta[v])
+	}
+
+	// Table III / Examples 3-4: Greedy vs GreedyReplace at budgets 1 and 2.
+	fmt.Println("\nTable III: blockers chosen per algorithm")
+	opt := imin.Options{Theta: 20000, Seed: 3}
+	for _, b := range []int{1, 2} {
+		for _, alg := range []imin.Algorithm{imin.AdvancedGreedy, imin.GreedyReplace} {
+			res, err := imin.MinimizeWith(g, []imin.Vertex{seed}, b, alg, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := imin.ExactSpread(g, seed, res.Blockers, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			names := ""
+			for i, v := range res.Blockers {
+				if i > 0 {
+					names += ","
+				}
+				names += name(v)
+			}
+			fmt.Printf("  b=%d %-16s -> {%s}, spread %.2f\n", b, alg, names, s)
+		}
+	}
+	fmt.Println("\nGreedy wins at b=1 (3.00), GreedyReplace matches it; at b=2")
+	fmt.Println("GreedyReplace finds {v2,v4} (spread 1.00) where greedy stops at 2.00.")
+}

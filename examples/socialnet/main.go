@@ -1,0 +1,67 @@
+// Command socialnet is an end-to-end study on a synthetic social network:
+// generate a Twitter-like graph, seed a misinformation campaign at random
+// accounts, and compare all blocking strategies (Rand, OutDegree,
+// AdvancedGreedy, GreedyReplace) across budgets — a miniature of the
+// paper's Table VII.
+//
+// Run with:
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	imin "github.com/imin-dev/imin"
+)
+
+func main() {
+	// A scaled-down Twitter stand-in (directed, heavy-tailed degrees) under
+	// the trivalency probability model.
+	structural, err := imin.GenerateDataset("Twitter", 0.01, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := imin.AssignProbabilities(structural, imin.Trivalency, 2)
+	fmt.Printf("network: %d accounts, %d follow edges\n", g.N(), g.M())
+
+	// Ten compromised accounts start spreading the rumor.
+	seeds, err := imin.RandomSeedSet(g, 10, true, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := imin.Options{Theta: 2000, Seed: 4}
+	baseline, err := imin.EstimateSpread(g, seeds, nil, 20000, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without intervention the rumor reaches %.1f accounts in expectation\n\n", baseline)
+
+	algs := []imin.Algorithm{imin.Rand, imin.OutDegree, imin.AdvancedGreedy, imin.GreedyReplace}
+	fmt.Println("expected spread after blocking (lower is better):")
+	fmt.Println("budget      RA        OD        AG        GR     (GR time)")
+	for _, budget := range []int{5, 10, 20} {
+		fmt.Printf("%4d  ", budget)
+		var grTime time.Duration
+		for _, alg := range algs {
+			res, err := imin.MinimizeWith(g, seeds, budget, alg, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spread, err := imin.EstimateSpread(g, seeds, res.Blockers, 20000, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.2f", spread)
+			if alg == imin.GreedyReplace {
+				grTime = res.Runtime
+			}
+		}
+		fmt.Printf("   %v\n", grTime.Round(time.Millisecond))
+	}
+	fmt.Println("\nGR and AG concentrate on the accounts that actually gate the")
+	fmt.Println("cascade, while OD wastes budget on big accounts the rumor may")
+	fmt.Println("never reach and RA blocks essentially nothing that matters.")
+}

@@ -1,0 +1,58 @@
+// Command triggering demonstrates the paper's Section V-E extension: the
+// IMIN algorithms run unchanged under any triggering model because they
+// only consume live-edge samples. Here the linear threshold (LT) model —
+// each user adopts based on one randomly chosen in-influence, weighted by
+// edge weight — replaces independent cascade, on a community-structured
+// small-world network.
+//
+// Run with:
+//
+//	go run ./examples/triggering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imin "github.com/imin-dev/imin"
+)
+
+func main() {
+	// A Watts-Strogatz small world: dense local clustering plus shortcuts,
+	// the classic substrate for threshold-based adoption.
+	structural := imin.GenerateWattsStrogatz(400, 3, 0.1, 1)
+	// Weighted cascade weights sum to exactly 1 per vertex — the natural LT
+	// weighting (each in-neighbor u is the chosen trigger of v with
+	// probability 1/indegree(v)).
+	g := imin.AssignProbabilities(structural, imin.WeightedCascade, 0)
+	seeds, err := imin.RandomSeedSet(g, 5, true, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, model := range []struct {
+		name string
+		d    imin.Options
+	}{
+		{"independent cascade", imin.Options{Theta: 3000, Seed: 3, Diffusion: imin.IC}},
+		{"linear threshold", imin.Options{Theta: 3000, Seed: 3, Diffusion: imin.LT}},
+	} {
+		before, err := imin.EstimateSpread(g, seeds, nil, 20000, model.d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := imin.Minimize(g, seeds, 8, model.d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after, err := imin.EstimateSpread(g, seeds, res.Blockers, 20000, model.d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s spread %.1f -> %.1f after blocking %d users (%v)\n",
+			model.name, before, after, len(res.Blockers), res.Runtime.Round(1000000))
+	}
+	fmt.Println("\nThe same GreedyReplace implementation serves both models: the")
+	fmt.Println("dominator-tree estimator works on any live-edge sample, which is")
+	fmt.Println("all the triggering-model family requires (Section V-E).")
+}

@@ -1,0 +1,163 @@
+package imin
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/fixture"
+)
+
+func TestFacadeMinimizeToy(t *testing.T) {
+	g := fixture.Toy()
+	opt := Options{Theta: 4000, MCSRounds: 2000, Workers: 2, Seed: 1}
+	res, err := Minimize(g, []Vertex{fixture.Seed}, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("Minimize = %v, want [v5]", res.Blockers)
+	}
+}
+
+func TestFacadeMinimizeWithAlgorithms(t *testing.T) {
+	g := fixture.Toy()
+	opt := Options{Theta: 3000, MCSRounds: 2000, Workers: 2, Seed: 2}
+	for _, alg := range []Algorithm{Rand, OutDegree, BaselineGreedy, AdvancedGreedy, GreedyReplace} {
+		res, err := MinimizeWith(g, []Vertex{fixture.Seed}, 2, alg, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Blockers) != 2 {
+			t.Fatalf("%s returned %d blockers", alg, len(res.Blockers))
+		}
+	}
+}
+
+func TestFacadeSpreadFunctions(t *testing.T) {
+	g := fixture.Toy()
+	est, err := EstimateSpread(g, []Vertex{fixture.Seed}, []Vertex{fixture.V5}, 50000, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-3) > 0.05 {
+		t.Fatalf("EstimateSpread = %v, want 3", est)
+	}
+	ex, err := ExactSpread(g, fixture.Seed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex-fixture.ExpectedSpread) > 1e-9 {
+		t.Fatalf("ExactSpread = %v, want %v", ex, fixture.ExpectedSpread)
+	}
+}
+
+func TestFacadeSpreadDecreasePerVertex(t *testing.T) {
+	g := fixture.Toy()
+	delta := SpreadDecreasePerVertex(g, fixture.Seed, 50000, 4)
+	want := fixture.Delta()
+	for v := range want {
+		if math.Abs(delta[v]-want[v]) > 0.05 {
+			t.Errorf("Δ[v%d] = %v, want %v", v+1, delta[v], want[v])
+		}
+	}
+}
+
+func TestFacadeBuilderAndProbModels(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	g := b.Build()
+	tr := AssignProbabilities(g, Trivalency, 5)
+	for _, e := range tr.Edges() {
+		if e.P != 0.1 && e.P != 0.01 && e.P != 0.001 {
+			t.Fatalf("TR probability %v", e.P)
+		}
+	}
+	wc := AssignProbabilities(g, WeightedCascade, 0)
+	if p := wc.Prob(0, 2); p != 0.5 {
+		t.Fatalf("WC p(0,2) = %v, want 0.5 (indegree 2)", p)
+	}
+}
+
+func TestFacadeThetaForGuarantee(t *testing.T) {
+	if ThetaForGuarantee(1000, 0.1, 1, 1) <= 0 {
+		t.Fatal("theta bound must be positive")
+	}
+}
+
+func TestFacadeFileRoundTrip(t *testing.T) {
+	g := fixture.Toy()
+	path := t.TempDir() + "/g.txt"
+	if err := g.WriteEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeListFile(path, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	pa := GeneratePreferentialAttachment(200, 2, true, 1)
+	if pa.N() != 200 || pa.M() == 0 {
+		t.Fatalf("PA: n=%d m=%d", pa.N(), pa.M())
+	}
+	er := GenerateErdosRenyi(100, 300, true, 2)
+	if er.N() != 100 || er.M() == 0 {
+		t.Fatalf("ER: n=%d m=%d", er.N(), er.M())
+	}
+	ws := GenerateWattsStrogatz(50, 2, 0.1, 3)
+	if ws.N() != 50 || ws.M() == 0 {
+		t.Fatalf("WS: n=%d m=%d", ws.N(), ws.M())
+	}
+	for _, name := range DatasetNames() {
+		if _, err := GenerateDataset(name, 0.001, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := GenerateDataset("nope", 0.1, 5); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestFacadeBinaryGraphFile(t *testing.T) {
+	g := fixture.Toy()
+	path := t.TempDir() + "/g.bin"
+	if err := g.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("binary facade round trip changed sizes")
+	}
+	if _, err := ReadBinaryGraphFile(t.TempDir() + "/missing.bin"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestFacadeRandomSeedSet(t *testing.T) {
+	g := GeneratePreferentialAttachment(100, 2, true, 6)
+	seeds, err := RandomSeedSet(g, 5, true, 7)
+	if err != nil || len(seeds) != 5 {
+		t.Fatalf("seeds=%v err=%v", seeds, err)
+	}
+}
+
+func TestFacadeLTDiffusion(t *testing.T) {
+	g := AssignProbabilities(fixture.Toy(), WeightedCascade, 0)
+	res, err := MinimizeWith(g, []Vertex{fixture.Seed}, 1, AdvancedGreedy,
+		Options{Theta: 4000, Workers: 2, Seed: 6, Diffusion: LT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("LT blockers = %v, want [v5]", res.Blockers)
+	}
+}

@@ -1,0 +1,116 @@
+package cascade
+
+import (
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// LT is the LiveSampler for the linear threshold model in its triggering-set
+// form (Section V-E of the paper; Kempe et al. 2003): each vertex v
+// independently picks at most one live in-edge — in-neighbor u is chosen
+// with probability w(u,v), and no edge with probability 1 - Σ_u w(u,v).
+//
+// Edge probabilities double as the LT weights, so the weighted-cascade
+// assignment (w(u,v) = 1/indegree(v), summing to exactly 1) is the natural
+// companion model. If Σ_u w(u,v) > 1 the choice degenerates gracefully to a
+// proportional pick with "no edge" probability 0; callers who need strict LT
+// semantics must supply weights summing to at most 1.
+//
+// Trigger choices are sampled lazily, only for vertices the forward
+// traversal actually inspects, so sampling cost stays proportional to the
+// explored region rather than to n.
+type LT struct {
+	g *graph.Graph
+}
+
+// NewLT returns an LT sampler over g, reading edge probabilities as LT
+// weights.
+func NewLT(g *graph.Graph) *LT { return &LT{g: g} }
+
+// Graph returns the underlying graph.
+func (lt *LT) Graph() *graph.Graph { return lt.g }
+
+// NewWorkspace allocates scratch space for one goroutine, including the
+// lazy trigger-choice buffers.
+func (lt *LT) NewWorkspace() *Workspace {
+	ws := newWorkspace(lt.g.N())
+	ws.ltStamp = make([]int32, lt.g.N())
+	ws.ltChoice = make([]graph.V, lt.g.N())
+	return ws
+}
+
+// choice returns v's sampled trigger in-neighbor for the current epoch,
+// sampling it on first use. -1 means v triggers on nothing this round.
+func (lt *LT) choice(v graph.V, r *rng.Source, ws *Workspace) graph.V {
+	if ws.ltStamp[v] == ws.epoch {
+		return ws.ltChoice[v]
+	}
+	ws.ltStamp[v] = ws.epoch
+	chosen := graph.V(-1)
+	x := r.Float64()
+	acc := 0.0
+	in := lt.g.InNeighbors(v)
+	ps := lt.g.InProbs(v)
+	for i, u := range in {
+		acc += ps[i]
+		if x < acc {
+			chosen = u
+			break
+		}
+	}
+	ws.ltChoice[v] = chosen
+	return chosen
+}
+
+// Sample implements LiveSampler. In the LT live-edge graph every vertex has
+// in-degree at most one, so the reachable subgraph is a tree rooted at src.
+func (lt *LT) Sample(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) *SampledGraph {
+	ws.reset()
+	ws.reach(src)
+	ws.queue = append(ws.queue, src)
+	for qi := 0; qi < len(ws.queue); qi++ {
+		u := ws.queue[qi]
+		lu := ws.local[u]
+		for _, v := range lt.g.OutNeighbors(u) {
+			if blocked != nil && blocked[v] {
+				continue
+			}
+			if lt.choice(v, r, ws) != u {
+				continue
+			}
+			lv, isNew := ws.reach(v)
+			if isNew {
+				ws.queue = append(ws.queue, v)
+			}
+			ws.eFrom = append(ws.eFrom, lu)
+			ws.eTo = append(ws.eTo, lv)
+		}
+	}
+	return ws.buildCSR()
+}
+
+// SimulateCount implements LiveSampler.
+func (lt *LT) SimulateCount(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) int {
+	ws.reset()
+	ws.reach(src)
+	ws.queue = append(ws.queue, src)
+	for qi := 0; qi < len(ws.queue); qi++ {
+		u := ws.queue[qi]
+		for _, v := range lt.g.OutNeighbors(u) {
+			if blocked != nil && blocked[v] {
+				continue
+			}
+			if ws.stamp[v] == ws.epoch {
+				continue
+			}
+			if lt.choice(v, r, ws) != u {
+				continue
+			}
+			ws.stamp[v] = ws.epoch
+			ws.local[v] = int32(len(ws.orig))
+			ws.orig = append(ws.orig, v)
+			ws.queue = append(ws.queue, v)
+		}
+	}
+	return len(ws.orig)
+}

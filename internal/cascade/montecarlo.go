@@ -1,0 +1,86 @@
+package cascade
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Monte-Carlo spread estimation (the paper's MCS): repeat forward diffusion
+// r times and average the activation counts. This is the engine behind
+// BaselineGreedy (Algorithm 1) and behind all effectiveness measurements in
+// the evaluation (the expected spreads of Table VII are MCS estimates).
+
+// EstimateSpread runs rounds forward simulations from src on s's graph,
+// skipping blocked vertices, and returns the average number of activated
+// vertices including src. The estimate converges to E({src}, G[V\B]) by
+// Lemma 1.
+func EstimateSpread(s LiveSampler, src graph.V, blocked []bool, rounds int, r *rng.Source) float64 {
+	if rounds <= 0 {
+		panic("cascade: EstimateSpread with non-positive rounds")
+	}
+	ws := s.NewWorkspace()
+	total := 0
+	for i := 0; i < rounds; i++ {
+		total += s.SimulateCount(src, blocked, r, ws)
+	}
+	return float64(total) / float64(rounds)
+}
+
+// EstimateSpreadParallel is EstimateSpread fanned out over workers
+// goroutines, each with an independent random stream split from base.
+// workers <= 0 selects GOMAXPROCS. The result is deterministic for a fixed
+// (base seed, workers) pair.
+func EstimateSpreadParallel(s LiveSampler, src graph.V, blocked []bool, rounds, workers int, base *rng.Source) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rounds {
+		workers = rounds
+	}
+	if workers <= 1 {
+		return EstimateSpread(s, src, blocked, rounds, base.Split(0))
+	}
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := rounds / workers
+		if w < rounds%workers {
+			share++
+		}
+		r := base.Split(uint64(w))
+		wg.Add(1)
+		go func(w, share int, r *rng.Source) {
+			defer wg.Done()
+			ws := s.NewWorkspace()
+			var total int64
+			for i := 0; i < share; i++ {
+				total += int64(s.SimulateCount(src, blocked, r, ws))
+			}
+			totals[w] = total
+		}(w, share, r)
+	}
+	wg.Wait()
+	var total int64
+	for _, t := range totals {
+		total += t
+	}
+	return float64(total) / float64(rounds)
+}
+
+// SpreadEstimator bundles a sampler with fixed estimation parameters so
+// higher layers can treat "evaluate this blocker set" as one call.
+type SpreadEstimator struct {
+	Sampler LiveSampler
+	Rounds  int
+	Workers int
+}
+
+// Spread estimates E({src}, G[V\B]) for the blocker set encoded in blocked.
+// Each call derives a fresh child stream from base, so repeated evaluations
+// are independent yet reproducible.
+func (e *SpreadEstimator) Spread(src graph.V, blocked []bool, base *rng.Source, call uint64) float64 {
+	return EstimateSpreadParallel(e.Sampler, src, blocked, e.Rounds, e.Workers, base.Split(call))
+}

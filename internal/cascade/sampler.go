@@ -1,0 +1,259 @@
+// Package cascade implements influence diffusion under the independent
+// cascade (IC) model and its triggering-model generalization: forward
+// Monte-Carlo simulation of spread, and live-edge sampled-graph generation
+// (Definition 4 of the paper), which is the input to the dominator-tree
+// estimator at the heart of AdvancedGreedy and GreedyReplace.
+//
+// The key object is the LiveSampler interface with two implementations:
+//
+//   - IC: every edge (u,v) is live independently with probability p(u,v).
+//   - LT: every vertex picks at most one live in-edge, in-neighbor u with
+//     probability w(u,v) (the classic triggering-set formulation of the
+//     linear threshold model).
+//
+// Samplers materialize only the part of the live-edge graph reachable from
+// the source: by Lemma 1 the expected spread equals the expected number of
+// reachable vertices, and by Theorem 6 the per-vertex spread decrease is a
+// dominator-subtree size in this reachable subgraph, so nothing outside it
+// is ever needed. Edges out of unreachable vertices are never coin-flipped,
+// which is what makes sampling O(reachable edges) instead of O(m).
+package cascade
+
+import (
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// SampledGraph is the subgraph of one live-edge sample reachable from the
+// source, in compact local ids 0..K-1 with local id 0 being the source.
+// Slices alias Workspace storage: a SampledGraph is only valid until the
+// next Sample call with the same Workspace.
+type SampledGraph struct {
+	K        int       // number of reachable vertices
+	Orig     []graph.V // Orig[local] = vertex id in the original graph
+	OutStart []int32   // CSR of live edges between reachable vertices
+	OutTo    []int32
+	InStart  []int32 // predecessor CSR (needed by dominator computation)
+	InTo     []int32
+}
+
+// LiveSampler generates live-edge samples and forward simulations for a
+// fixed underlying graph. Implementations are safe for concurrent use as
+// long as each goroutine owns its Workspace and rng.Source.
+type LiveSampler interface {
+	// Graph returns the underlying graph.
+	Graph() *graph.Graph
+	// NewWorkspace allocates reusable per-goroutine scratch space.
+	NewWorkspace() *Workspace
+	// Sample draws one live-edge sample and returns its reachable subgraph
+	// from src. Vertices with blocked[v] set are treated as removed;
+	// blocked may be nil. src must not be blocked.
+	Sample(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) *SampledGraph
+	// SimulateCount runs one forward diffusion round and returns the number
+	// of activated vertices including src (σ(src, g) of a fresh sample). It
+	// is Sample without edge bookkeeping.
+	SimulateCount(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) int
+}
+
+// Workspace holds the reusable buffers for sampling. All slices are sized to
+// the underlying graph's vertex count once and reused across samples through
+// epoch stamping, so steady-state sampling does no allocation.
+type Workspace struct {
+	n     int
+	epoch int32
+	stamp []int32   // stamp[v] == epoch ⇔ v reached in current sample
+	local []int32   // local id of v, valid when stamped
+	queue []graph.V // BFS queue of original ids
+
+	orig       []graph.V // local -> original
+	eFrom, eTo []int32   // live edges in local ids
+	outStart   []int32
+	outTo      []int32
+	inStart    []int32
+	inTo       []int32
+	fill       []int32
+	sg         SampledGraph
+	ltStamp    []int32   // LT: lazy trigger-choice validity
+	ltChoice   []graph.V // LT: chosen in-neighbor (-1 = none)
+
+	// Generic triggering model (triggering.go): trigger-set cache.
+	trStamp []int32 // trStamp[v] == epoch ⇔ T(v) sampled this round
+	trStart []int32 // T(v) occupies trIdx[trStart[v]:trEnd[v]]
+	trEnd   []int32
+	trIdx   []int32 // in-neighbor indices, flat arena reset per sample
+}
+
+func newWorkspace(n int) *Workspace {
+	return &Workspace{
+		n:     n,
+		stamp: make([]int32, n),
+		local: make([]int32, n),
+	}
+}
+
+// reset starts a new sampling epoch, clearing stamps lazily.
+func (ws *Workspace) reset() {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: hard reset
+		for i := range ws.stamp {
+			ws.stamp[i] = -1
+		}
+		for i := range ws.ltStamp {
+			ws.ltStamp[i] = -1
+		}
+		for i := range ws.trStamp {
+			ws.trStamp[i] = -1
+		}
+		ws.epoch = 1
+	}
+	ws.queue = ws.queue[:0]
+	ws.orig = ws.orig[:0]
+	ws.eFrom = ws.eFrom[:0]
+	ws.eTo = ws.eTo[:0]
+}
+
+// reach marks v as reached and returns its local id, or returns the existing
+// local id if already reached.
+func (ws *Workspace) reach(v graph.V) (local int32, isNew bool) {
+	if ws.stamp[v] == ws.epoch {
+		return ws.local[v], false
+	}
+	ws.stamp[v] = ws.epoch
+	local = int32(len(ws.orig))
+	ws.local[v] = local
+	ws.orig = append(ws.orig, v)
+	return local, true
+}
+
+// buildCSR converts the recorded edge list into forward and backward CSR
+// over the k reached vertices and fills ws.sg.
+func (ws *Workspace) buildCSR() *SampledGraph {
+	k := len(ws.orig)
+	e := len(ws.eFrom)
+	ws.outStart = growInt32(ws.outStart, k+1)
+	ws.inStart = growInt32(ws.inStart, k+1)
+	ws.outTo = growInt32(ws.outTo, e)
+	ws.inTo = growInt32(ws.inTo, e)
+	ws.fill = growInt32(ws.fill, k)
+	outStart, inStart := ws.outStart[:k+1], ws.inStart[:k+1]
+	outTo, inTo := ws.outTo[:e], ws.inTo[:e]
+	fill := ws.fill[:k]
+
+	for i := range outStart {
+		outStart[i] = 0
+	}
+	for i := range inStart {
+		inStart[i] = 0
+	}
+	for i := 0; i < e; i++ {
+		outStart[ws.eFrom[i]+1]++
+		inStart[ws.eTo[i]+1]++
+	}
+	for i := 0; i < k; i++ {
+		outStart[i+1] += outStart[i]
+		inStart[i+1] += inStart[i]
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for i := 0; i < e; i++ {
+		u := ws.eFrom[i]
+		outTo[outStart[u]+fill[u]] = ws.eTo[i]
+		fill[u]++
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for i := 0; i < e; i++ {
+		v := ws.eTo[i]
+		inTo[inStart[v]+fill[v]] = ws.eFrom[i]
+		fill[v]++
+	}
+
+	ws.sg = SampledGraph{
+		K:        k,
+		Orig:     ws.orig,
+		OutStart: outStart,
+		OutTo:    outTo,
+		InStart:  inStart,
+		InTo:     inTo,
+	}
+	return &ws.sg
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, n+n/2)
+	}
+	return s[:n]
+}
+
+// IC is the LiveSampler for the independent cascade model: each edge is live
+// independently with its propagation probability.
+type IC struct {
+	g *graph.Graph
+}
+
+// NewIC returns an IC sampler over g.
+func NewIC(g *graph.Graph) *IC { return &IC{g: g} }
+
+// Graph returns the underlying graph.
+func (ic *IC) Graph() *graph.Graph { return ic.g }
+
+// NewWorkspace allocates scratch space for one goroutine.
+func (ic *IC) NewWorkspace() *Workspace { return newWorkspace(ic.g.N()) }
+
+// Sample implements LiveSampler.
+func (ic *IC) Sample(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) *SampledGraph {
+	ws.reset()
+	ws.reach(src)
+	ws.queue = append(ws.queue, src)
+	for qi := 0; qi < len(ws.queue); qi++ {
+		u := ws.queue[qi]
+		lu := ws.local[u]
+		to := ic.g.OutNeighbors(u)
+		ps := ic.g.OutProbs(u)
+		for i, v := range to {
+			if blocked != nil && blocked[v] {
+				continue
+			}
+			if !r.Bernoulli(ps[i]) {
+				continue
+			}
+			lv, isNew := ws.reach(v)
+			if isNew {
+				ws.queue = append(ws.queue, v)
+			}
+			ws.eFrom = append(ws.eFrom, lu)
+			ws.eTo = append(ws.eTo, lv)
+		}
+	}
+	return ws.buildCSR()
+}
+
+// SimulateCount implements LiveSampler.
+func (ic *IC) SimulateCount(src graph.V, blocked []bool, r *rng.Source, ws *Workspace) int {
+	ws.reset()
+	ws.reach(src)
+	ws.queue = append(ws.queue, src)
+	for qi := 0; qi < len(ws.queue); qi++ {
+		u := ws.queue[qi]
+		to := ic.g.OutNeighbors(u)
+		ps := ic.g.OutProbs(u)
+		for i, v := range to {
+			if blocked != nil && blocked[v] {
+				continue
+			}
+			if ws.stamp[v] == ws.epoch {
+				continue // already active: at most one activation attempt matters
+			}
+			if r.Bernoulli(ps[i]) {
+				ws.stamp[v] = ws.epoch
+				ws.local[v] = int32(len(ws.orig))
+				ws.orig = append(ws.orig, v)
+				ws.queue = append(ws.queue, v)
+			}
+		}
+	}
+	return len(ws.orig)
+}

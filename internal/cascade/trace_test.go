@@ -1,0 +1,107 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/fixture"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+func TestSimulateTraceTimestamps(t *testing.T) {
+	// On the certain part of the toy graph the timestamps are fixed:
+	// v1@0; v2,v4@1; v5@2; v3,v6,v9@3 (Example 1's "timestamps 1 to 3").
+	g := fixture.Toy()
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		tr := SimulateTrace(g, []graph.V{fixture.Seed}, nil, r)
+		want := map[graph.V]int32{
+			fixture.V1: 0,
+			fixture.V2: 1, fixture.V4: 1,
+			fixture.V5: 2,
+			fixture.V3: 3, fixture.V6: 3, fixture.V9: 3,
+		}
+		for v, ts := range want {
+			if tr.ActivatedAt[v] != ts {
+				t.Fatalf("v%d activated at %d, want %d", v+1, tr.ActivatedAt[v], ts)
+			}
+		}
+		// v8, if activated, comes at 3 (via v5) or 4 (via v9); v7 one later.
+		if at := tr.ActivatedAt[fixture.V8]; at != -1 && at != 3 && at != 4 {
+			t.Fatalf("v8 activated at %d", at)
+		}
+		if at := tr.ActivatedAt[fixture.V7]; at != -1 {
+			if tr.ActivatedBy[fixture.V7] != fixture.V8 {
+				t.Fatal("v7 activated by someone other than v8")
+			}
+			if at != tr.ActivatedAt[fixture.V8]+1 {
+				t.Fatal("v7 not exactly one round after v8")
+			}
+		}
+		// Infection forest: activator must be active strictly earlier.
+		for v := graph.V(0); int(v) < g.N(); v++ {
+			by := tr.ActivatedBy[v]
+			if by == -1 {
+				continue
+			}
+			if tr.ActivatedAt[by] == -1 || tr.ActivatedAt[by] != tr.ActivatedAt[v]-1 {
+				t.Fatalf("activator timestamps inconsistent for v%d", v+1)
+			}
+			if !g.HasEdge(by, v) {
+				t.Fatalf("activation along non-edge (%d,%d)", by, v)
+			}
+		}
+		// PerRound sums to Total.
+		sum := 0
+		for _, c := range tr.PerRound {
+			sum += c
+		}
+		if sum != tr.Total {
+			t.Fatalf("PerRound sums to %d, Total %d", sum, tr.Total)
+		}
+	}
+}
+
+func TestSimulateTraceSpreadAgreesWithEstimator(t *testing.T) {
+	g := fixture.Toy()
+	_, avgSpread := AverageRounds(g, []graph.V{fixture.Seed}, nil, 100000, rng.New(2))
+	if math.Abs(avgSpread-fixture.ExpectedSpread) > 0.03 {
+		t.Fatalf("trace spread %v, want %v", avgSpread, fixture.ExpectedSpread)
+	}
+}
+
+func TestSimulateTraceMultiSeedAndBlocked(t *testing.T) {
+	g := fixture.Toy()
+	blocked := make([]bool, g.N())
+	blocked[fixture.V5] = true
+	tr := SimulateTrace(g, []graph.V{fixture.V2, fixture.V4}, blocked, rng.New(3))
+	if tr.Total != 2 || tr.Rounds() != 0 {
+		t.Fatalf("blocked multi-seed trace: total=%d rounds=%d", tr.Total, tr.Rounds())
+	}
+	if tr.PerRound[0] != 2 {
+		t.Fatalf("seed round count %d", tr.PerRound[0])
+	}
+	// Blocked seed is skipped entirely.
+	tr = SimulateTrace(g, []graph.V{fixture.V5}, blocked, rng.New(4))
+	if tr.Total != 0 {
+		t.Fatalf("blocked seed produced spread %d", tr.Total)
+	}
+}
+
+func TestSimulateTraceDeduplicatesSeeds(t *testing.T) {
+	g := fixture.Toy()
+	tr := SimulateTrace(g, []graph.V{fixture.Seed, fixture.Seed}, nil, rng.New(5))
+	if tr.PerRound[0] != 1 {
+		t.Fatalf("duplicate seeds counted: %d", tr.PerRound[0])
+	}
+}
+
+func TestAverageRoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for sims <= 0")
+		}
+	}()
+	AverageRounds(fixture.Toy(), []graph.V{0}, nil, 0, rng.New(6))
+}

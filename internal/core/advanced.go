@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// solveAdvancedGreedy implements Algorithm 3: the same greedy framework as
+// BaselineGreedy, but each round obtains the spread decrease of every
+// candidate at once from one DecreaseESComputation call (Algorithm 2)
+// instead of n separate Monte-Carlo estimations. Complexity
+// O(b·θ·m·α(m,n)) versus the baseline's O(b·n·r·m).
+func solveAdvancedGreedy(in *instance, b int, opt Options) Result {
+	start := time.Now()
+	dl := opt.deadline(start)
+	base := rng.New(opt.Seed)
+	est := newEstBackend(in, opt, base)
+
+	n := in.g.N()
+	blocked := make([]bool, n)
+	delta := make([]float64, n)
+	var blockers []graph.V
+
+	for round := 0; round < b; round++ {
+		if pastDeadline(dl) {
+			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		}
+		// Δ[u] for every candidate at once, on G[V \ B].
+		est.decreaseES(delta, in.src, blocked, uint64(round))
+
+		best := pickMax(in, blocked, delta)
+		if best == -1 {
+			break
+		}
+		blocked[best] = true
+		blockers = append(blockers, best)
+	}
+	return Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()}
+}
+
+// pickMax returns the unblocked candidate with the largest Δ, ties broken
+// by smaller vertex id (deterministic), or -1 if none remain. Following
+// Algorithm 1/3 line "x = -1 or Δ[u] > Δ[x]", a candidate is returned even
+// when every Δ is zero — blocking it is harmless and keeps |B| = b.
+func pickMax(in *instance, blocked []bool, delta []float64) graph.V {
+	best := graph.V(-1)
+	for u := graph.V(0); int(u) < in.orig.N(); u++ {
+		if !in.candidate(u) || blocked[u] {
+			continue
+		}
+		if best == -1 || delta[u] > delta[best] {
+			best = u
+		}
+	}
+	return best
+}

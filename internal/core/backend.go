@@ -1,0 +1,45 @@
+package core
+
+import (
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// estBackend abstracts over the two DecreaseES strategies so the greedy
+// algorithms stay agnostic: fresh samples every round (the paper's
+// Algorithm 2, default) or one shared pool reused across rounds
+// (Options.ReuseSamples; see PooledEstimator).
+type estBackend struct {
+	fresh  *Estimator
+	pooled *PooledEstimator
+	theta  int
+	base   *rng.Source
+	drawn  int64
+}
+
+// newEstBackend builds the configured backend for one solve run.
+func newEstBackend(in *instance, opt Options, base *rng.Source) *estBackend {
+	b := &estBackend{theta: opt.Theta, base: base}
+	sampler := in.sampler(opt.Diffusion)
+	if opt.ReuseSamples {
+		b.pooled = NewPooledEstimator(sampler, in.src, opt.Theta, opt.Workers, opt.DomAlgo, base.Split(^uint64(0)))
+		b.drawn = int64(opt.Theta)
+	} else {
+		b.fresh = NewEstimator(sampler, opt.Workers, opt.DomAlgo)
+	}
+	return b
+}
+
+// decreaseES fills dst with Δ[u] on G[V\B] for the given greedy round.
+func (b *estBackend) decreaseES(dst []float64, src graph.V, blocked []bool, round uint64) {
+	if b.pooled != nil {
+		b.pooled.DecreaseES(dst, blocked)
+		return
+	}
+	b.fresh.DecreaseES(dst, src, blocked, b.theta, b.base.Split(round))
+	b.drawn += int64(b.theta)
+}
+
+// samplesDrawn reports the number of live-edge samples generated so far
+// (the pool counts once, fresh sampling counts per round).
+func (b *estBackend) samplesDrawn() int64 { return b.drawn }

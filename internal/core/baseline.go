@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// solveBaselineGreedy implements Algorithm 1, the prior state of the art:
+// in each of b rounds, evaluate every candidate blocker by Monte-Carlo
+// simulation (r rounds each) and pick the one whose blocking minimizes the
+// estimated spread. Complexity O(b·n·r·m), which is what makes it
+// cost-prohibitive on large graphs — the motivation for Algorithm 2.
+//
+// The deadline is checked between candidate evaluations; on expiry the
+// partial blocker set is returned with TimedOut set, mirroring the paper's
+// 24-hour cap in Figures 7-9.
+func solveBaselineGreedy(in *instance, b int, opt Options) Result {
+	start := time.Now()
+	dl := opt.deadline(start)
+	sampler := in.sampler(opt.Diffusion)
+	base := rng.New(opt.Seed)
+
+	blocked := make([]bool, in.g.N())
+	var blockers []graph.V
+	var sims int64
+	call := uint64(0)
+
+	for round := 0; round < b; round++ {
+		bestV := graph.V(-1)
+		bestSpread := 0.0
+		for u := graph.V(0); int(u) < in.orig.N(); u++ {
+			if !in.candidate(u) || blocked[u] {
+				continue
+			}
+			if pastDeadline(dl) {
+				return Result{Blockers: blockers, TimedOut: true, MCSSimulations: sims}
+			}
+			blocked[u] = true
+			call++
+			spread := cascade.EstimateSpreadParallel(
+				sampler, in.src, blocked, opt.MCSRounds, opt.Workers, base.Split(call))
+			blocked[u] = false
+			sims += int64(opt.MCSRounds)
+			if bestV == -1 || spread < bestSpread {
+				bestV, bestSpread = u, spread
+			}
+		}
+		if bestV == -1 {
+			break // no candidates left
+		}
+		blocked[bestV] = true
+		blockers = append(blockers, bestV)
+	}
+	return Result{Blockers: blockers, MCSSimulations: sims}
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/exact"
+	"github.com/imin-dev/imin/internal/fixture"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// testOpt returns fast, deterministic options for the small test graphs.
+func testOpt() Options {
+	return Options{Theta: 4000, MCSRounds: 4000, Workers: 4, Seed: 7}
+}
+
+func TestEstimatorMatchesExample2(t *testing.T) {
+	// Algorithm 2 on the toy graph must reproduce the exact Δ values of
+	// Example 2: Δ[v5]=4.66, Δ[v9]=1.11, Δ[v8]=0.66, Δ[v7]=0.06, others 1.
+	g := fixture.Toy()
+	est := NewEstimator(cascade.NewIC(g), 4, DomLengauerTarjan)
+	delta := make([]float64, g.N())
+	est.DecreaseES(delta, fixture.Seed, nil, 200000, rng.New(1))
+	want := fixture.Delta()
+	for v := range want {
+		if math.Abs(delta[v]-want[v]) > 0.02 {
+			t.Errorf("Δ[v%d] = %v, want %v", v+1, delta[v], want[v])
+		}
+	}
+	if delta[fixture.Seed] != 0 {
+		t.Errorf("Δ[seed] = %v, want 0", delta[fixture.Seed])
+	}
+}
+
+func TestEstimatorSNCAAgrees(t *testing.T) {
+	g := fixture.Toy()
+	lt := NewEstimator(cascade.NewIC(g), 4, DomLengauerTarjan)
+	sn := NewEstimator(cascade.NewIC(g), 4, DomSNCA)
+	dLT := make([]float64, g.N())
+	dSN := make([]float64, g.N())
+	lt.DecreaseES(dLT, fixture.Seed, nil, 50000, rng.New(2))
+	sn.DecreaseES(dSN, fixture.Seed, nil, 50000, rng.New(2))
+	for v := range dLT {
+		if dLT[v] != dSN[v] {
+			t.Errorf("v%d: LT estimator %v != SNCA estimator %v", v+1, dLT[v], dSN[v])
+		}
+	}
+}
+
+func TestEstimatorDeterministic(t *testing.T) {
+	g := fixture.Toy()
+	est := NewEstimator(cascade.NewIC(g), 4, DomLengauerTarjan)
+	d1 := make([]float64, g.N())
+	d2 := make([]float64, g.N())
+	est.DecreaseES(d1, fixture.Seed, nil, 10000, rng.New(3))
+	est.DecreaseES(d2, fixture.Seed, nil, 10000, rng.New(3))
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("estimator not deterministic at v%d", v+1)
+		}
+	}
+}
+
+func TestEstimatorRespectsBlocked(t *testing.T) {
+	g := fixture.Toy()
+	est := NewEstimator(cascade.NewIC(g), 2, DomLengauerTarjan)
+	blocked := make([]bool, g.N())
+	blocked[fixture.V5] = true
+	delta := make([]float64, g.N())
+	est.DecreaseES(delta, fixture.Seed, blocked, 20000, rng.New(4))
+	if delta[fixture.V5] != 0 {
+		t.Errorf("Δ[blocked v5] = %v, want 0", delta[fixture.V5])
+	}
+	// With v5 blocked only v2 and v4 are reachable; Δ[v2]=Δ[v4]=1.
+	if math.Abs(delta[fixture.V2]-1) > 1e-9 || math.Abs(delta[fixture.V4]-1) > 1e-9 {
+		t.Errorf("Δ[v2]=%v Δ[v4]=%v, want 1", delta[fixture.V2], delta[fixture.V4])
+	}
+	for _, v := range []graph.V{fixture.V3, fixture.V6, fixture.V7, fixture.V8, fixture.V9} {
+		if delta[v] != 0 {
+			t.Errorf("Δ[v%d] = %v, want 0 (unreachable)", v+1, delta[v])
+		}
+	}
+}
+
+// Property: the estimator's Δ agrees with the exact spread difference
+// E(G) - E(G[V\{u}]) on random small graphs (Theorem 4 + Theorem 6).
+func TestEstimatorMatchesExactProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(8) + 3
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := b.Build()
+		base, err := exact.Spread(g, 0, nil, 0)
+		if err != nil {
+			return true
+		}
+		est := NewEstimator(cascade.NewIC(g), 2, DomLengauerTarjan)
+		delta := make([]float64, n)
+		est.DecreaseES(delta, 0, nil, 60000, rng.New(seed+1))
+		blocked := make([]bool, n)
+		for u := 1; u < n; u++ {
+			blocked[u] = true
+			su, err := exact.Spread(g, 0, blocked, 0)
+			blocked[u] = false
+			if err != nil {
+				return true
+			}
+			want := base - su
+			if math.Abs(delta[u]-want) > 0.12+0.05*want {
+				t.Logf("seed=%d n=%d u=%d: Δ=%v exact=%v", seed, n, u, delta[u], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaBound(t *testing.T) {
+	// θ grows with n·log n and shrinks with ε² and OPT.
+	a := ThetaBound(1000, 0.1, 1, 1)
+	bigger := ThetaBound(10000, 0.1, 1, 1)
+	if bigger <= a {
+		t.Error("θ must grow with n")
+	}
+	tighter := ThetaBound(1000, 0.01, 1, 1)
+	if tighter <= a {
+		t.Error("θ must grow as ε shrinks")
+	}
+	easier := ThetaBound(1000, 0.1, 1, 50)
+	if easier >= a {
+		t.Error("θ must shrink as OPT grows")
+	}
+	if got := ThetaBound(1, 0.1, 1, 1); got != 1 {
+		t.Errorf("degenerate n: %d", got)
+	}
+	if p := EstimationFailureProb(1000, 1); math.Abs(p-0.001) > 1e-12 {
+		t.Errorf("failure prob = %v", p)
+	}
+}
+
+func TestThetaBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for eps <= 0")
+		}
+	}()
+	ThetaBound(100, 0, 1, 1)
+}
+
+func TestAdvancedGreedyToy(t *testing.T) {
+	g := fixture.Toy()
+	res, err := Solve(g, []graph.V{fixture.Seed}, 1, AdvancedGreedy, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("AG b=1 = %v, want [v5]", res.Blockers)
+	}
+	// b=2: v5 plus one of v2/v4 (Table III row "Greedy"), spread 2.
+	res, err = Solve(g, []graph.V{fixture.Seed}, 2, AdvancedGreedy, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 2 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("AG b=2 = %v, want v5 first", res.Blockers)
+	}
+	second := res.Blockers[1]
+	if second != fixture.V2 && second != fixture.V4 {
+		t.Fatalf("AG b=2 second blocker = v%d, want v2 or v4", second+1)
+	}
+	spread, err := exact.Spread(g, fixture.Seed, toBlocked(g.N(), res.Blockers), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spread-2) > 1e-9 {
+		t.Fatalf("AG b=2 spread = %v, want 2 (Table III)", spread)
+	}
+	if res.SampledGraphs != int64(2*testOpt().Theta) {
+		t.Errorf("sample accounting: %d", res.SampledGraphs)
+	}
+}
+
+func TestGreedyReplaceToyTableIII(t *testing.T) {
+	g := fixture.Toy()
+	// b=1: GR initializes with an out-neighbor and replaces it with v5.
+	res, err := Solve(g, []graph.V{fixture.Seed}, 1, GreedyReplace, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("GR b=1 = %v, want [v5]", res.Blockers)
+	}
+	// b=2: GR blocks {v2,v4}, achieving spread 1 where plain greedy gets 2.
+	res, err = Solve(g, []graph.V{fixture.Seed}, 2, GreedyReplace, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[graph.V]bool{}
+	for _, v := range res.Blockers {
+		got[v] = true
+	}
+	if len(res.Blockers) != 2 || !got[fixture.V2] || !got[fixture.V4] {
+		t.Fatalf("GR b=2 = %v, want {v2,v4}", res.Blockers)
+	}
+	spread, err := exact.Spread(g, fixture.Seed, toBlocked(g.N(), res.Blockers), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spread-1) > 1e-9 {
+		t.Fatalf("GR b=2 spread = %v, want 1 (Table III)", spread)
+	}
+}
+
+func TestBaselineGreedyToy(t *testing.T) {
+	g := fixture.Toy()
+	res, err := Solve(g, []graph.V{fixture.Seed}, 2, BaselineGreedy, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 2 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("BG = %v, want v5 first", res.Blockers)
+	}
+	if res.MCSSimulations == 0 {
+		t.Error("BG must account MCS rounds")
+	}
+}
+
+func TestBaselineAndAdvancedAgreeOnToy(t *testing.T) {
+	// "Our computation based on sampled graphs will not sacrifice the
+	// effectiveness, compared with MCS" — both greedy variants pick the
+	// same blockers on the toy graph.
+	g := fixture.Toy()
+	bg, err := Solve(g, []graph.V{fixture.Seed}, 3, BaselineGreedy, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := Solve(g, []graph.V{fixture.Seed}, 3, AdvancedGreedy, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBG, _ := exact.Spread(g, fixture.Seed, toBlocked(g.N(), bg.Blockers), 0)
+	sAG, _ := exact.Spread(g, fixture.Seed, toBlocked(g.N(), ag.Blockers), 0)
+	if math.Abs(sBG-sAG) > 1e-9 {
+		t.Fatalf("BG spread %v != AG spread %v", sBG, sAG)
+	}
+}
+
+func TestRandHeuristic(t *testing.T) {
+	g := fixture.Toy()
+	res, err := Solve(g, []graph.V{fixture.Seed}, 3, Rand, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 3 {
+		t.Fatalf("Rand returned %d blockers", len(res.Blockers))
+	}
+	seen := map[graph.V]bool{}
+	for _, v := range res.Blockers {
+		if v == fixture.Seed {
+			t.Fatal("Rand blocked the seed")
+		}
+		if seen[v] {
+			t.Fatal("Rand picked a duplicate")
+		}
+		seen[v] = true
+	}
+	// Deterministic under a fixed seed.
+	res2, _ := Solve(g, []graph.V{fixture.Seed}, 3, Rand, testOpt())
+	for i := range res.Blockers {
+		if res.Blockers[i] != res2.Blockers[i] {
+			t.Fatal("Rand not reproducible")
+		}
+	}
+	// Budget larger than candidate count blocks everything blockable.
+	res3, _ := Solve(g, []graph.V{fixture.Seed}, 100, Rand, testOpt())
+	if len(res3.Blockers) != g.N()-1 {
+		t.Fatalf("oversized budget: %d blockers", len(res3.Blockers))
+	}
+}
+
+func TestOutDegreeHeuristic(t *testing.T) {
+	g := fixture.Toy()
+	res, err := Solve(g, []graph.V{fixture.Seed}, 1, OutDegree, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v5 has the highest out-degree (4).
+	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+		t.Fatalf("OD = %v, want [v5]", res.Blockers)
+	}
+}
+
+func TestSolveMultiSeed(t *testing.T) {
+	// Seeds {v2,v4}: optimal blocker for b=1 is v5 — everything downstream
+	// flows through it.
+	g := fixture.Toy()
+	for _, alg := range []Algorithm{AdvancedGreedy, GreedyReplace, BaselineGreedy} {
+		res, err := Solve(g, []graph.V{fixture.V2, fixture.V4}, 1, alg, testOpt())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
+			t.Fatalf("%s multi-seed = %v, want [v5]", alg, res.Blockers)
+		}
+	}
+}
+
+func TestSolveNeverBlocksSeeds(t *testing.T) {
+	g := fixture.Toy()
+	seeds := []graph.V{fixture.V1, fixture.V5}
+	for _, alg := range []Algorithm{Rand, OutDegree, AdvancedGreedy, GreedyReplace, BaselineGreedy} {
+		res, err := Solve(g, seeds, 4, alg, testOpt())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for _, v := range res.Blockers {
+			if v == fixture.V1 || v == fixture.V5 {
+				t.Fatalf("%s blocked a seed: %v", alg, res.Blockers)
+			}
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	g := fixture.Toy()
+	if _, err := Solve(g, nil, 1, AdvancedGreedy, testOpt()); err == nil {
+		t.Error("empty seeds must error")
+	}
+	if _, err := Solve(g, []graph.V{99}, 1, AdvancedGreedy, testOpt()); err == nil {
+		t.Error("out-of-range seed must error")
+	}
+	if _, err := Solve(g, []graph.V{0}, -1, AdvancedGreedy, testOpt()); err == nil {
+		t.Error("negative budget must error")
+	}
+	if _, err := Solve(g, []graph.V{0}, 1, Algorithm("nope"), testOpt()); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	all := make([]graph.V, g.N())
+	for i := range all {
+		all[i] = graph.V(i)
+	}
+	if _, err := Solve(g, all, 1, AdvancedGreedy, testOpt()); err == nil {
+		t.Error("all-seeds instance must error")
+	}
+}
+
+func TestBaselineGreedyTimeout(t *testing.T) {
+	// A dense-enough graph with a heavy MCS load and a 1ms budget: BG must
+	// return TimedOut with a partial (possibly empty) blocker set.
+	r := rng.New(5)
+	b := graph.NewBuilder(300)
+	for i := 0; i < 3000; i++ {
+		b.AddEdge(graph.V(r.Intn(300)), graph.V(r.Intn(300)), 0.2)
+	}
+	g := b.Build()
+	opt := testOpt()
+	opt.MCSRounds = 2000
+	opt.Timeout = time.Millisecond
+	res, err := Solve(g, []graph.V{0}, 5, BaselineGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expected BG to time out")
+	}
+	if len(res.Blockers) >= 5 {
+		t.Fatalf("timed-out run returned full blocker set of %d", len(res.Blockers))
+	}
+}
+
+func TestGreedyReplaceTimeout(t *testing.T) {
+	r := rng.New(6)
+	b := graph.NewBuilder(400)
+	for i := 0; i < 4000; i++ {
+		b.AddEdge(graph.V(r.Intn(400)), graph.V(r.Intn(400)), 0.3)
+	}
+	g := b.Build()
+	opt := testOpt()
+	opt.Theta = 50000
+	opt.Timeout = time.Millisecond
+	res, err := Solve(g, []graph.V{0}, 50, GreedyReplace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expected GR to time out")
+	}
+	if len(res.Blockers) >= 50 {
+		t.Fatalf("timed-out GR returned %d blockers", len(res.Blockers))
+	}
+}
+
+func TestEvaluateSpread(t *testing.T) {
+	g := fixture.Toy()
+	opt := testOpt()
+	s, err := EvaluateSpread(g, []graph.V{fixture.Seed}, []graph.V{fixture.V5}, 100000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-3) > 0.03 {
+		t.Fatalf("EvaluateSpread({v5}) = %v, want 3", s)
+	}
+	// Multi-seed: blocking all out-neighbors leaves exactly the seeds.
+	s, err = EvaluateSpread(g, []graph.V{fixture.V1, fixture.V9}, []graph.V{fixture.V2, fixture.V4, fixture.V8}, 50000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-9 {
+		t.Fatalf("multi-seed fully blocked spread = %v, want 2", s)
+	}
+	if _, err := EvaluateSpread(g, []graph.V{fixture.Seed}, []graph.V{fixture.Seed}, 100, opt); err == nil {
+		t.Fatal("blocking a seed must error")
+	}
+	if _, err := EvaluateSpread(g, []graph.V{fixture.Seed}, []graph.V{99}, 100, opt); err == nil {
+		t.Fatal("out-of-range blocker must error")
+	}
+}
+
+// Property: on random graphs GreedyReplace never does worse than blocking
+// out-neighbors only — its defining guarantee ("the expected spread of
+// GreedyReplace is certainly not larger than the algorithm which only
+// blocks the out-neighbors").
+func TestGreedyReplaceBeatsOutNeighborsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(10) + 5
+		bld := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			bld.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := bld.Build()
+		b := r.Intn(3) + 1
+		opt := Options{Theta: 3000, MCSRounds: 1000, Workers: 2, Seed: seed}
+		gr, err := Solve(g, []graph.V{0}, b, GreedyReplace, opt)
+		if err != nil {
+			return true
+		}
+		sGR, err := exact.Spread(g, 0, toBlocked(g.N(), gr.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		// Out-neighbors-only reference: block up to b out-neighbors of the
+		// seed, chosen optimally among out-neighbors.
+		outs := []graph.V{}
+		for _, v := range g.OutNeighbors(0) {
+			outs = append(outs, v)
+		}
+		best := math.Inf(1)
+		k := b
+		if k > len(outs) {
+			k = len(outs)
+		}
+		if k == 0 {
+			return true
+		}
+		combos(len(outs), k, func(idx []int) {
+			var bs []graph.V
+			for _, i := range idx {
+				bs = append(bs, outs[i])
+			}
+			s, err := exact.Spread(g, 0, toBlocked(g.N(), bs), 0)
+			if err == nil && s < best {
+				best = s
+			}
+		})
+		// Allow sampling noise of the estimator-driven selection.
+		return sGR <= best+0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// combos enumerates k-subsets of [0,n); a tiny local helper so this test
+// does not depend on package exact's internals.
+func combos(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func toBlocked(n int, blockers []graph.V) []bool {
+	blocked := make([]bool, n)
+	for _, v := range blockers {
+		blocked[v] = true
+	}
+	return blocked
+}
+
+func BenchmarkDecreaseESToy(b *testing.B) {
+	g := fixture.Toy()
+	est := NewEstimator(cascade.NewIC(g), 1, DomLengauerTarjan)
+	delta := make([]float64, g.N())
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est.DecreaseES(delta, fixture.Seed, nil, 1000, r)
+	}
+}

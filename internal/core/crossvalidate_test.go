@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/exact"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// These tests cross-validate independent implementations of the same
+// quantity against each other on random instances — the repository's main
+// defense against "plausible but wrong" algorithmic code.
+
+// Property: AdvancedGreedy's blocker set achieves a spread within noise of
+// BaselineGreedy's on random graphs ("our computation based on sampled
+// graphs will not sacrifice the effectiveness, compared with MCS"). The
+// sets themselves may differ under ties, so the comparison is on achieved
+// exact spread.
+func TestAGMatchesBGQualityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(8) + 4
+		bld := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			bld.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := bld.Build()
+		b := r.Intn(2) + 1
+		opt := Options{Theta: 8000, MCSRounds: 8000, Workers: 2, Seed: seed}
+
+		ag, err := Solve(g, []graph.V{0}, b, AdvancedGreedy, opt)
+		if err != nil {
+			return true
+		}
+		bg, err := Solve(g, []graph.V{0}, b, BaselineGreedy, opt)
+		if err != nil {
+			return true
+		}
+		sAG, err := exact.Spread(g, 0, toBlocked(n, ag.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		sBG, err := exact.Spread(g, 0, toBlocked(n, bg.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		if math.Abs(sAG-sBG) > 0.3 {
+			t.Logf("seed=%d n=%d b=%d: AG %v (%v) vs BG %v (%v)", seed, n, b, sAG, ag.Blockers, sBG, bg.Blockers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the LT estimator's Δ matches the Monte-Carlo spread difference
+// under the LT model (the Section V-E claim that the estimator works for
+// any triggering model).
+func TestLTEstimatorMatchesMCSProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(8) + 4
+		bld := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			bld.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), 1)
+		}
+		// WC weights guarantee Σ in-weights = 1 (valid LT instance).
+		g := graph.WeightedCascade.Assign(bld.Build(), nil)
+		lt := cascade.NewLT(g)
+
+		est := NewEstimator(lt, 2, DomLengauerTarjan)
+		delta := make([]float64, n)
+		est.DecreaseES(delta, 0, nil, 40000, rng.New(seed+1))
+
+		base := cascade.EstimateSpread(lt, 0, nil, 40000, rng.New(seed+2))
+		blocked := make([]bool, n)
+		for u := 1; u < n; u++ {
+			blocked[u] = true
+			su := cascade.EstimateSpread(lt, 0, blocked, 40000, rng.New(seed+3+uint64(u)))
+			blocked[u] = false
+			want := base - su
+			if math.Abs(delta[u]-want) > 0.15+0.05*math.Abs(want) {
+				t.Logf("seed=%d u=%d: Δ_LT=%v MCS diff=%v", seed, u, delta[u], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GreedyReplace's achieved spread is never (beyond noise) worse
+// than AdvancedGreedy's at the same budget on random graphs — Table VII's
+// headline ordering.
+func TestGRNotWorseThanAGProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(10) + 5
+		bld := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			bld.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := bld.Build()
+		b := r.Intn(3) + 1
+		opt := Options{Theta: 6000, Workers: 2, Seed: seed}
+		ag, err := Solve(g, []graph.V{0}, b, AdvancedGreedy, opt)
+		if err != nil {
+			return true
+		}
+		gr, err := Solve(g, []graph.V{0}, b, GreedyReplace, opt)
+		if err != nil {
+			return true
+		}
+		sAG, err := exact.Spread(g, 0, toBlocked(n, ag.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		sGR, err := exact.Spread(g, 0, toBlocked(n, gr.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		// GR may lose to AG by sampling noise but not systematically.
+		if sGR > sAG+0.4 {
+			t.Logf("seed=%d n=%d b=%d: GR %v (%v) vs AG %v (%v)", seed, n, b, sGR, gr.Blockers, sAG, ag.Blockers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with ReuseSamples the solver still produces sets whose exact
+// spread matches the fresh-sampling solver within noise.
+func TestPooledQualityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(8) + 4
+		bld := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			bld.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := bld.Build()
+		opt := Options{Theta: 8000, Workers: 2, Seed: seed}
+		fresh, err := Solve(g, []graph.V{0}, 2, AdvancedGreedy, opt)
+		if err != nil {
+			return true
+		}
+		opt.ReuseSamples = true
+		pooled, err := Solve(g, []graph.V{0}, 2, AdvancedGreedy, opt)
+		if err != nil {
+			return true
+		}
+		sF, err := exact.Spread(g, 0, toBlocked(n, fresh.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		sP, err := exact.Spread(g, 0, toBlocked(n, pooled.Blockers), 0)
+		if err != nil {
+			return true
+		}
+		if math.Abs(sF-sP) > 0.35 {
+			t.Logf("seed=%d: fresh %v vs pooled %v", seed, sF, sP)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

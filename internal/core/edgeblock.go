@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/dominator"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Edge blocking: the alternative containment strategy the paper surveys
+// (Kimura et al. [13] block links instead of accounts) and a natural
+// adaptation target for the dominator-tree estimator. Everything carries
+// over through one transform: splitting each live edge e = (u,v) into an
+// auxiliary vertex x_e with u→x_e→v turns edge dominators into vertex
+// dominators, so the spread decrease of removing e is the weighted size of
+// x_e's dominator subtree, counting only real vertices. One sampled graph
+// again scores every candidate edge at once.
+
+// EdgeResult reports an edge-blocking run.
+type EdgeResult struct {
+	// Edges is the selected blocker set (original endpoints and
+	// probabilities), in selection order.
+	Edges []graph.Edge
+	// Runtime is the wall-clock selection time.
+	Runtime time.Duration
+	// SampledGraphs counts live-edge samples drawn.
+	SampledGraphs int64
+}
+
+// SolveEdges selects at most b edges whose removal minimizes the expected
+// spread from the seed set, using the AdvancedGreedy framework with the
+// edge-split estimator. Multi-seed instances are handled with a virtual
+// super-source (all original edges stay intact as candidates).
+func SolveEdges(g *graph.Graph, seeds []graph.V, b int, opt Options) (EdgeResult, error) {
+	opt = opt.withDefaults()
+	if b < 0 {
+		return EdgeResult{}, fmt.Errorf("core: negative budget %d", b)
+	}
+	if len(seeds) == 0 {
+		return EdgeResult{}, fmt.Errorf("core: empty seed set")
+	}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.N() {
+			return EdgeResult{}, fmt.Errorf("core: seed %d out of range [0,%d)", s, g.N())
+		}
+	}
+	start := time.Now()
+	dl := opt.deadline(start)
+	base := rng.New(opt.Seed)
+
+	work, super := g.AugmentSuperSource(seeds)
+	var chosen []graph.Edge
+	var removed [][2]graph.V
+	var samples int64
+
+	for round := 0; round < b; round++ {
+		if pastDeadline(dl) {
+			break
+		}
+		est := newEdgeEstimator(work, super, opt)
+		delta := make([]float64, work.M())
+		est.decreaseES(delta, opt.Theta, base.Split(uint64(round)))
+		samples += int64(opt.Theta)
+
+		bestIdx := -1
+		for idx := range delta {
+			e := work.EdgeAt(idx)
+			if e.From == super {
+				continue // synthetic seed edges are not blockable
+			}
+			if bestIdx == -1 || delta[idx] > delta[bestIdx] {
+				bestIdx = idx
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		e := work.EdgeAt(bestIdx)
+		chosen = append(chosen, graph.Edge{From: e.From, To: e.To, P: e.P})
+		removed = append(removed, [2]graph.V{e.From, e.To})
+		work = work.RemoveEdges(removed[len(removed)-1:])
+	}
+	return EdgeResult{Edges: chosen, Runtime: time.Since(start), SampledGraphs: samples}, nil
+}
+
+// edgeEstimator scores every edge of one working graph; it is rebuilt per
+// greedy round because edge removal changes the graph.
+type edgeEstimator struct {
+	g       *graph.Graph
+	src     graph.V
+	sampler cascade.LiveSampler
+	workers int
+	domAlgo DomAlgo
+}
+
+func newEdgeEstimator(g *graph.Graph, src graph.V, opt Options) *edgeEstimator {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var sampler cascade.LiveSampler
+	if opt.Diffusion == DiffusionLT {
+		sampler = cascade.NewLT(g)
+	} else {
+		sampler = cascade.NewIC(g)
+	}
+	return &edgeEstimator{g: g, src: src, sampler: sampler, workers: workers, domAlgo: opt.DomAlgo}
+}
+
+// decreaseES fills dst[i] (global out-CSR edge index) with the estimated
+// spread decrease from removing edge i, averaged over theta samples.
+func (e *edgeEstimator) decreaseES(dst []float64, theta int, base *rng.Source) {
+	workers := e.workers
+	if workers > theta {
+		workers = theta
+	}
+	m := e.g.M()
+	accs := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := theta / workers
+		if w < theta%workers {
+			share++
+		}
+		r := base.Split(uint64(w))
+		acc := make([]int64, m)
+		accs[w] = acc
+		wg.Add(1)
+		go func(share int, r *rng.Source, acc []int64) {
+			defer wg.Done()
+			st := &edgeWorker{
+				cws: e.sampler.NewWorkspace(),
+				dws: dominator.NewWorkspace(0),
+			}
+			for i := 0; i < share; i++ {
+				e.accumulateOne(st, r, acc)
+			}
+		}(share, r, acc)
+	}
+	wg.Wait()
+	inv := 1 / float64(theta)
+	for i := 0; i < m; i++ {
+		total := int64(0)
+		for w := 0; w < workers; w++ {
+			total += accs[w][i]
+		}
+		dst[i] = float64(total) * inv
+	}
+}
+
+type edgeWorker struct {
+	cws *cascade.Workspace
+	dws *dominator.Workspace
+	// split-graph scratch, grown on demand
+	outStart, outTo []int32
+	inStart, inTo   []int32
+	fill            []int32
+	sizes           []int32
+}
+
+// accumulateOne draws one sample, edge-splits it, and accumulates weighted
+// dominator-subtree sizes per original edge.
+func (e *edgeEstimator) accumulateOne(st *edgeWorker, r *rng.Source, acc []int64) {
+	sg := e.sampler.Sample(e.src, nil, r, st.cws)
+	k := sg.K
+	ne := len(sg.OutTo)
+	nSplit := k + ne
+
+	// Build the split graph's out-CSR: original local vertex u keeps one
+	// edge per live out-edge, pointing at the edge-vertex k+j; edge-vertex
+	// k+j has a single edge to the live target.
+	st.outStart = growI32(st.outStart, nSplit+1)
+	st.outTo = growI32(st.outTo, 2*ne)
+	outStart, outTo := st.outStart[:nSplit+1], st.outTo[:2*ne]
+	pos := int32(0)
+	for u := 0; u < k; u++ {
+		outStart[u] = pos
+		for j := sg.OutStart[u]; j < sg.OutStart[u+1]; j++ {
+			outTo[pos] = int32(k) + j
+			pos++
+		}
+	}
+	for j := 0; j < ne; j++ {
+		outStart[k+j] = pos
+		outTo[pos] = sg.OutTo[j]
+		pos++
+	}
+	outStart[nSplit] = pos
+
+	// Transpose for the in-CSR.
+	st.inStart = growI32(st.inStart, nSplit+1)
+	st.inTo = growI32(st.inTo, 2*ne)
+	inStart, inTo := st.inStart[:nSplit+1], st.inTo[:2*ne]
+	for i := range inStart {
+		inStart[i] = 0
+	}
+	for _, v := range outTo {
+		inStart[v+1]++
+	}
+	for i := 0; i < nSplit; i++ {
+		inStart[i+1] += inStart[i]
+	}
+	st.fill = growI32(st.fill, nSplit)
+	fill := st.fill[:nSplit]
+	for i := range fill {
+		fill[i] = 0
+	}
+	for u := int32(0); u < int32(nSplit); u++ {
+		for j := outStart[u]; j < outStart[u+1]; j++ {
+			v := outTo[j]
+			inTo[inStart[v]+fill[v]] = u
+			fill[v]++
+		}
+	}
+
+	fg := dominator.FlowGraph{N: nSplit, OutStart: outStart, OutTo: outTo, InStart: inStart, InTo: inTo}
+	var tree *dominator.Tree
+	if e.domAlgo == DomSNCA {
+		tree = st.dws.SNCA(&fg, 0)
+	} else {
+		tree = st.dws.LengauerTarjan(&fg, 0)
+	}
+	st.sizes = growI32(st.sizes, nSplit)
+	sizes := st.sizes[:nSplit]
+	st.dws.WeightedSubtreeSizes(tree, func(v int32) int32 {
+		if int(v) < k {
+			return 1
+		}
+		return 0
+	}, sizes)
+
+	// Accumulate per original edge: live edge j runs from local u to
+	// sg.OutTo[j]; its split vertex is k+j.
+	for u := 0; u < k; u++ {
+		origU := sg.Orig[u]
+		for j := sg.OutStart[u]; j < sg.OutStart[u+1]; j++ {
+			origV := sg.Orig[sg.OutTo[j]]
+			idx := e.g.OutEdgeIndex(origU, origV)
+			if idx >= 0 {
+				acc[idx] += int64(sizes[int32(k)+j])
+			}
+		}
+	}
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, n+n/2)
+	}
+	return s[:n]
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imin-dev/imin/internal/exact"
+	"github.com/imin-dev/imin/internal/fixture"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+func TestEdgeEstimatorMatchesExactOnToy(t *testing.T) {
+	// For each edge of the toy graph, the estimated spread decrease must
+	// match the exact spread difference after removing that edge.
+	g := fixture.Toy()
+	aug, super := g.AugmentSuperSource([]graph.V{fixture.Seed})
+	est := newEdgeEstimator(aug, super, Options{Workers: 4}.withDefaults())
+	delta := make([]float64, aug.M())
+	est.decreaseES(delta, 150000, rng.New(1))
+
+	base, err := exact.Spread(g, fixture.Seed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		removed, err := exact.Spread(g.RemoveEdges([][2]graph.V{{e.From, e.To}}), fixture.Seed, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base - removed
+		idx := aug.OutEdgeIndex(e.From, e.To)
+		if idx < 0 {
+			t.Fatalf("edge (%d,%d) missing from augmented graph", e.From, e.To)
+		}
+		if math.Abs(delta[idx]-want) > 0.03 {
+			t.Errorf("edge (v%d,v%d): Δ = %v, want %v", e.From+1, e.To+1, delta[idx], want)
+		}
+	}
+}
+
+func TestSolveEdgesToy(t *testing.T) {
+	// The single best edge to block in the toy graph: removing an edge
+	// into v5 still leaves the other path, so the best cut is one of the
+	// two-edge bridges... compute: removing (v2,v5) or (v4,v5) changes
+	// nothing (other path has p=1): Δ=0. Removing (v5,v9): loses v9 and
+	// most of v8/v7: Δ = 1 + (0.6-0.5) + (0.06-0.05) = 1.11. Removing
+	// (v1,v2)/(v1,v4): Δ=1 (only that leaf). Removing (v5,v3)/(v5,v6):
+	// Δ=1. Removing (v5,v8): Δ = 0.4+0.04 = 0.44. So the optimum is
+	// (v5,v9) with 1.11.
+	g := fixture.Toy()
+	res, err := SolveEdges(g, []graph.V{fixture.Seed}, 1, Options{Theta: 30000, Workers: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 {
+		t.Fatalf("got %d edges", len(res.Edges))
+	}
+	e := res.Edges[0]
+	if e.From != fixture.V5 || e.To != fixture.V9 {
+		t.Fatalf("blocked edge (v%d,v%d), want (v5,v9)", e.From+1, e.To+1)
+	}
+	if res.SampledGraphs != 30000 {
+		t.Errorf("sample accounting: %d", res.SampledGraphs)
+	}
+}
+
+func TestSolveEdgesNeverPicksSyntheticSeedEdges(t *testing.T) {
+	g := fixture.Toy()
+	res, err := SolveEdges(g, []graph.V{fixture.V2, fixture.V4}, 3, Options{Theta: 3000, Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Edges {
+		if int(e.From) >= g.N() || int(e.To) >= g.N() {
+			t.Fatalf("synthetic super-source edge leaked: %+v", e)
+		}
+		if !g.HasEdge(e.From, e.To) {
+			t.Fatalf("chosen edge (%d,%d) does not exist in the input", e.From, e.To)
+		}
+	}
+}
+
+func TestSolveEdgesBudgetAndErrors(t *testing.T) {
+	g := fixture.Toy()
+	if _, err := SolveEdges(g, nil, 1, Options{}); err == nil {
+		t.Error("empty seeds must error")
+	}
+	if _, err := SolveEdges(g, []graph.V{99}, 1, Options{}); err == nil {
+		t.Error("bad seed must error")
+	}
+	if _, err := SolveEdges(g, []graph.V{0}, -1, Options{}); err == nil {
+		t.Error("negative budget must error")
+	}
+	res, err := SolveEdges(g, []graph.V{0}, 0, Options{Theta: 100})
+	if err != nil || len(res.Edges) != 0 {
+		t.Errorf("b=0: %v %v", res.Edges, err)
+	}
+}
+
+func TestSolveEdgesReducesSpreadMonotonically(t *testing.T) {
+	// Each chosen edge must not increase the spread; collectively they
+	// should reduce it substantially on the toy graph.
+	g := fixture.Toy()
+	res, err := SolveEdges(g, []graph.V{fixture.Seed}, 3, Options{Theta: 20000, Workers: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 3 {
+		t.Fatalf("got %d edges", len(res.Edges))
+	}
+	base, _ := exact.Spread(g, fixture.Seed, nil, 0)
+	var removed [][2]graph.V
+	prev := base
+	cur := g
+	for _, e := range res.Edges {
+		removed = append(removed, [2]graph.V{e.From, e.To})
+		cur = g.RemoveEdges(removed)
+		s, err := exact.Spread(cur, fixture.Seed, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > prev+1e-9 {
+			t.Fatalf("spread rose from %v to %v after removing (%d,%d)", prev, s, e.From, e.To)
+		}
+		prev = s
+	}
+	if base-prev < 2 {
+		t.Errorf("3 blocked edges only saved %v spread", base-prev)
+	}
+}
+
+// Property: on random graphs, every per-edge estimate stays within noise
+// of the exact spread difference (the edge-split dominator argument).
+func TestEdgeEstimatorExactProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(7) + 3
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)), float64(r.Intn(4))*0.25+0.25)
+		}
+		g := b.Build()
+		base, err := exact.Spread(g, 0, nil, 0)
+		if err != nil {
+			return true
+		}
+		aug, super := g.AugmentSuperSource([]graph.V{0})
+		est := newEdgeEstimator(aug, super, Options{Workers: 2}.withDefaults())
+		delta := make([]float64, aug.M())
+		est.decreaseES(delta, 50000, rng.New(seed+1))
+		for _, e := range g.Edges() {
+			after, err := exact.Spread(g.RemoveEdges([][2]graph.V{{e.From, e.To}}), 0, nil, 0)
+			if err != nil {
+				return true
+			}
+			want := base - after
+			idx := aug.OutEdgeIndex(e.From, e.To)
+			if math.Abs(delta[idx]-want) > 0.1+0.05*want {
+				t.Logf("seed=%d edge (%d,%d): Δ=%v want %v", seed, e.From, e.To, delta[idx], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphEdgeHelpers(t *testing.T) {
+	g := fixture.Toy()
+	for i, e := range g.Edges() {
+		idx := g.OutEdgeIndex(e.From, e.To)
+		if idx != i {
+			t.Fatalf("OutEdgeIndex(%d,%d) = %d, want %d", e.From, e.To, idx, i)
+		}
+		back := g.EdgeAt(idx)
+		if back.From != e.From || back.To != e.To || back.P != e.P {
+			t.Fatalf("EdgeAt(%d) = %+v, want %+v", idx, back, e)
+		}
+	}
+	if g.OutEdgeIndex(0, 8) != -1 {
+		t.Error("missing edge must return -1")
+	}
+}

@@ -1,0 +1,161 @@
+// Package core implements the paper's contribution: the sampled-graph +
+// dominator-tree estimator of per-vertex spread decrease (Algorithm 2) and
+// the blocker-selection algorithms built on it — AdvancedGreedy
+// (Algorithm 3) and GreedyReplace (Algorithm 4) — together with the
+// baselines they are evaluated against: BaselineGreedy (Algorithm 1, the
+// prior state of the art), Rand, and OutDegree.
+//
+// All algorithms operate on a single-source instance; multi-seed problems
+// are reduced to single-source with graph.UnifySeeds by the Solve entry
+// point in solve.go.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/dominator"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// DomAlgo selects the dominator-tree algorithm used inside the estimator.
+type DomAlgo int
+
+const (
+	// DomLengauerTarjan is the paper's choice [53].
+	DomLengauerTarjan DomAlgo = iota
+	// DomSNCA is the Semi-NCA variant; identical output, different
+	// constant factors (see the ablation benchmarks).
+	DomSNCA
+)
+
+// Estimator implements DecreaseESComputation (Algorithm 2): it estimates,
+// for every candidate vertex u at once, the decrease of expected spread
+// Δ[u] = E({s},G) − E({s},G[V\{u}]) by averaging the size of u's dominator
+// subtree over θ live-edge sampled graphs (Theorems 4 and 6).
+//
+// An Estimator is bound to one sampler (hence one graph and diffusion
+// model). It is not safe for concurrent DecreaseES calls, but a single call
+// parallelizes internally over Workers goroutines. Worker scratch space is
+// cached across calls, so the b rounds of a greedy run allocate only once.
+type Estimator struct {
+	sampler cascade.LiveSampler
+	workers int
+	domAlgo DomAlgo
+	scratch []*estWorker
+}
+
+type estWorker struct {
+	cws   *cascade.Workspace
+	dws   *dominator.Workspace
+	sizes []int32
+	acc   []int64 // acc[u] = Σ over samples of subtree size of u
+}
+
+// NewEstimator returns an Estimator over the sampler's graph. workers <= 0
+// selects GOMAXPROCS.
+func NewEstimator(sampler cascade.LiveSampler, workers int, domAlgo DomAlgo) *Estimator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Estimator{sampler: sampler, workers: workers, domAlgo: domAlgo}
+}
+
+// worker returns the cached scratch state for worker w, allocating on first
+// use.
+func (e *Estimator) worker(w int) *estWorker {
+	for len(e.scratch) <= w {
+		n := e.sampler.Graph().N()
+		e.scratch = append(e.scratch, &estWorker{
+			cws:   e.sampler.NewWorkspace(),
+			dws:   dominator.NewWorkspace(n),
+			sizes: make([]int32, n),
+			acc:   make([]int64, n),
+		})
+	}
+	return e.scratch[w]
+}
+
+// DecreaseES estimates Δ[u] for every vertex u of the graph with θ sampled
+// graphs, treating blocked vertices as removed (so it estimates on G[V\B]).
+// The result is written into dst, which must have length ≥ n; dst[src] and
+// dst of blocked vertices are 0. The estimate is deterministic for a fixed
+// (base seed, workers) pair.
+//
+// Cost: O(θ · m' · α(m',n')) where m' is the live-edge size of the sampled
+// reachable region — one Lengauer–Tarjan run plus one tree scan per sample.
+func (e *Estimator) DecreaseES(dst []float64, src graph.V, blocked []bool, theta int, base *rng.Source) {
+	if theta <= 0 {
+		panic("core: DecreaseES with non-positive theta")
+	}
+	n := e.sampler.Graph().N()
+	if len(dst) < n {
+		panic("core: DecreaseES dst too short")
+	}
+
+	workers := e.workers
+	if workers > theta {
+		workers = theta
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := theta / workers
+		if w < theta%workers {
+			share++
+		}
+		st := e.worker(w)
+		r := base.Split(uint64(w))
+		wg.Add(1)
+		go func(st *estWorker, share int, r *rng.Source) {
+			defer wg.Done()
+			for i := range st.acc[:n] {
+				st.acc[i] = 0
+			}
+			for i := 0; i < share; i++ {
+				e.accumulateOne(st, src, blocked, r)
+			}
+		}(st, share, r)
+	}
+	wg.Wait()
+
+	inv := 1 / float64(theta)
+	for u := 0; u < n; u++ {
+		total := int64(0)
+		for w := 0; w < workers; w++ {
+			total += e.scratch[w].acc[u]
+		}
+		dst[u] = float64(total) * inv
+	}
+	dst[src] = 0
+}
+
+// accumulateOne draws one sampled graph, builds its dominator tree, and adds
+// every vertex's subtree size into the worker accumulator (one iteration of
+// Algorithm 2's outer loop).
+func (e *Estimator) accumulateOne(st *estWorker, src graph.V, blocked []bool, r *rng.Source) {
+	sg := e.sampler.Sample(src, blocked, r, st.cws)
+	fg := dominator.FlowGraph{
+		N:        sg.K,
+		OutStart: sg.OutStart,
+		OutTo:    sg.OutTo,
+		InStart:  sg.InStart,
+		InTo:     sg.InTo,
+	}
+	var tree *dominator.Tree
+	if e.domAlgo == DomSNCA {
+		tree = st.dws.SNCA(&fg, 0)
+	} else {
+		tree = st.dws.LengauerTarjan(&fg, 0)
+	}
+	sizes := st.sizes[:sg.K]
+	st.dws.SubtreeSizes(tree, sizes)
+	// Local id 0 is the source; it is never a candidate blocker.
+	for local := 1; local < sg.K; local++ {
+		st.acc[sg.Orig[local]] += int64(sizes[local])
+	}
+}
+
+// Sampler returns the underlying live-edge sampler.
+func (e *Estimator) Sampler() cascade.LiveSampler { return e.sampler }

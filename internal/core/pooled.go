@@ -1,0 +1,256 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/dominator"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// PooledEstimator is the sample-reuse variant of Algorithm 2 (the
+// DESIGN.md §6 "sampling reuse" ablation): it draws the θ live-edge
+// samples once, stores them, and answers every subsequent DecreaseES call
+// — one per greedy round — by re-scanning the stored samples with the
+// current blocker set filtered out.
+//
+// Trade-offs versus the paper's fresh-samples-per-round scheme:
+//
+//   - no resampling cost after round one (the coin flips and the
+//     original-graph adjacency walks are paid once);
+//   - common random numbers across rounds: consecutive rounds rank
+//     candidates on the same randomness, removing round-to-round sampling
+//     noise from the greedy trajectory;
+//   - memory proportional to θ × (average sample size);
+//   - estimates across rounds are correlated — each round's estimate is
+//     still unbiased for G[V\B] because filtering a live-edge sample of G
+//     by removing B yields exactly a live-edge sample of G[V\B].
+//
+// Enable it for AdvancedGreedy/GreedyReplace through Options.ReuseSamples.
+type PooledEstimator struct {
+	g       *graph.Graph
+	src     graph.V
+	samples []storedSample
+	workers int
+	domAlgo DomAlgo
+	scratch []*pooledWorker
+}
+
+// storedSample is one live-edge sample in compact local-id form (local 0 =
+// source), as produced by cascade samplers.
+type storedSample struct {
+	orig     []graph.V
+	outStart []int32
+	outTo    []int32
+}
+
+// NewPooledEstimator draws theta samples from the sampler and stores them.
+// workers <= 0 selects GOMAXPROCS.
+func NewPooledEstimator(sampler cascade.LiveSampler, src graph.V, theta, workers int, domAlgo DomAlgo, base *rng.Source) *PooledEstimator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > theta {
+		workers = theta
+	}
+	p := &PooledEstimator{
+		g:       sampler.Graph(),
+		src:     src,
+		samples: make([]storedSample, theta),
+		workers: workers,
+		domAlgo: domAlgo,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * theta / workers
+		hi := (w + 1) * theta / workers
+		r := base.Split(uint64(w))
+		wg.Add(1)
+		go func(lo, hi int, r *rng.Source) {
+			defer wg.Done()
+			ws := sampler.NewWorkspace()
+			for i := lo; i < hi; i++ {
+				sg := sampler.Sample(src, nil, r, ws)
+				p.samples[i] = storedSample{
+					orig:     append([]graph.V(nil), sg.Orig[:sg.K]...),
+					outStart: append([]int32(nil), sg.OutStart[:sg.K+1]...),
+					outTo:    append([]int32(nil), sg.OutTo...),
+				}
+			}
+		}(lo, hi, r)
+	}
+	wg.Wait()
+	return p
+}
+
+// Theta returns the stored sample count.
+func (p *PooledEstimator) Theta() int { return len(p.samples) }
+
+type pooledWorker struct {
+	dws   *dominator.Workspace
+	acc   []int64
+	sizes []int32
+	// filtered-sample scratch, stamped per sample
+	stamp    []int32
+	flocal   []int32
+	epoch    int32
+	queue    []int32 // stored-local ids
+	forig    []graph.V
+	eFrom    []int32
+	eTo      []int32
+	outStart []int32
+	outTo    []int32
+	inStart  []int32
+	inTo     []int32
+	fill     []int32
+}
+
+func (p *PooledEstimator) worker(w int) *pooledWorker {
+	for len(p.scratch) <= w {
+		p.scratch = append(p.scratch, &pooledWorker{
+			dws: dominator.NewWorkspace(0),
+			acc: make([]int64, p.g.N()),
+		})
+	}
+	return p.scratch[w]
+}
+
+// DecreaseES estimates Δ[u] on G[V\B] for every vertex from the stored
+// pool, writing into dst (length ≥ n). Deterministic given the pool.
+func (p *PooledEstimator) DecreaseES(dst []float64, blocked []bool) {
+	n := p.g.N()
+	var wg sync.WaitGroup
+	theta := len(p.samples)
+	for w := 0; w < p.workers; w++ {
+		lo := w * theta / p.workers
+		hi := (w + 1) * theta / p.workers
+		st := p.worker(w)
+		wg.Add(1)
+		go func(st *pooledWorker, lo, hi int) {
+			defer wg.Done()
+			for i := range st.acc[:n] {
+				st.acc[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				p.accumulateFiltered(st, &p.samples[i], blocked)
+			}
+		}(st, lo, hi)
+	}
+	wg.Wait()
+	inv := 1 / float64(theta)
+	for u := 0; u < n; u++ {
+		total := int64(0)
+		for w := 0; w < p.workers; w++ {
+			total += p.scratch[w].acc[u]
+		}
+		dst[u] = float64(total) * inv
+	}
+	dst[p.src] = 0
+}
+
+// accumulateFiltered restricts one stored sample to the non-blocked region
+// reachable from the source, runs the dominator computation on it, and
+// accumulates subtree sizes. Removing blocked vertices from a live-edge
+// sample of G produces a live-edge sample of G[V\B], so the estimate stays
+// unbiased for the blocked graph.
+func (p *PooledEstimator) accumulateFiltered(st *pooledWorker, s *storedSample, blocked []bool) {
+	k := len(s.orig)
+	st.stamp = growI32(st.stamp, k)
+	st.flocal = growI32(st.flocal, k)
+	st.epoch++
+	if st.epoch == 0 {
+		for i := range st.stamp {
+			st.stamp[i] = -1
+		}
+		st.epoch = 1
+	}
+	st.queue = st.queue[:0]
+	st.forig = st.forig[:0]
+	st.eFrom = st.eFrom[:0]
+	st.eTo = st.eTo[:0]
+
+	// BFS over stored live edges, skipping blocked vertices.
+	st.stamp[0] = st.epoch
+	st.flocal[0] = 0
+	st.forig = append(st.forig, s.orig[0])
+	st.queue = append(st.queue, 0)
+	for qi := 0; qi < len(st.queue); qi++ {
+		u := st.queue[qi]
+		fu := st.flocal[u]
+		for j := s.outStart[u]; j < s.outStart[u+1]; j++ {
+			v := s.outTo[j]
+			if blocked != nil && blocked[s.orig[v]] {
+				continue
+			}
+			var fv int32
+			if st.stamp[v] == st.epoch {
+				fv = st.flocal[v]
+			} else {
+				st.stamp[v] = st.epoch
+				fv = int32(len(st.forig))
+				st.flocal[v] = fv
+				st.forig = append(st.forig, s.orig[v])
+				st.queue = append(st.queue, v)
+			}
+			st.eFrom = append(st.eFrom, fu)
+			st.eTo = append(st.eTo, fv)
+		}
+	}
+
+	fk := len(st.forig)
+	fe := len(st.eFrom)
+	st.outStart = growI32(st.outStart, fk+1)
+	st.inStart = growI32(st.inStart, fk+1)
+	st.outTo = growI32(st.outTo, fe)
+	st.inTo = growI32(st.inTo, fe)
+	st.fill = growI32(st.fill, fk)
+	outStart, inStart := st.outStart[:fk+1], st.inStart[:fk+1]
+	outTo, inTo := st.outTo[:fe], st.inTo[:fe]
+	fill := st.fill[:fk]
+	for i := range outStart {
+		outStart[i] = 0
+	}
+	for i := range inStart {
+		inStart[i] = 0
+	}
+	for i := 0; i < fe; i++ {
+		outStart[st.eFrom[i]+1]++
+		inStart[st.eTo[i]+1]++
+	}
+	for i := 0; i < fk; i++ {
+		outStart[i+1] += outStart[i]
+		inStart[i+1] += inStart[i]
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for i := 0; i < fe; i++ {
+		u := st.eFrom[i]
+		outTo[outStart[u]+fill[u]] = st.eTo[i]
+		fill[u]++
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for i := 0; i < fe; i++ {
+		v := st.eTo[i]
+		inTo[inStart[v]+fill[v]] = st.eFrom[i]
+		fill[v]++
+	}
+
+	fg := dominator.FlowGraph{N: fk, OutStart: outStart, OutTo: outTo, InStart: inStart, InTo: inTo}
+	var tree *dominator.Tree
+	if p.domAlgo == DomSNCA {
+		tree = st.dws.SNCA(&fg, 0)
+	} else {
+		tree = st.dws.LengauerTarjan(&fg, 0)
+	}
+	st.sizes = growI32(st.sizes, fk)
+	sizes := st.sizes[:fk]
+	st.dws.SubtreeSizes(tree, sizes)
+	for fl := 1; fl < fk; fl++ {
+		st.acc[st.forig[fl]] += int64(sizes[fl])
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"time"
+
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// solveGreedyReplace implements Algorithm 4. The motivation (Example 3):
+// with unlimited budget the optimal blockers are exactly the seed's
+// out-neighbors, yet plain greedy may spend its budget elsewhere and miss
+// them. GreedyReplace therefore
+//
+//  1. greedily blocks up to min(dout(s), b) of the seed's out-neighbors,
+//     ranked by the Algorithm 2 estimator, then
+//  2. walks the chosen blockers in reverse insertion order and greedily
+//     replaces each with the globally best candidate, terminating early
+//     the first time a blocker is its own best replacement (lines 19-20).
+//
+// The expected spread is never worse than blocking out-neighbors only, and
+// the replacement pass recovers greedy's advantage at small budgets.
+func solveGreedyReplace(in *instance, b int, opt Options) Result {
+	start := time.Now()
+	dl := opt.deadline(start)
+	base := rng.New(opt.Seed)
+	est := newEstBackend(in, opt, base)
+
+	n := in.g.N()
+	blocked := make([]bool, n)
+	delta := make([]float64, n)
+	var blockers []graph.V
+	round := uint64(0)
+
+	// Phase 1: candidate blockers limited to the seed's out-neighbors
+	// (in the unified instance: the union of all seeds' out-neighbors).
+	inCB := make([]bool, n)
+	cbCount := 0
+	for _, v := range in.g.OutNeighbors(in.src) {
+		if in.candidate(v) && !inCB[v] {
+			inCB[v] = true
+			cbCount++
+		}
+	}
+	phase1 := cbCount
+	if b < phase1 {
+		phase1 = b
+	}
+	for i := 0; i < phase1; i++ {
+		if pastDeadline(dl) {
+			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		}
+		est.decreaseES(delta, in.src, blocked, round)
+		round++
+
+		best := graph.V(-1)
+		for u := graph.V(0); int(u) < in.orig.N(); u++ {
+			if !inCB[u] || blocked[u] {
+				continue
+			}
+			if best == -1 || delta[u] > delta[best] {
+				best = u
+			}
+		}
+		if best == -1 {
+			break
+		}
+		inCB[best] = false // CB ← CB \ {x}
+		blocked[best] = true
+		blockers = append(blockers, best)
+	}
+
+	// Phase 2: replacement in reverse insertion order over the full
+	// candidate set.
+	for i := len(blockers) - 1; i >= 0; i-- {
+		if pastDeadline(dl) {
+			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		}
+		u := blockers[i]
+		blocked[u] = false // B ← B \ {u}
+		est.decreaseES(delta, in.src, blocked, round)
+		round++
+
+		best := pickMax(in, blocked, delta)
+		if best == -1 {
+			blocked[u] = true // nothing to swap in; keep u
+			continue
+		}
+		blocked[best] = true
+		blockers[i] = best
+		if best == u {
+			// Early termination: the removed blocker is its own best
+			// replacement, so earlier (stronger) picks won't be replaced
+			// either.
+			break
+		}
+	}
+	return Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Algorithm names a blocker-selection strategy.
+type Algorithm string
+
+const (
+	// Rand picks b random non-seed vertices (baseline "RA").
+	Rand Algorithm = "rand"
+	// OutDegree picks the b highest-out-degree non-seed vertices ("OD").
+	OutDegree Algorithm = "outdegree"
+	// BaselineGreedy is Algorithm 1: greedy with Monte-Carlo simulations,
+	// the prior state of the art ("BG").
+	BaselineGreedy Algorithm = "baseline-greedy"
+	// AdvancedGreedy is Algorithm 3: greedy driven by the sampled-graph +
+	// dominator-tree estimator ("AG").
+	AdvancedGreedy Algorithm = "advanced-greedy"
+	// GreedyReplace is Algorithm 4: out-neighbor initialization followed by
+	// reverse-order replacement ("GR").
+	GreedyReplace Algorithm = "greedy-replace"
+)
+
+// Diffusion selects the diffusion model.
+type Diffusion int
+
+const (
+	// DiffusionIC is the independent cascade model (the paper's focus).
+	DiffusionIC Diffusion = iota
+	// DiffusionLT is the linear threshold model via the triggering-model
+	// extension of Section V-E; edge probabilities act as LT weights.
+	DiffusionLT
+)
+
+// Options configures a Solve run. The zero value picks the paper's default
+// parameters scaled for interactive use; see the field comments.
+type Options struct {
+	// Theta is the number of sampled graphs per estimation round
+	// (Algorithm 2's θ). Default 10000, the paper's setting.
+	Theta int
+	// MCSRounds is the number of Monte-Carlo rounds BaselineGreedy uses per
+	// spread evaluation (the paper's r). Default 10000.
+	MCSRounds int
+	// Workers bounds internal parallelism. Default GOMAXPROCS.
+	Workers int
+	// Seed makes the run reproducible. Two runs with equal options return
+	// identical blocker sets.
+	Seed uint64
+	// Diffusion selects IC (default) or LT.
+	Diffusion Diffusion
+	// DomAlgo selects the dominator algorithm inside the estimator.
+	DomAlgo DomAlgo
+	// ReuseSamples draws the θ live-edge samples once and reuses the pool
+	// across greedy rounds (common random numbers) instead of resampling
+	// every round — the DESIGN.md §6 "sampling reuse" variant, implemented
+	// by PooledEstimator. Costs memory proportional to θ × sample size.
+	ReuseSamples bool
+	// Timeout aborts the run after the given duration, returning the
+	// blockers selected so far with Result.TimedOut set. Zero means no
+	// limit. (The paper caps runs at 24 hours; Figure 7/8 report BG timing
+	// out on most datasets.)
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Theta == 0 {
+		o.Theta = 10000
+	}
+	if o.MCSRounds == 0 {
+		o.MCSRounds = 10000
+	}
+	return o
+}
+
+// Result reports a Solve run.
+type Result struct {
+	// Blockers is the selected blocker set, |Blockers| ≤ b, in original
+	// vertex ids, in selection order.
+	Blockers []graph.V
+	// Runtime is the wall-clock duration of the selection.
+	Runtime time.Duration
+	// TimedOut reports whether the run hit Options.Timeout; Blockers then
+	// holds the partial selection.
+	TimedOut bool
+	// SampledGraphs counts live-edge samples drawn (AG/GR) and
+	// MCSSimulations counts Monte-Carlo rounds run (BG), for the cost
+	// accounting in the efficiency experiments.
+	SampledGraphs  int64
+	MCSSimulations int64
+}
+
+// instance is a single-source reduction of an IMIN problem.
+type instance struct {
+	g        *graph.Graph // working graph (unified when |seeds| > 1)
+	src      graph.V
+	isSeed   []bool // over working-graph ids; excludes super-seed
+	numSeeds int
+	orig     *graph.Graph // the caller's graph (original ids = working ids)
+}
+
+// newInstance applies the multi-seed reduction of Section V.
+func newInstance(g *graph.Graph, seeds []graph.V) (*instance, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("core: empty seed set")
+	}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.N() {
+			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, g.N())
+		}
+	}
+	isSeed := make([]bool, g.N()+1)
+	distinct := 0
+	for _, s := range seeds {
+		if !isSeed[s] {
+			isSeed[s] = true
+			distinct++
+		}
+	}
+	if distinct == g.N() {
+		return nil, errors.New("core: every vertex is a seed; nothing to block")
+	}
+	if distinct == 1 {
+		var src graph.V
+		for _, s := range seeds {
+			src = s
+			break
+		}
+		return &instance{g: g, src: src, isSeed: isSeed[:g.N()], numSeeds: 1, orig: g}, nil
+	}
+	unified, super := g.UnifySeeds(seeds)
+	return &instance{g: unified, src: super, isSeed: isSeed, numSeeds: distinct, orig: g}, nil
+}
+
+// sampler builds the live-edge sampler for the chosen diffusion model.
+func (in *instance) sampler(d Diffusion) cascade.LiveSampler {
+	if d == DiffusionLT {
+		return cascade.NewLT(in.g)
+	}
+	return cascade.NewIC(in.g)
+}
+
+// candidate reports whether u may be blocked: not the source, not a seed.
+func (in *instance) candidate(u graph.V) bool {
+	return u != in.src && !in.isSeed[u]
+}
+
+// Solve selects at most b blockers for seed set seeds on g using the chosen
+// algorithm. It returns the blockers in original vertex ids.
+func Solve(g *graph.Graph, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if b < 0 {
+		return Result{}, fmt.Errorf("core: negative budget %d", b)
+	}
+	in, err := newInstance(g, seeds)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	var res Result
+	switch alg {
+	case Rand:
+		res = solveRand(in, b, opt)
+	case OutDegree:
+		res = solveOutDegree(in, b, opt)
+	case BaselineGreedy:
+		res = solveBaselineGreedy(in, b, opt)
+	case AdvancedGreedy:
+		res = solveAdvancedGreedy(in, b, opt)
+	case GreedyReplace:
+		res = solveGreedyReplace(in, b, opt)
+	default:
+		return Result{}, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// EvaluateSpread estimates the expected spread E(S, G[V\B]) of a blocker
+// set via Monte-Carlo simulation with the given number of rounds, in
+// original-problem terms (seeds count toward the spread). This is how the
+// effectiveness numbers of Table VII are measured.
+func EvaluateSpread(g *graph.Graph, seeds []graph.V, blockers []graph.V, rounds int, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	in, err := newInstance(g, seeds)
+	if err != nil {
+		return 0, err
+	}
+	blocked := make([]bool, in.g.N())
+	for _, v := range blockers {
+		if v < 0 || int(v) >= g.N() {
+			return 0, fmt.Errorf("core: blocker %d out of range", v)
+		}
+		if in.isSeed[v] {
+			return 0, fmt.Errorf("core: blocker %d is a seed", v)
+		}
+		blocked[v] = true
+	}
+	s := in.sampler(opt.Diffusion)
+	unifiedSpread := cascade.EstimateSpreadParallel(s, in.src, blocked, rounds, opt.Workers, rng.New(opt.Seed^0x5eed))
+	return graph.SpreadFromUnified(unifiedSpread, in.numSeeds), nil
+}
+
+// deadline converts Options.Timeout into an absolute deadline; the zero
+// time means "no deadline".
+func (o Options) deadline(start time.Time) time.Time {
+	if o.Timeout <= 0 {
+		return time.Time{}
+	}
+	return start.Add(o.Timeout)
+}
+
+func pastDeadline(dl time.Time) bool {
+	return !dl.IsZero() && time.Now().After(dl)
+}

@@ -1,0 +1,339 @@
+package dominator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// build constructs a FlowGraph from an edge list over n vertices.
+func build(n int, edges [][2]int32) *FlowGraph {
+	fg := &FlowGraph{N: n}
+	fg.OutStart = make([]int32, n+1)
+	fg.InStart = make([]int32, n+1)
+	for _, e := range edges {
+		fg.OutStart[e[0]+1]++
+		fg.InStart[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		fg.OutStart[i+1] += fg.OutStart[i]
+		fg.InStart[i+1] += fg.InStart[i]
+	}
+	fg.OutTo = make([]int32, len(edges))
+	fg.InTo = make([]int32, len(edges))
+	fillO := make([]int32, n)
+	fillI := make([]int32, n)
+	for _, e := range edges {
+		fg.OutTo[fg.OutStart[e[0]]+fillO[e[0]]] = e[1]
+		fillO[e[0]]++
+		fg.InTo[fg.InStart[e[1]]+fillI[e[1]]] = e[0]
+		fillI[e[1]]++
+	}
+	return fg
+}
+
+// toyFlow is the Figure 1 graph's structure (ids: v(i+1) = i).
+func toyFlow() *FlowGraph {
+	return build(9, [][2]int32{
+		{0, 1}, {0, 3},
+		{1, 4}, {3, 4},
+		{4, 2}, {4, 5}, {4, 8},
+		{4, 7}, {8, 7},
+		{7, 6},
+	})
+}
+
+func TestToyDominatorTree(t *testing.T) {
+	fg := toyFlow()
+	want := []int32{
+		0: -1,
+		1: 0, 3: 0, 4: 0, // v2, v4, v5 are children of the seed
+		2: 4, 5: 4, 8: 4, // v3, v6, v9 under v5
+		7: 4, // v8 under v5 (reachable via v5 directly and via v9)
+		6: 7, // v7 under v8
+	}
+	for name, algo := range map[string]func(*Workspace, *FlowGraph, int32) *Tree{
+		"LengauerTarjan": (*Workspace).LengauerTarjan,
+		"SNCA":           (*Workspace).SNCA,
+	} {
+		ws := NewWorkspace(fg.N)
+		tr := algo(ws, fg, 0)
+		if tr.Reached != 9 {
+			t.Errorf("%s: reached %d, want 9", name, tr.Reached)
+		}
+		for v, w := range want {
+			if tr.Idom[v] != w {
+				t.Errorf("%s: idom(%d) = %d, want %d", name, v, tr.Idom[v], w)
+			}
+		}
+	}
+}
+
+func TestToySubtreeSizes(t *testing.T) {
+	fg := toyFlow()
+	ws := NewWorkspace(fg.N)
+	tr := ws.LengauerTarjan(fg, 0)
+	sizes := make([]int32, fg.N)
+	ws.SubtreeSizes(tr, sizes)
+	// Full structural graph (all edges live): v5's subtree is
+	// {v5,v3,v6,v9,v8,v7} = 6; v8's is {v8,v7} = 2; leaves are 1; root 9.
+	want := []int32{0: 9, 1: 1, 3: 1, 4: 6, 2: 1, 5: 1, 8: 1, 7: 2, 6: 1}
+	for v, w := range want {
+		if sizes[v] != w {
+			t.Errorf("subtree(%d) = %d, want %d", v, sizes[v], w)
+		}
+	}
+	naive := NaiveSubtreeSizes(fg, 0)
+	for v := range naive {
+		if naive[v] != sizes[v] {
+			t.Errorf("naive subtree(%d) = %d, LT says %d", v, naive[v], sizes[v])
+		}
+	}
+}
+
+// TestLengauerTarjanPaperExample uses the example flow graph from the
+// original Lengauer–Tarjan paper (Fig. 1 of [53]), a 13-vertex irreducible
+// graph with well-known immediate dominators.
+func TestLengauerTarjanPaperExample(t *testing.T) {
+	// Vertices: R=0 A=1 B=2 C=3 D=4 E=5 F=6 G=7 H=8 I=9 J=10 K=11 L=12
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {0, 3},
+		{1, 4},
+		{2, 1}, {2, 4}, {2, 5},
+		{3, 6}, {3, 7},
+		{4, 12},
+		{5, 8},
+		{6, 9},
+		{7, 9}, {7, 10},
+		{8, 5}, {8, 11},
+		{9, 11},
+		{10, 9},
+		{11, 9}, {11, 0},
+		{12, 8},
+	}
+	fg := build(13, edges)
+	// Known dominator tree (R dominates everything; see LT79 §1).
+	want := []int32{
+		0: -1,
+		1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 8: 0, 9: 0, 11: 0, 12: 4,
+		6: 3, 7: 3, 10: 7,
+	}
+	for name, algo := range map[string]func(*Workspace, *FlowGraph, int32) *Tree{
+		"LengauerTarjan": (*Workspace).LengauerTarjan,
+		"SNCA":           (*Workspace).SNCA,
+	} {
+		ws := NewWorkspace(fg.N)
+		tr := algo(ws, fg, 0)
+		for v, w := range want {
+			if tr.Idom[v] != w {
+				t.Errorf("%s: idom(%d) = %d, want %d", name, v, tr.Idom[v], w)
+			}
+		}
+		// Cross-check against the naive oracle too.
+		naive := Naive(fg, 0)
+		for v := range naive {
+			if naive[v] != tr.Idom[v] {
+				t.Errorf("%s disagrees with naive at %d: %d vs %d", name, v, tr.Idom[v], naive[v])
+			}
+		}
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	fg := build(1, nil)
+	ws := NewWorkspace(1)
+	tr := ws.LengauerTarjan(fg, 0)
+	if tr.Reached != 1 || tr.Idom[0] != -1 {
+		t.Fatalf("single vertex: reached=%d idom=%d", tr.Reached, tr.Idom[0])
+	}
+	sizes := make([]int32, 1)
+	ws.SubtreeSizes(tr, sizes)
+	if sizes[0] != 1 {
+		t.Fatalf("single vertex subtree = %d", sizes[0])
+	}
+}
+
+func TestUnreachableVertices(t *testing.T) {
+	// 0 -> 1; 2 -> 3 unreachable from 0.
+	fg := build(4, [][2]int32{{0, 1}, {2, 3}, {3, 1}})
+	ws := NewWorkspace(4)
+	tr := ws.LengauerTarjan(fg, 0)
+	if tr.Reached != 2 {
+		t.Fatalf("reached = %d, want 2", tr.Reached)
+	}
+	if tr.Idom[1] != 0 {
+		t.Errorf("idom(1) = %d, want 0 (pred 3 is unreachable and must be ignored)", tr.Idom[1])
+	}
+	if tr.Idom[2] != -1 || tr.Idom[3] != -1 {
+		t.Error("unreachable vertices must have idom -1")
+	}
+	sizes := make([]int32, 4)
+	ws.SubtreeSizes(tr, sizes)
+	if sizes[2] != 0 || sizes[3] != 0 {
+		t.Error("unreachable vertices must have subtree size 0")
+	}
+	if sizes[0] != 2 || sizes[1] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (cycle back); idom(2)=1, idom(1)=0.
+	fg := build(3, [][2]int32{{0, 1}, {1, 2}, {2, 1}})
+	ws := NewWorkspace(3)
+	tr := ws.SNCA(fg, 0)
+	if tr.Idom[1] != 0 || tr.Idom[2] != 1 {
+		t.Fatalf("cycle idoms = %v", tr.Idom[:3])
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// Classic diamond: 0->1, 0->2, 1->3, 2->3. idom(3) = 0.
+	fg := build(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	ws := NewWorkspace(4)
+	tr := ws.LengauerTarjan(fg, 0)
+	if tr.Idom[3] != 0 {
+		t.Fatalf("diamond idom(3) = %d, want 0", tr.Idom[3])
+	}
+	sizes := make([]int32, 4)
+	ws.SubtreeSizes(tr, sizes)
+	if sizes[1] != 1 || sizes[2] != 1 || sizes[0] != 4 {
+		t.Fatalf("diamond sizes = %v", sizes)
+	}
+}
+
+func TestLongPathDeepRecursionSafe(t *testing.T) {
+	// A path of 200k vertices exercises the iterative DFS and compression:
+	// a recursive implementation would overflow the stack.
+	n := 200000
+	edges := make([][2]int32, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = [2]int32{int32(i), int32(i + 1)}
+	}
+	fg := build(n, edges)
+	ws := NewWorkspace(n)
+	tr := ws.LengauerTarjan(fg, 0)
+	for v := 1; v < n; v++ {
+		if tr.Idom[v] != int32(v-1) {
+			t.Fatalf("path idom(%d) = %d", v, tr.Idom[v])
+		}
+	}
+	sizes := make([]int32, n)
+	ws.SubtreeSizes(tr, sizes)
+	if sizes[0] != int32(n) || sizes[n-1] != 1 {
+		t.Fatalf("path sizes wrong: root=%d leaf=%d", sizes[0], sizes[n-1])
+	}
+}
+
+// randomFlow builds a random digraph for property tests.
+func randomFlow(r *rng.Source, n, m int) *FlowGraph {
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u != v {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	return build(n, edges)
+}
+
+// Property: Lengauer–Tarjan, SNCA and the naive oracle agree on random
+// digraphs, including graphs with cycles and unreachable parts.
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		m := int(mRaw%120) + 1
+		r := rng.New(seed)
+		fg := randomFlow(r, n, m)
+		ws1 := NewWorkspace(n)
+		ws2 := NewWorkspace(n)
+		lt := ws1.LengauerTarjan(fg, 0)
+		sn := ws2.SNCA(fg, 0)
+		naive := Naive(fg, 0)
+		for v := 0; v < n; v++ {
+			if lt.Idom[v] != naive[v] || sn.Idom[v] != naive[v] {
+				t.Logf("seed=%d n=%d m=%d v=%d: LT=%d SNCA=%d naive=%d",
+					seed, n, m, v, lt.Idom[v], sn.Idom[v], naive[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subtree sizes from the dominator tree equal the direct
+// definition σ→v (number of vertices losing reachability when v is removed).
+func TestSubtreeSizesMatchDefinitionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		m := int(mRaw%90) + 1
+		r := rng.New(seed)
+		fg := randomFlow(r, n, m)
+		ws := NewWorkspace(n)
+		tr := ws.LengauerTarjan(fg, 0)
+		sizes := make([]int32, n)
+		ws.SubtreeSizes(tr, sizes)
+		naive := NaiveSubtreeSizes(fg, 0)
+		for v := 0; v < n; v++ {
+			if sizes[v] != naive[v] {
+				t.Logf("seed=%d n=%d m=%d v=%d: tree=%d naive=%d", seed, n, m, v, sizes[v], naive[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: workspace reuse across different graphs gives identical results
+// to fresh workspaces (no state leaks).
+func TestWorkspaceReuseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		shared := NewWorkspace(8)
+		for round := 0; round < 10; round++ {
+			n := r.Intn(30) + 2
+			fg := randomFlow(r, n, r.Intn(80)+1)
+			reused := shared.LengauerTarjan(fg, 0)
+			reusedIdom := append([]int32(nil), reused.Idom[:n]...)
+			fresh := NewWorkspace(n).LengauerTarjan(fg, 0)
+			for v := 0; v < n; v++ {
+				if reusedIdom[v] != fresh.Idom[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLengauerTarjanRandom(b *testing.B) {
+	r := rng.New(1)
+	fg := randomFlow(r, 10000, 50000)
+	ws := NewWorkspace(fg.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.LengauerTarjan(fg, 0)
+	}
+}
+
+func BenchmarkSNCARandom(b *testing.B) {
+	r := rng.New(1)
+	fg := randomFlow(r, 10000, 50000)
+	ws := NewWorkspace(fg.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.SNCA(fg, 0)
+	}
+}

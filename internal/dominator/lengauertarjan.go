@@ -1,0 +1,83 @@
+package dominator
+
+// LengauerTarjan computes the dominator tree of fg from root using the
+// classic Lengauer–Tarjan algorithm [53] in its "simple" variant: LINK is
+// plain pointer assignment and EVAL uses path compression, giving
+// O(m log n) worst-case and near-linear practical behaviour. This is the
+// algorithm the paper builds Algorithm 2 on.
+//
+// The returned Tree aliases Workspace storage: it is valid until the next
+// computation with the same Workspace.
+func (ws *Workspace) LengauerTarjan(fg *FlowGraph, root int32) *Tree {
+	ws.grow(fg.N)
+	k := ws.dfs(fg, root)
+
+	// Initialize per-vertex state for the reachable region.
+	for i := 1; i <= k; i++ {
+		v := ws.vertex[i]
+		ws.semi[v] = int32(i)
+		ws.label[v] = v
+		ws.ancestor[v] = -1
+		ws.bucketHead[v] = -1
+		ws.idom[v] = -1
+	}
+	// Unreachable vertices keep idom = -1.
+	for v := 0; v < fg.N; v++ {
+		if ws.dfn[v] == 0 {
+			ws.idom[v] = -1
+		}
+	}
+
+	// Steps 2 and 3 interleaved, processing vertices in decreasing DFS
+	// order: compute semidominators, defer immediate-dominator decisions
+	// through buckets.
+	for i := int32(k); i >= 2; i-- {
+		w := ws.vertex[i]
+
+		// Semidominator of w: minimum over eval of its predecessors.
+		for _, v := range fg.Pred(w) {
+			if ws.dfn[v] == 0 {
+				continue // predecessor unreachable from root
+			}
+			u := ws.compressEval(v)
+			if ws.semi[u] < ws.semi[w] {
+				ws.semi[w] = ws.semi[u]
+			}
+		}
+
+		// Defer: w's idom is decided when its semidominator is linked.
+		sd := ws.vertex[ws.semi[w]]
+		ws.bucketNext[w] = ws.bucketHead[sd]
+		ws.bucketHead[sd] = w
+
+		// LINK(parent(w), w) — simple linking.
+		p := ws.parent[w]
+		ws.ancestor[w] = p
+
+		// Process the bucket of parent(w): for each v with sdom(v) ==
+		// parent(w), either idom(v) = sdom(v) or it is deferred to the
+		// vertex with the smaller semidominator on the path (Lemma 3).
+		for v := ws.bucketHead[p]; v != -1; {
+			next := ws.bucketNext[v]
+			u := ws.compressEval(v)
+			if ws.semi[u] < ws.semi[v] {
+				ws.idom[v] = u // defer: fixed up in step 4
+			} else {
+				ws.idom[v] = p
+			}
+			v = next
+		}
+		ws.bucketHead[p] = -1
+	}
+
+	// Step 4: resolve deferred idoms in increasing DFS order.
+	for i := int32(2); i <= int32(k); i++ {
+		w := ws.vertex[i]
+		if ws.idom[w] != ws.vertex[ws.semi[w]] {
+			ws.idom[w] = ws.idom[ws.idom[w]]
+		}
+	}
+	ws.idom[root] = -1
+
+	return &Tree{Root: root, Idom: ws.idom, Reached: k}
+}

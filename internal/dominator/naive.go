@@ -1,0 +1,109 @@
+package dominator
+
+// Naive computes immediate dominators by the definition: u dominates v iff
+// removing u from the graph makes v unreachable from the root. It runs one
+// BFS per vertex, O(n·(n+m)) total, and exists as the correctness oracle
+// for the fast algorithms in tests and as a pedagogical reference.
+func Naive(fg *FlowGraph, root int32) []int32 {
+	n := fg.N
+	baseline := reachSkipping(fg, root, -1)
+
+	// dominates[u] = set of v (≠u) that u dominates, as a bitmap per u.
+	// Only reachable u can dominate anything.
+	dominatedBy := make([][]int32, n) // dominatedBy[v] = proper dominators of v
+	for u := int32(0); int(u) < n; u++ {
+		if !baseline[u] || u == root {
+			continue
+		}
+		after := reachSkipping(fg, root, u)
+		for v := int32(0); int(v) < n; v++ {
+			if v != u && baseline[v] && !after[v] {
+				dominatedBy[v] = append(dominatedBy[v], u)
+			}
+		}
+	}
+	// The root properly dominates every other reachable vertex.
+	for v := int32(0); int(v) < n; v++ {
+		if baseline[v] && v != root {
+			dominatedBy[v] = append(dominatedBy[v], root)
+		}
+	}
+
+	// Proper dominators of v form a chain; the immediate dominator is the
+	// one dominated by all the others, i.e. the one with the most proper
+	// dominators of its own.
+	idom := make([]int32, n)
+	for v := range idom {
+		idom[v] = -1
+	}
+	for v := int32(0); int(v) < n; v++ {
+		best := int32(-1)
+		bestCount := -1
+		for _, u := range dominatedBy[v] {
+			c := len(dominatedBy[u])
+			if c > bestCount {
+				bestCount = c
+				best = u
+			}
+		}
+		idom[v] = best
+	}
+	idom[root] = -1
+	return idom
+}
+
+// reachSkipping returns the set of vertices reachable from root without
+// entering vertex skip (-1 to skip nothing).
+func reachSkipping(fg *FlowGraph, root, skip int32) []bool {
+	seen := make([]bool, fg.N)
+	if root == skip {
+		return seen
+	}
+	seen[root] = true
+	queue := []int32{root}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range fg.Succ(u) {
+			if v == skip || seen[v] {
+				continue
+			}
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return seen
+}
+
+// NaiveSubtreeSizes computes σ→v(root) directly from the definition used in
+// the Naive oracle: the number of vertices (including v) that become
+// unreachable when v is removed. Used to cross-check SubtreeSizes.
+func NaiveSubtreeSizes(fg *FlowGraph, root int32) []int32 {
+	n := fg.N
+	baseline := reachSkipping(fg, root, -1)
+	sizes := make([]int32, n)
+	total := int32(0)
+	for _, ok := range baseline {
+		if ok {
+			total++
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if !baseline[v] {
+			continue
+		}
+		if v == root {
+			sizes[v] = total
+			continue
+		}
+		after := reachSkipping(fg, root, v)
+		count := int32(0)
+		for _, ok := range after {
+			if ok {
+				count++
+			}
+		}
+		sizes[v] = total - count
+	}
+	return sizes
+}

@@ -1,0 +1,126 @@
+package exact
+
+import (
+	"fmt"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// SpreadEval evaluates the expected spread of a candidate blocker set on
+// the single-source instance. Implementations: exact factoring (EvalExact)
+// or Monte-Carlo estimation supplied by the caller for instances beyond
+// exact reach.
+type SpreadEval func(blocked []bool) (float64, error)
+
+// EvalExact adapts Spread to the SpreadEval interface.
+func EvalExact(g *graph.Graph, src graph.V, nodeBudget int) SpreadEval {
+	return func(blocked []bool) (float64, error) {
+		return Spread(g, src, blocked, nodeBudget)
+	}
+}
+
+// IMINResult is the outcome of the exhaustive solver.
+type IMINResult struct {
+	Blockers []graph.V
+	Spread   float64
+	// Evaluated counts candidate sets scored, i.e. C(|candidates|, b).
+	Evaluated int64
+}
+
+// SolveIMIN finds the optimal blocker set of size at most b for the
+// single-source instance (g, src) by enumerating every candidate
+// combination, the "Exact" algorithm of the paper's Tables V/VI. Because
+// the spread is monotone non-increasing in B (Theorem 2), only sets of
+// size exactly min(b, |candidates|) need enumeration.
+//
+// candidates defaults to all non-source vertices when nil. Cost is
+// C(|candidates|, b) spread evaluations — exponential; intended for the
+// small extracted instances of the optimality experiments.
+func SolveIMIN(g *graph.Graph, src graph.V, b int, candidates []graph.V, eval SpreadEval) (IMINResult, error) {
+	if b < 0 {
+		return IMINResult{}, fmt.Errorf("exact: negative budget %d", b)
+	}
+	if candidates == nil {
+		for u := graph.V(0); int(u) < g.N(); u++ {
+			if u != src {
+				candidates = append(candidates, u)
+			}
+		}
+	}
+	for _, c := range candidates {
+		if c == src {
+			return IMINResult{}, fmt.Errorf("exact: source %d in candidate set", src)
+		}
+	}
+	k := b
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	blocked := make([]bool, g.N())
+	best := IMINResult{Spread: -1}
+
+	var err error
+	forEachCombination(len(candidates), k, func(idx []int) bool {
+		for _, i := range idx {
+			blocked[candidates[i]] = true
+		}
+		var spread float64
+		spread, err = eval(blocked)
+		for _, i := range idx {
+			blocked[candidates[i]] = false
+		}
+		if err != nil {
+			return false
+		}
+		best.Evaluated++
+		if best.Spread < 0 || spread < best.Spread {
+			best.Spread = spread
+			best.Blockers = best.Blockers[:0]
+			for _, i := range idx {
+				best.Blockers = append(best.Blockers, candidates[i])
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return IMINResult{}, err
+	}
+	if best.Spread < 0 { // k == 0: evaluate the empty set
+		spread, err := eval(blocked)
+		if err != nil {
+			return IMINResult{}, err
+		}
+		best = IMINResult{Spread: spread, Evaluated: 1}
+	}
+	return best, nil
+}
+
+// forEachCombination invokes fn with every k-subset of [0,n) in
+// lexicographic order, passing a reused index slice; fn returning false
+// stops the enumeration.
+func forEachCombination(n, k int, fn func(idx []int) bool) {
+	if k == 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// ErrNotATree reports that the region reachable from the root is not an
+// out-tree, so TreeIMIN does not apply.
+var ErrNotATree = errors.New("exact: reachable region is not an out-tree")
+
+// TreeIMIN solves the IMIN problem *optimally* on tree networks in
+// polynomial time — the structure where the general problem's NP-hardness
+// vanishes (the paper's related work credits Yan et al. with a dynamic
+// program for this case; this is an independent implementation).
+//
+// The instance must be an out-tree rooted at root: every vertex reachable
+// from root (other than root itself) is reached by exactly one edge. On a
+// tree, v's activation probability is the product of probabilities on the
+// unique root→v path, so blocking v removes the fixed expected mass
+//
+//	mass(v) = pathProb(v) · submass(v),
+//	submass(v) = 1 + Σ_{c child of v} p(v,c) · submass(c),
+//
+// and an optimal blocker set is an antichain (blocking a descendant of a
+// blocked vertex adds nothing). Choosing the best antichain of size ≤ b is
+// a grouped tree knapsack, solved bottom-up in O(n·b²).
+func TreeIMIN(g *graph.Graph, root graph.V, b int) (IMINResult, error) {
+	if b < 0 {
+		return IMINResult{}, fmt.Errorf("exact: negative budget %d", b)
+	}
+	ts, err := newTreeSolver(g, root, b)
+	if err != nil {
+		return IMINResult{}, err
+	}
+	return ts.solve(), nil
+}
+
+// treeCell is one dynamic-programming entry: the best removable mass in a
+// subtree with a given budget, plus how to achieve it.
+type treeCell struct {
+	gain      float64
+	blockSelf bool
+	split     []int // budget per child when !blockSelf
+}
+
+type treeSolver struct {
+	g        *graph.Graph
+	root     graph.V
+	b        int
+	order    []graph.V // BFS order, parents before children
+	parent   map[graph.V]graph.V
+	parentP  map[graph.V]float64
+	children map[graph.V][]graph.V
+	pathProb map[graph.V]float64
+	submass  map[graph.V]float64
+	table    map[graph.V][]treeCell
+}
+
+// newTreeSolver BFS-orders the reachable region, validates the out-tree
+// shape, and precomputes path probabilities and subtree masses.
+func newTreeSolver(g *graph.Graph, root graph.V, b int) (*treeSolver, error) {
+	ts := &treeSolver{
+		g: g, root: root, b: b,
+		parent:   map[graph.V]graph.V{root: root},
+		parentP:  map[graph.V]float64{},
+		children: map[graph.V][]graph.V{},
+		pathProb: map[graph.V]float64{root: 1},
+		submass:  map[graph.V]float64{},
+		table:    map[graph.V][]treeCell{},
+	}
+	ts.order = []graph.V{root}
+	for qi := 0; qi < len(ts.order); qi++ {
+		v := ts.order[qi]
+		to := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for i, c := range to {
+			if _, seen := ts.parent[c]; seen {
+				// A second edge into a reached vertex (or back to the
+				// root) breaks the tree shape.
+				return nil, ErrNotATree
+			}
+			ts.parent[c] = v
+			ts.parentP[c] = ps[i]
+			ts.children[v] = append(ts.children[v], c)
+			ts.pathProb[c] = ts.pathProb[v] * ps[i]
+			ts.order = append(ts.order, c)
+		}
+	}
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		v := ts.order[i]
+		m := 1.0
+		to := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for j, c := range to {
+			m += ps[j] * ts.submass[c]
+		}
+		ts.submass[v] = m
+	}
+	return ts, nil
+}
+
+func (ts *treeSolver) solve() IMINResult {
+	baseSpread := ts.submass[ts.root] // E({root}, G) on a tree
+
+	// Bottom-up DP: children are later in BFS order, so a reverse sweep
+	// sees every child's table before its parent's.
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		v := ts.order[i]
+		cells := make([]treeCell, ts.b+1)
+		for k := 1; k <= ts.b; k++ {
+			var best treeCell
+			if v != ts.root {
+				best = treeCell{gain: ts.pathProb[v] * ts.submass[v], blockSelf: true}
+			}
+			gain, split := ts.childSplit(ts.children[v], k)
+			if gain > best.gain {
+				best = treeCell{gain: gain, split: split}
+			}
+			cells[k] = best
+		}
+		ts.table[v] = cells
+	}
+
+	var blockers []graph.V
+	ts.recover(ts.root, ts.b, &blockers)
+	sort.Slice(blockers, func(i, j int) bool { return blockers[i] < blockers[j] })
+
+	gain := 0.0
+	if ts.b > 0 {
+		gain = ts.table[ts.root][ts.b].gain
+	}
+	return IMINResult{
+		Blockers:  blockers,
+		Spread:    baseSpread - gain,
+		Evaluated: int64(len(ts.order)) * int64(ts.b+1),
+	}
+}
+
+// childSplit maximizes Σ_c table[c][k_c].gain over splits Σ k_c ≤ k via an
+// incremental knapsack across the child list, returning the best gain and
+// the per-child budgets.
+func (ts *treeSolver) childSplit(children []graph.V, k int) (float64, []int) {
+	if len(children) == 0 || k == 0 {
+		return 0, nil
+	}
+	cur := make([]float64, k+1)
+	splits := make([][]int, k+1)
+	for _, c := range children {
+		cells := ts.table[c]
+		next := make([]float64, k+1)
+		nextSplits := make([][]int, k+1)
+		for kk := 0; kk <= k; kk++ {
+			bestGain, bestKc := cur[kk], 0
+			for kc := 1; kc <= kk; kc++ {
+				if g := cur[kk-kc] + cells[kc].gain; g > bestGain {
+					bestGain, bestKc = g, kc
+				}
+			}
+			next[kk] = bestGain
+			nextSplits[kk] = append(append([]int(nil), splits[kk-bestKc]...), bestKc)
+		}
+		cur, splits = next, nextSplits
+	}
+	return cur[k], splits[k]
+}
+
+// recover walks the DP choices, collecting the blocker set.
+func (ts *treeSolver) recover(v graph.V, k int, out *[]graph.V) {
+	if k <= 0 {
+		return
+	}
+	c := ts.table[v][k]
+	if c.blockSelf {
+		*out = append(*out, v)
+		return
+	}
+	for i, kc := range c.split {
+		if kc > 0 {
+			ts.recover(ts.children[v][i], kc, out)
+		}
+	}
+}

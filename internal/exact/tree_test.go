@@ -1,0 +1,220 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// randomTree builds a rooted out-tree with n vertices: vertex v's parent is
+// uniform in [0, v).
+func randomTree(n int, r *rng.Source) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		parent := graph.V(r.Intn(v))
+		p := 0.25 + 0.75*r.Float64()
+		b.AddEdge(parent, graph.V(v), p)
+	}
+	return b.Build()
+}
+
+func TestTreeIMINPath(t *testing.T) {
+	// 0 -0.9-> 1 -0.8-> 2 -0.7-> 3: blocking 1 removes the most mass.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 2, P: 0.8},
+		{From: 2, To: 3, P: 0.7},
+	})
+	res, err := TreeIMIN(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != 1 {
+		t.Fatalf("blockers = %v, want [1]", res.Blockers)
+	}
+	// Base spread: 1 + .9(1 + .8(1 + .7)) = 1 + .9·2.36 = 3.124; after
+	// blocking 1 only the root remains: spread 1.
+	if math.Abs(res.Spread-1) > 1e-12 {
+		t.Fatalf("spread = %v, want 1", res.Spread)
+	}
+}
+
+func TestTreeIMINStar(t *testing.T) {
+	// Root with 3 children of different worth; b=2 picks the two heaviest.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 0, To: 2, P: 0.5},
+		{From: 0, To: 3, P: 0.1},
+	})
+	res, err := TreeIMIN(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 2 || res.Blockers[0] != 1 || res.Blockers[1] != 2 {
+		t.Fatalf("blockers = %v, want [1 2]", res.Blockers)
+	}
+	if math.Abs(res.Spread-1.1) > 1e-12 {
+		t.Fatalf("spread = %v, want 1.1", res.Spread)
+	}
+}
+
+func TestTreeIMINAntichain(t *testing.T) {
+	// A chain where the parent strictly dominates its child in mass:
+	// blocking both wastes budget, so b=2 must pick an antichain.
+	//       0
+	//      / \
+	//     1   4
+	//     |
+	//     2
+	//     |
+	//     3
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 1, To: 2, P: 1},
+		{From: 2, To: 3, P: 1},
+		{From: 0, To: 4, P: 0.5},
+	})
+	res, err := TreeIMIN(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: block 1 (removes 3 mass) and 4 (removes 0.5): spread 1.
+	if len(res.Blockers) != 2 || res.Blockers[0] != 1 || res.Blockers[1] != 4 {
+		t.Fatalf("blockers = %v, want [1 4]", res.Blockers)
+	}
+	if math.Abs(res.Spread-1) > 1e-12 {
+		t.Fatalf("spread = %v, want 1", res.Spread)
+	}
+}
+
+func TestTreeIMINZeroBudget(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1, P: 0.5}, {From: 1, To: 2, P: 0.5}})
+	res, err := TreeIMIN(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 0 {
+		t.Fatalf("b=0 returned blockers %v", res.Blockers)
+	}
+	if math.Abs(res.Spread-1.75) > 1e-12 {
+		t.Fatalf("base spread = %v, want 1.75", res.Spread)
+	}
+}
+
+func TestTreeIMINBudgetBeyondTree(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1, P: 1}, {From: 0, To: 2, P: 1}})
+	res, err := TreeIMIN(g, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Spread-1) > 1e-12 {
+		t.Fatalf("spread = %v, want 1 (everything blockable)", res.Spread)
+	}
+	if len(res.Blockers) != 2 {
+		t.Fatalf("blockers = %v", res.Blockers)
+	}
+}
+
+func TestTreeIMINRejectsNonTrees(t *testing.T) {
+	diamond := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1, P: 1}, {From: 0, To: 2, P: 1},
+		{From: 1, To: 3, P: 1}, {From: 2, To: 3, P: 1},
+	})
+	if _, err := TreeIMIN(diamond, 0, 1); err != ErrNotATree {
+		t.Fatalf("diamond: err = %v, want ErrNotATree", err)
+	}
+	cycle := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1, P: 1}, {From: 1, To: 2, P: 1}, {From: 2, To: 0, P: 1},
+	})
+	if _, err := TreeIMIN(cycle, 0, 1); err != ErrNotATree {
+		t.Fatalf("cycle: err = %v, want ErrNotATree", err)
+	}
+	if _, err := TreeIMIN(diamond, 0, -1); err == nil {
+		t.Fatal("negative budget must error")
+	}
+}
+
+func TestTreeIMINIgnoresUnreachablePart(t *testing.T) {
+	// Vertices 3,4 are disconnected from the root's tree; they must not
+	// affect the solution or trigger the tree check.
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 3, To: 4, P: 1},
+	})
+	res, err := TreeIMIN(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blockers) != 1 || res.Blockers[0] != 1 {
+		t.Fatalf("blockers = %v, want [1]", res.Blockers)
+	}
+}
+
+// Property: on random trees the DP matches the exhaustive solver with
+// exact spread evaluation — both optimal, so spreads must agree exactly.
+func TestTreeIMINMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(9) + 3
+		b := r.Intn(3) + 1
+		g := randomTree(n, r)
+		dp, err := TreeIMIN(g, 0, b)
+		if err != nil {
+			t.Logf("seed=%d: unexpected error %v", seed, err)
+			return false
+		}
+		brute, err := SolveIMIN(g, 0, b, nil, EvalExact(g, 0, 0))
+		if err != nil {
+			return true // factoring budget blown: nothing to compare
+		}
+		if math.Abs(dp.Spread-brute.Spread) > 1e-9 {
+			t.Logf("seed=%d n=%d b=%d: DP %v vs brute %v (DP blockers %v, brute %v)",
+				seed, n, b, dp.Spread, brute.Spread, dp.Blockers, brute.Blockers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DP's reported spread equals the exact spread of its own
+// blocker set (self-consistency).
+func TestTreeIMINSelfConsistentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(15) + 3
+		b := r.Intn(4)
+		g := randomTree(n, r)
+		dp, err := TreeIMIN(g, 0, b)
+		if err != nil {
+			return false
+		}
+		blocked := make([]bool, n)
+		for _, v := range dp.Blockers {
+			blocked[v] = true
+		}
+		want, err := Spread(g, 0, blocked, 0)
+		if err != nil {
+			return true
+		}
+		return math.Abs(dp.Spread-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeIMIN(b *testing.B) {
+	g := randomTree(2000, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TreeIMIN(g, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

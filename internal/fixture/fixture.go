@@ -1,0 +1,74 @@
+// Package fixture provides the paper's running example (the Figure 1 toy
+// graph) together with its analytically known quantities, which several test
+// suites and the examples use as golden values.
+package fixture
+
+import "github.com/imin-dev/imin/internal/graph"
+
+// Vertex ids of the Figure 1 graph: paper vertex v(i+1) has id i.
+const (
+	V1 graph.V = iota
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+	V8
+	V9
+)
+
+// Toy returns the Figure 1 graph. The seed is V1.
+//
+// Structure (probability 1 unless noted):
+//
+//	v1 → v2, v4
+//	v2 → v5;  v4 → v5
+//	v5 → v3, v6, v9;  v5 → v8 (0.5);  v9 → v8 (0.2)
+//	v8 → v7 (0.1)
+//
+// These edges reproduce every number in Examples 1-4 and Table III:
+// activation probabilities P(v8)=0.6 and P(v7)=0.06, expected spread 7.66,
+// spread 3 when blocking v5, spread 1 when blocking {v2,v4}, and spread
+// decreases Δ[v5]=4.66, Δ[v9]=1.11, Δ[v8]=0.66, Δ[v7]=0.06, Δ[v2..v6]=1.
+func Toy() *graph.Graph {
+	return graph.FromEdges(9, []graph.Edge{
+		{From: V1, To: V2, P: 1}, {From: V1, To: V4, P: 1},
+		{From: V2, To: V5, P: 1}, {From: V4, To: V5, P: 1},
+		{From: V5, To: V3, P: 1}, {From: V5, To: V6, P: 1}, {From: V5, To: V9, P: 1},
+		{From: V5, To: V8, P: 0.5}, {From: V9, To: V8, P: 0.2},
+		{From: V8, To: V7, P: 0.1},
+	})
+}
+
+// Seed is the toy graph's seed vertex, v1.
+const Seed = V1
+
+// Golden quantities of the toy graph (Examples 1-2).
+const (
+	// ExpectedSpread is E({v1}, G) = 7.66.
+	ExpectedSpread = 7.66
+	// SpreadBlockV5 is E({v1}, G[V\{v5}]) = 3.
+	SpreadBlockV5 = 3.0
+	// SpreadBlockV2 is E({v1}, G[V\{v2}]) = 6.66 (same for v4).
+	SpreadBlockV2 = 6.66
+	// SpreadBlockV2V4 is E({v1}, G[V\{v2,v4}]) = 1.
+	SpreadBlockV2V4 = 1.0
+	// ProbV8 is P(v8, {v1}) = 0.6.
+	ProbV8 = 0.6
+	// ProbV7 is P(v7, {v1}) = 0.06.
+	ProbV7 = 0.06
+)
+
+// Delta returns the exact spread decrease for blocking each vertex of the
+// toy graph (Example 2), indexed by vertex id; the seed's entry is 0.
+func Delta() []float64 {
+	return []float64{
+		V1: 0,
+		V2: 1, V3: 1, V4: 1, V6: 1,
+		V5: 4.66,
+		V7: 0.06,
+		V8: 0.66,
+		V9: 1.11,
+	}
+}

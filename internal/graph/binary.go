@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary graph serialization: a fixed little-endian layout that loads the
+// million-vertex datasets orders of magnitude faster than text edge lists
+// (no parsing, no id interning, one allocation per array). Format:
+//
+//	magic "IMGB" | version u32 | n u64 | m u64
+//	outStart [n+1]u32 | outTo [m]u32 | outP [m]f64
+//
+// The in-CSR is rebuilt on load (cheaper than storing it).
+const (
+	binaryMagic   = "IMGB"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the graph to w.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.n))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.M()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.outStart); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.outTo); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, p := range g.outP {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(p))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	m := binary.LittleEndian.Uint64(hdr[12:])
+	const maxReasonable = 1 << 33
+	if n > maxReasonable || m > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &Graph{n: int(n)}
+	var err error
+	if g.outStart, err = readU32s(br, int(n)+1); err != nil {
+		return nil, err
+	}
+	if g.outTo, err = readU32s(br, int(m)); err != nil {
+		return nil, err
+	}
+	g.outP = make([]float64, m)
+	buf := make([]byte, 8)
+	for i := range g.outP {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading probabilities: %w", err)
+		}
+		g.outP[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	// Validate the CSR before trusting it.
+	if g.outStart[0] != 0 || uint64(g.outStart[n]) != m {
+		return nil, fmt.Errorf("graph: corrupt CSR bounds")
+	}
+	for i := 0; i < int(n); i++ {
+		if g.outStart[i] > g.outStart[i+1] {
+			return nil, fmt.Errorf("graph: CSR offsets not monotone at %d", i)
+		}
+	}
+	for _, v := range g.outTo {
+		if uint64(v) >= n {
+			return nil, fmt.Errorf("graph: target %d out of range", v)
+		}
+	}
+	g.rebuildIn()
+	g.validate()
+	return g, nil
+}
+
+// rebuildIn reconstructs the in-CSR from the out-CSR.
+func (g *Graph) rebuildIn() {
+	m := len(g.outTo)
+	g.inStart = make([]int32, g.n+1)
+	g.inTo = make([]V, m)
+	g.inP = make([]float64, m)
+	for _, v := range g.outTo {
+		g.inStart[v+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	fill := make([]int32, g.n)
+	for u := V(0); int(u) < g.n; u++ {
+		for j := g.outStart[u]; j < g.outStart[u+1]; j++ {
+			v := g.outTo[j]
+			idx := g.inStart[v] + fill[v]
+			g.inTo[idx] = u
+			g.inP[idx] = g.outP[j]
+			fill[v]++
+		}
+	}
+}
+
+// WriteBinaryFile writes the graph to path.
+func (g *Graph) WriteBinaryFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile loads a graph written by WriteBinaryFile.
+func ReadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+func writeU32s(w io.Writer, xs []int32) error {
+	buf := make([]byte, 4*1024)
+	for off := 0; off < len(xs); {
+		chunk := len(xs) - off
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(xs[off+i]))
+		}
+		if _, err := w.Write(buf[:4*chunk]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+func readU32s(r io.Reader, n int) ([]int32, error) {
+	xs := make([]int32, n)
+	buf := make([]byte, 4*1024)
+	for off := 0; off < n; {
+		chunk := n - off
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		if _, err := io.ReadFull(r, buf[:4*chunk]); err != nil {
+			return nil, fmt.Errorf("graph: reading u32 block: %w", err)
+		}
+		for i := 0; i < chunk; i++ {
+			xs[off+i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		off += chunk
+	}
+	return xs, nil
+}

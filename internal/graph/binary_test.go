@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := toy()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := toy()
+	path := t.TempDir() + "/g.bin"
+	if err := g.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for u := V(0); int(u) < a.N(); u++ {
+		at, bt := a.OutNeighbors(u), b.OutNeighbors(u)
+		ap, bp := a.OutProbs(u), b.OutProbs(u)
+		if len(at) != len(bt) {
+			t.Fatalf("vertex %d out-degree mismatch", u)
+		}
+		for i := range at {
+			if at[i] != bt[i] || ap[i] != bp[i] {
+				t.Fatalf("vertex %d edge %d mismatch", u, i)
+			}
+		}
+		// In-adjacency must be faithfully rebuilt too.
+		ait, bit := a.InNeighbors(u), b.InNeighbors(u)
+		if len(ait) != len(bit) {
+			t.Fatalf("vertex %d in-degree mismatch", u)
+		}
+		for i := range ait {
+			if ait[i] != bit[i] {
+				t.Fatalf("vertex %d in-edge %d mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	g := toy()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"truncated":    good[:len(good)/2],
+		"short header": good[:10],
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+
+	// Bad version.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err = %v", err)
+	}
+
+	// Out-of-range edge target.
+	bad = append([]byte(nil), good...)
+	// outTo starts after magic(4)+header(20)+outStart((n+1)*4).
+	off := 4 + 20 + (g.N()+1)*4
+	bad[off] = 0xFF
+	bad[off+1] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt edge target accepted")
+	}
+}
+
+// Property: binary round trip is the identity on random graphs.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		r := rng.New(seed)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(V(r.Intn(n)), V(r.Intn(n)), r.Float64())
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g.N() != g2.N() || g.M() != g2.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if g2.Prob(e.From, e.To) != e.P {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	bld := NewBuilder(10000)
+	r := rng.New(1)
+	for i := 0; i < 50000; i++ {
+		bld.AddEdge(V(r.Intn(10000)), V(r.Intn(10000)), r.Float64())
+	}
+	g := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	bld := NewBuilder(10000)
+	r := rng.New(1)
+	for i := 0; i < 50000; i++ {
+		bld.AddEdge(V(r.Intn(10000)), V(r.Intn(10000)), r.Float64())
+	}
+	var buf bytes.Buffer
+	if err := bld.Build().WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	g := toy()
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{
+		Name:              "toy",
+		Highlight:         map[V]string{0: "tomato"},
+		Label:             map[V]string{0: "v1"},
+		ShowProbabilities: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph toy {",
+		`0 [label="v1", style=filled, fillcolor="tomato"];`,
+		`4 -> 7 [label="0.5"];`,
+		`8 -> 7 [label="0.2"];`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "->") != g.M() {
+		t.Errorf("edge count %d, want %d", strings.Count(out, "->"), g.M())
+	}
+}
+
+func TestWriteDOTTruncation(t *testing.T) {
+	g := toy()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{MaxEdges: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "->") != 3 {
+		t.Errorf("truncated output has %d edges", strings.Count(out, "->"))
+	}
+	if !strings.Contains(out, "truncated") {
+		t.Error("missing truncation comment")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("truncated output unbalanced")
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := FromEdges(2, []Edge{{From: 0, To: 1, P: 0.5}})
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph G {") {
+		t.Error("default name missing")
+	}
+	if strings.Contains(out, "label=\"0.5\"") {
+		t.Error("probabilities shown without ShowProbabilities")
+	}
+}

@@ -1,0 +1,149 @@
+// Package graph provides the directed probabilistic graph substrate used by
+// every algorithm in this repository.
+//
+// A Graph is an immutable directed graph in compressed sparse row (CSR) form
+// with a propagation probability on every edge, exactly the object the IMIN
+// problem is defined on: vertices are users, an edge (u,v) with probability
+// p(u,v) means an active u activates v with probability p(u,v) under the
+// independent cascade model.
+//
+// Both out- and in-adjacency are stored: forward traversal and live-edge
+// sampling need successors, while the weighted-cascade probability model and
+// the blocking semantics ("set p(u,v)=0 for every in-edge of a blocked v")
+// are defined on predecessors.
+//
+// Graphs are built through a Builder and are safe for concurrent reads.
+package graph
+
+import "fmt"
+
+// V is the vertex id type. Vertices of a Graph with n vertices are the dense
+// range [0, n). int32 keeps adjacency arrays compact; graphs of up to ~2
+// billion vertices are representable, far beyond the paper's datasets.
+type V = int32
+
+// Edge is a directed edge with its propagation probability.
+type Edge struct {
+	From, To V
+	P        float64
+}
+
+// Graph is an immutable directed graph in CSR form.
+type Graph struct {
+	n int
+
+	// Out-adjacency: successors of u are outTo[outStart[u]:outStart[u+1]],
+	// with matching probabilities in outP.
+	outStart []int32
+	outTo    []V
+	outP     []float64
+
+	// In-adjacency, mirroring the out representation.
+	inStart []int32
+	inTo    []V
+	inP     []float64
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.outTo) }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u V) int { return int(g.outStart[u+1] - g.outStart[u]) }
+
+// InDegree returns the in-degree of u.
+func (g *Graph) InDegree(u V) int { return int(g.inStart[u+1] - g.inStart[u]) }
+
+// OutNeighbors returns the successors of u. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) OutNeighbors(u V) []V { return g.outTo[g.outStart[u]:g.outStart[u+1]] }
+
+// OutProbs returns the probabilities parallel to OutNeighbors(u).
+// The slice aliases internal storage and must not be modified.
+func (g *Graph) OutProbs(u V) []float64 { return g.outP[g.outStart[u]:g.outStart[u+1]] }
+
+// InNeighbors returns the predecessors of u. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) InNeighbors(u V) []V { return g.inTo[g.inStart[u]:g.inStart[u+1]] }
+
+// InProbs returns the probabilities parallel to InNeighbors(u).
+// The slice aliases internal storage and must not be modified.
+func (g *Graph) InProbs(u V) []float64 { return g.inP[g.inStart[u]:g.inStart[u+1]] }
+
+// Prob returns the propagation probability of edge (u,v), or 0 if the edge
+// does not exist. It is a linear scan of u's out-list and is meant for tests
+// and small-graph tooling, not hot loops.
+func (g *Graph) Prob(u, v V) float64 {
+	to := g.OutNeighbors(u)
+	for i, w := range to {
+		if w == v {
+			return g.OutProbs(u)[i]
+		}
+	}
+	return 0
+}
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *Graph) HasEdge(u, v V) bool {
+	for _, w := range g.OutNeighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as a fresh slice, ordered by source vertex.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.M())
+	for u := V(0); int(u) < g.n; u++ {
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			es = append(es, Edge{From: u, To: v, P: ps[i]})
+		}
+	}
+	return es
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.M())
+}
+
+// Clone returns a deep copy of g. Algorithms that reassign probabilities
+// (e.g. probability models) operate on clones to keep inputs immutable.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		n:        g.n,
+		outStart: append([]int32(nil), g.outStart...),
+		outTo:    append([]V(nil), g.outTo...),
+		outP:     append([]float64(nil), g.outP...),
+		inStart:  append([]int32(nil), g.inStart...),
+		inTo:     append([]V(nil), g.inTo...),
+		inP:      append([]float64(nil), g.inP...),
+	}
+	return cp
+}
+
+// validate panics if the CSR arrays are structurally inconsistent.
+// Builders call it before returning a Graph.
+func (g *Graph) validate() {
+	if len(g.outStart) != g.n+1 || len(g.inStart) != g.n+1 {
+		panic("graph: start array length mismatch")
+	}
+	if len(g.outTo) != len(g.outP) || len(g.inTo) != len(g.inP) {
+		panic("graph: probability array length mismatch")
+	}
+	if len(g.outTo) != len(g.inTo) {
+		panic("graph: in/out edge count mismatch")
+	}
+	if g.outStart[0] != 0 || int(g.outStart[g.n]) != len(g.outTo) {
+		panic("graph: out CSR bounds corrupt")
+	}
+	if g.inStart[0] != 0 || int(g.inStart[g.n]) != len(g.inTo) {
+		panic("graph: in CSR bounds corrupt")
+	}
+}

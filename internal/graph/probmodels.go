@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// ProbModel names a rule for assigning propagation probabilities to edges.
+// The two models follow the paper's experimental setting (Section VI-A),
+// which in turn follows Kempe et al. and Chen et al.
+type ProbModel int
+
+const (
+	// Trivalency: every edge independently draws its probability uniformly
+	// from {0.1, 0.01, 0.001}.
+	Trivalency ProbModel = iota
+	// WeightedCascade: edge (u,v) gets probability 1/indegree(v), so the
+	// expected number of in-influences that fire on v is 1.
+	WeightedCascade
+	// KeepProbs leaves whatever probabilities the graph already carries.
+	KeepProbs
+)
+
+// String returns the conventional short name used in the paper's tables.
+func (m ProbModel) String() string {
+	switch m {
+	case Trivalency:
+		return "TR"
+	case WeightedCascade:
+		return "WC"
+	case KeepProbs:
+		return "keep"
+	default:
+		return fmt.Sprintf("ProbModel(%d)", int(m))
+	}
+}
+
+// trivalencyValues are the three probability levels of the TR model.
+var trivalencyValues = [3]float64{0.1, 0.01, 0.001}
+
+// Assign returns a copy of g with probabilities reassigned under the model.
+// The TR model consumes randomness from r; WC is deterministic and accepts a
+// nil r. The input graph is never modified.
+func (m ProbModel) Assign(g *Graph, r *rng.Source) *Graph {
+	switch m {
+	case KeepProbs:
+		return g
+	case Trivalency:
+		if r == nil {
+			panic("graph: Trivalency assignment requires a random source")
+		}
+		cp := g.Clone()
+		// Assign per (from, to) pair in out-CSR order, then mirror to the
+		// in-CSR so both views agree on every edge's probability.
+		for i := range cp.outP {
+			cp.outP[i] = trivalencyValues[r.Intn(3)]
+		}
+		cp.mirrorOutToIn()
+		return cp
+	case WeightedCascade:
+		cp := g.Clone()
+		for v := V(0); int(v) < cp.n; v++ {
+			din := cp.InDegree(v)
+			if din == 0 {
+				continue
+			}
+			p := 1 / float64(din)
+			ps := cp.inP[cp.inStart[v]:cp.inStart[v+1]]
+			for i := range ps {
+				ps[i] = p
+			}
+		}
+		cp.mirrorInToOut()
+		return cp
+	default:
+		panic(fmt.Sprintf("graph: unknown probability model %d", int(m)))
+	}
+}
+
+// mirrorOutToIn rewrites inP so that it matches outP edge-for-edge.
+func (g *Graph) mirrorOutToIn() {
+	// cursor[u] walks u's out-list as we process in-lists in (to, from)
+	// order; instead, do a direct lookup: for each in-edge (u→v) find p in
+	// u's out-list. Out-lists are sorted by target after Build, so binary
+	// search keeps this O(m log d).
+	for v := V(0); int(v) < g.n; v++ {
+		from := g.inTo[g.inStart[v]:g.inStart[v+1]]
+		ps := g.inP[g.inStart[v]:g.inStart[v+1]]
+		for i, u := range from {
+			ps[i] = g.lookupOutProb(u, v)
+		}
+	}
+}
+
+// mirrorInToOut rewrites outP so that it matches inP edge-for-edge.
+func (g *Graph) mirrorInToOut() {
+	for u := V(0); int(u) < g.n; u++ {
+		to := g.outTo[g.outStart[u]:g.outStart[u+1]]
+		ps := g.outP[g.outStart[u]:g.outStart[u+1]]
+		for i, v := range to {
+			ps[i] = g.lookupInProb(u, v)
+		}
+	}
+}
+
+// lookupOutProb finds p(u,v) in u's sorted out-list by binary search.
+func (g *Graph) lookupOutProb(u, v V) float64 {
+	lo, hi := int(g.outStart[u]), int(g.outStart[u+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.outTo[mid] < v:
+			lo = mid + 1
+		case g.outTo[mid] > v:
+			hi = mid
+		default:
+			return g.outP[mid]
+		}
+	}
+	panic(fmt.Sprintf("graph: edge (%d,%d) missing from out CSR", u, v))
+}
+
+// lookupInProb finds p(u,v) in v's sorted in-list by binary search.
+func (g *Graph) lookupInProb(u, v V) float64 {
+	lo, hi := int(g.inStart[v]), int(g.inStart[v+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.inTo[mid] < u:
+			lo = mid + 1
+		case g.inTo[mid] > u:
+			hi = mid
+		default:
+			return g.inP[mid]
+		}
+	}
+	panic(fmt.Sprintf("graph: edge (%d,%d) missing from in CSR", u, v))
+}

@@ -1,0 +1,250 @@
+package graph
+
+import "fmt"
+
+// This file implements the structural transforms the algorithms rely on:
+// vertex blocking (Definition 2), graph reversal, induced subgraph
+// extraction, and the multi-seed unification of Section V ("From Multiple
+// Seeds to One Seed").
+
+// Block returns G[V \ B]: the graph with every vertex v having blocked[v]
+// removed from propagation. Vertex ids are preserved; blocked vertices stay
+// in the graph but lose all incident edges, so they are never activated and
+// never propagate, matching Definition 2 (all their in-probabilities become
+// 0, which also makes their out-edges unreachable).
+func (g *Graph) Block(blocked []bool) *Graph {
+	if len(blocked) != g.n {
+		panic(fmt.Sprintf("graph: blocked slice length %d for %d vertices", len(blocked), g.n))
+	}
+	b := NewBuilder(g.n)
+	for u := V(0); int(u) < g.n; u++ {
+		if blocked[u] {
+			continue
+		}
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			if !blocked[v] {
+				b.AddEdge(u, v, ps[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BlockSet is Block with the blocker set given as a vertex list.
+func (g *Graph) BlockSet(blockers []V) *Graph {
+	blocked := make([]bool, g.n)
+	for _, v := range blockers {
+		blocked[v] = true
+	}
+	return g.Block(blocked)
+}
+
+// Reverse returns the graph with every edge direction flipped, preserving
+// probabilities. Reverse-reachability arguments (Section V-B1) and some
+// tests use it.
+func (g *Graph) Reverse() *Graph {
+	b := NewBuilder(g.n)
+	for u := V(0); int(u) < g.n; u++ {
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			b.AddEdge(v, u, ps[i])
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by keep along with the
+// mapping from new ids to old ids. Vertices are renumbered densely in the
+// order they appear in keep. Duplicate vertices in keep panic.
+func (g *Graph) InducedSubgraph(keep []V) (*Graph, []V) {
+	newID := make([]int32, g.n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, v := range keep {
+		if newID[v] != -1 {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in InducedSubgraph", v))
+		}
+		newID[v] = int32(i)
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		to := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for j, w := range to {
+			if newID[w] != -1 {
+				b.AddEdge(V(i), newID[w], ps[j])
+			}
+		}
+	}
+	old := append([]V(nil), keep...)
+	return b.Build(), old
+}
+
+// UnifySeeds implements the paper's multi-seed to single-seed reduction.
+// It returns a graph with n+1 vertices where vertex n is the super-seed s'.
+//
+// For every non-seed vertex u influenced by h seeds with probabilities
+// p₁..p_h, the seed edges are replaced by a single edge (s', u) with
+// probability 1 - Π(1-pᵢ): the chance at least one seed influence fires.
+// Edges between non-seed vertices are kept. Original seed vertices remain
+// (so ids are stable) but are fully disconnected — they are unconditionally
+// active in the original problem, so no in-edge can change their state, and
+// their out-influence now flows from s'.
+//
+// The expected spread translates as
+//
+//	E(S, G) = E({s'}, G') - 1 + |S|
+//
+// because s' itself replaces the |S| always-active seeds. SpreadFromUnified
+// applies this correction.
+func (g *Graph) UnifySeeds(seeds []V) (*Graph, V) {
+	if len(seeds) == 0 {
+		panic("graph: UnifySeeds with empty seed set")
+	}
+	isSeed := make([]bool, g.n)
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+	super := V(g.n)
+	b := NewBuilder(g.n + 1)
+
+	// Combined probability of seed influence per target vertex: start from
+	// "probability none fires" and multiply.
+	noFire := make([]float64, g.n)
+	touched := make([]V, 0, 64)
+	for i := range noFire {
+		noFire[i] = 1
+	}
+	for _, s := range seeds {
+		to := g.OutNeighbors(s)
+		ps := g.OutProbs(s)
+		for i, v := range to {
+			if isSeed[v] {
+				continue // seeds are already active; edges into seeds are irrelevant
+			}
+			if noFire[v] == 1 {
+				touched = append(touched, v)
+			}
+			noFire[v] *= 1 - ps[i]
+		}
+	}
+	for _, v := range touched {
+		b.AddEdge(super, v, 1-noFire[v])
+	}
+
+	// Copy edges between non-seed vertices; drop any edge touching a seed.
+	for u := V(0); int(u) < g.n; u++ {
+		if isSeed[u] {
+			continue
+		}
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			if !isSeed[v] {
+				b.AddEdge(u, v, ps[i])
+			}
+		}
+	}
+	return b.Build(), super
+}
+
+// SpreadFromUnified converts an expected spread measured on the unified
+// graph (seed s') back to the original problem's expected spread with
+// numSeeds seeds: the super-seed contributes 1 to the unified spread while
+// the original seed set contributes numSeeds.
+func SpreadFromUnified(unifiedSpread float64, numSeeds int) float64 {
+	return unifiedSpread - 1 + float64(numSeeds)
+}
+
+// AugmentSuperSource returns the graph extended with a virtual source s*
+// (vertex id n) that activates every seed with probability 1, leaving all
+// original edges and ids untouched. A cascade from s* is exactly the
+// multi-seed cascade plus s* itself, so E(S, G) = E({s*}, G⁺) − 1.
+//
+// The edge-blocking extension uses this instead of UnifySeeds because it
+// keeps every original edge intact as a blocking candidate (unification
+// merges parallel seed influences into synthetic combined edges).
+func (g *Graph) AugmentSuperSource(seeds []V) (*Graph, V) {
+	if len(seeds) == 0 {
+		panic("graph: AugmentSuperSource with empty seed set")
+	}
+	super := V(g.n)
+	b := NewBuilder(g.n + 1)
+	for u := V(0); int(u) < g.n; u++ {
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			b.AddEdge(u, v, ps[i])
+		}
+	}
+	for _, s := range seeds {
+		b.AddEdge(super, s, 1)
+	}
+	return b.Build(), super
+}
+
+// RemoveEdges returns the graph with the listed directed edges deleted
+// (probabilities are irrelevant for matching; unknown pairs are ignored).
+// Vertex ids are preserved. The edge-blocking algorithms rebuild the
+// working graph with it once per greedy round.
+func (g *Graph) RemoveEdges(pairs [][2]V) *Graph {
+	drop := make(map[[2]V]bool, len(pairs))
+	for _, p := range pairs {
+		drop[p] = true
+	}
+	b := NewBuilder(g.n)
+	for u := V(0); int(u) < g.n; u++ {
+		to := g.OutNeighbors(u)
+		ps := g.OutProbs(u)
+		for i, v := range to {
+			if !drop[[2]V{u, v}] {
+				b.AddEdge(u, v, ps[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// OutEdgeIndex returns the position of edge (u,v) in the graph's global
+// out-CSR ordering, or -1 when absent. Out-lists are sorted by target, so
+// the lookup is a binary search. The edge-blocking estimator uses the
+// index to key per-edge accumulators.
+func (g *Graph) OutEdgeIndex(u, v V) int {
+	lo, hi := int(g.outStart[u]), int(g.outStart[u+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.outTo[mid] < v:
+			lo = mid + 1
+		case g.outTo[mid] > v:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// EdgeAt returns the edge stored at the given global out-CSR index, the
+// inverse of OutEdgeIndex. It is O(log n) via binary search over the CSR
+// offsets.
+func (g *Graph) EdgeAt(idx int) Edge {
+	if idx < 0 || idx >= g.M() {
+		panic(fmt.Sprintf("graph: edge index %d out of range [0,%d)", idx, g.M()))
+	}
+	// Find the source vertex: the largest u with outStart[u] <= idx.
+	lo, hi := 0, g.n
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(g.outStart[mid]) <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return Edge{From: V(lo), To: g.outTo[idx], P: g.outP[idx]}
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export of every experiment's rows, for plotting the figures outside
+// Go (the paper's figures are log-scale plots of exactly these series).
+
+// WriteTable3CSV writes Table III rows.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	return writeCSV(w, []string{"algorithm", "budget", "blockers", "spread"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Algorithm, strconv.Itoa(r.Budget), vertexNames(r.Blockers), formatF(r.Spread)}
+	})
+}
+
+// WriteTable56CSV writes Table V/VI rows.
+func WriteTable56CSV(w io.Writer, rows []Table56Row) error {
+	return writeCSV(w, []string{"budget", "exact_spread", "gr_spread", "ratio", "exact_seconds", "gr_seconds"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{
+			strconv.Itoa(r.Budget), formatF(r.ExactSpread), formatF(r.GRSpread),
+			formatF(r.Ratio), formatF(r.ExactRuntime.Seconds()), formatF(r.GRRuntime.Seconds()),
+		}
+	})
+}
+
+// WriteTable7CSV writes Table VII rows.
+func WriteTable7CSV(w io.Writer, rows []Table7Row) error {
+	return writeCSV(w, []string{"dataset", "model", "budget", "ra", "od", "ag", "gr"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{
+			r.Dataset, r.Model.String(), strconv.Itoa(r.Budget),
+			formatF(r.RA), formatF(r.OD), formatF(r.AG), formatF(r.GR),
+		}
+	})
+}
+
+// WriteFig56CSV writes the Figure 5/6 series.
+func WriteFig56CSV(w io.Writer, pts []Fig56Point) error {
+	return writeCSV(w, []string{"dataset", "theta", "spread", "decrease_pct", "seconds"}, len(pts), func(i int) []string {
+		p := pts[i]
+		return []string{
+			p.Dataset, strconv.Itoa(p.Theta), formatF(p.Spread),
+			formatF(p.DecreaseRatioPct), formatF(p.Runtime.Seconds()),
+		}
+	})
+}
+
+// WriteFig78CSV writes the Figure 7/8 bars.
+func WriteFig78CSV(w io.Writer, rows []Fig78Row) error {
+	return writeCSV(w, []string{"dataset", "model", "bg_seconds", "bg_timeout", "ag_seconds", "gr_seconds"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{
+			r.Dataset, r.Model.String(), formatF(r.BG.Seconds()),
+			strconv.FormatBool(r.BGTimedOut), formatF(r.AG.Seconds()), formatF(r.GR.Seconds()),
+		}
+	})
+}
+
+// WriteFig9CSV writes the Figure 9 series.
+func WriteFig9CSV(w io.Writer, pts []Fig9Point) error {
+	return writeCSV(w, []string{"dataset", "model", "budget", "bg_seconds", "ag_seconds", "gr_seconds"}, len(pts), func(i int) []string {
+		p := pts[i]
+		bg := ""
+		if !p.BGSkipped {
+			bg = formatF(p.BG.Seconds())
+		}
+		return []string{
+			p.Dataset, p.Model.String(), strconv.Itoa(p.Budget),
+			bg, formatF(p.AG.Seconds()), formatF(p.GR.Seconds()),
+		}
+	})
+}
+
+// WriteFig1011CSV writes the Figure 10/11 series.
+func WriteFig1011CSV(w io.Writer, pts []Fig1011Point) error {
+	return writeCSV(w, []string{"dataset", "model", "seeds", "seconds"}, len(pts), func(i int) []string {
+		p := pts[i]
+		return []string{p.Dataset, p.Model.String(), strconv.Itoa(p.NumSeeds), formatF(p.Runtime.Seconds())}
+	})
+}
+
+func writeCSV(w io.Writer, header []string, n int, row func(i int) []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Write(row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("harness: writing csv: %w", err)
+	}
+	return nil
+}
+
+func formatF(f float64) string { return strconv.FormatFloat(f, 'g', 8, 64) }

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteTable7CSV(t *testing.T) {
+	rows := []Table7Row{
+		{Dataset: "EmailCore", Model: graph.Trivalency, Budget: 20, RA: 354.88, OD: 230.10, AG: 220.59, GR: 219.69},
+		{Dataset: "DBLP", Model: graph.WeightedCascade, Budget: 100, RA: 117.94, OD: 117.43, AG: 10, GR: 10},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable7CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[1][1] != "TR" || recs[2][1] != "WC" {
+		t.Fatalf("unexpected rows: %v", recs)
+	}
+	if recs[1][3] != "354.88" {
+		t.Errorf("RA cell = %q", recs[1][3])
+	}
+}
+
+func TestWriteFig78CSV(t *testing.T) {
+	rows := []Fig78Row{
+		{Dataset: "Youtube", Model: graph.Trivalency, BG: 15 * time.Second, BGTimedOut: true, AG: 48 * time.Millisecond, GR: 49 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig78CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][3] != "true" {
+		t.Errorf("timeout flag = %q", recs[1][3])
+	}
+	if recs[1][4] != "0.048" {
+		t.Errorf("ag seconds = %q", recs[1][4])
+	}
+}
+
+func TestWriteFig9CSVSkippedBG(t *testing.T) {
+	pts := []Fig9Point{{Dataset: "Facebook", Model: graph.Trivalency, Budget: 5, BGSkipped: true, AG: time.Millisecond, GR: 2 * time.Millisecond}}
+	var buf bytes.Buffer
+	if err := WriteFig9CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][3] != "" {
+		t.Errorf("skipped BG cell = %q, want empty", recs[1][3])
+	}
+}
+
+func TestAllCSVWritersProduceHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	check := func(name string, err error, wantHeader string) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		line, _, _ := strings.Cut(buf.String(), "\n")
+		if line != wantHeader {
+			t.Errorf("%s header = %q, want %q", name, line, wantHeader)
+		}
+		buf.Reset()
+	}
+	check("table3", WriteTable3CSV(&buf, []Table3Row{{Algorithm: "Greedy", Budget: 1}}),
+		"algorithm,budget,blockers,spread")
+	check("table56", WriteTable56CSV(&buf, []Table56Row{{Budget: 1}}),
+		"budget,exact_spread,gr_spread,ratio,exact_seconds,gr_seconds")
+	check("fig56", WriteFig56CSV(&buf, []Fig56Point{{Dataset: "X", Theta: 10}}),
+		"dataset,theta,spread,decrease_pct,seconds")
+	check("fig1011", WriteFig1011CSV(&buf, []Fig1011Point{{Dataset: "X", NumSeeds: 1}}),
+		"dataset,model,seeds,seconds")
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Fig1011Point is one (dataset, |S|) time measurement of Figure 10 (TR) or
+// 11 (WC): GreedyReplace's running time as the seed-set size grows.
+type Fig1011Point struct {
+	Dataset  string
+	Model    graph.ProbModel
+	NumSeeds int
+	Runtime  time.Duration
+}
+
+// Fig1011Options configures the scalability sweep.
+type Fig1011Options struct {
+	// SeedCounts to sweep; the paper uses {1, 10, 100, 1000}. Counts that
+	// exceed half a scaled dataset's size are skipped for that dataset.
+	SeedCounts []int
+	// Budget for the GR run (paper: 100). Default 20 for scaled datasets.
+	Budget int
+}
+
+func (o Fig1011Options) withDefaults() Fig1011Options {
+	if len(o.SeedCounts) == 0 {
+		o.SeedCounts = []int{1, 10, 100, 1000}
+	}
+	if o.Budget == 0 {
+		o.Budget = 20
+	}
+	return o
+}
+
+// RunFig1011 reproduces Figure 10 (model = Trivalency) or Figure 11
+// (WeightedCascade): GR's running time as |S| grows from 1 to 1000. The
+// paper's finding: time grows with |S| because more seeds mean wider
+// cascades and larger sampled graphs, but far sublinearly — the 1000-seed
+// run is nowhere near 1000× the 1-seed run.
+func RunFig1011(cfg Config, model graph.ProbModel, opts Fig1011Options) ([]Fig1011Point, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+	specs, err := cfg.selectedSpecs()
+	if err != nil {
+		return nil, err
+	}
+
+	var points []Fig1011Point
+	for _, spec := range specs {
+		for _, numSeeds := range opts.SeedCounts {
+			inst, err := cfg.prepareSeeds(spec, model, numSeeds)
+			if err != nil {
+				continue // dataset too small for this seed count at scale
+			}
+			res, _, err := cfg.runNoEval(inst, core.GreedyReplace, opts.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fig10/11 %s |S|=%d: %w", spec.Name, numSeeds, err)
+			}
+			points = append(points, Fig1011Point{
+				Dataset: spec.Name, Model: model, NumSeeds: numSeeds, Runtime: res.Runtime,
+			})
+		}
+	}
+
+	figName := "Figure 10 (TR model)"
+	if model == graph.WeightedCascade {
+		figName = "Figure 11 (WC model)"
+	}
+	fmt.Fprintf(cfg.Out, "%s: GR running time vs number of seeds, b=%d\n", figName, opts.Budget)
+	fmt.Fprintln(cfg.Out, "Dataset        |S|        time")
+	for _, p := range points {
+		fmt.Fprintf(cfg.Out, "%-12s %5d  %10s\n", p.Dataset, p.NumSeeds, p.Runtime.Round(time.Millisecond))
+	}
+	return points, nil
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Fig56Point is one (dataset, θ) measurement shared by Figures 5 and 6:
+// the expected spread GR achieves with that sampling budget and the time it
+// took. Figure 5 plots the spread decrease ratio between consecutive θ
+// values; Figure 6 plots the runtime.
+type Fig56Point struct {
+	Dataset string
+	Theta   int
+	Spread  float64
+	Runtime time.Duration
+	// DecreaseRatioPct is the percentage decrease of expected spread
+	// relative to the previous (smaller) θ on the same dataset; 0 for the
+	// first θ. Figure 5's y axis.
+	DecreaseRatioPct float64
+}
+
+// Fig56Options configures the θ sweep.
+type Fig56Options struct {
+	// Thetas in increasing order. The paper sweeps {10³,10⁴,10⁵}; the
+	// default {10², 10³, 10⁴} matches the scaled datasets.
+	Thetas []int
+	// Budget for the GR run (paper: 20).
+	Budget int
+}
+
+func (o Fig56Options) withDefaults() Fig56Options {
+	if len(o.Thetas) == 0 {
+		o.Thetas = []int{100, 1000, 10000}
+	}
+	if o.Budget == 0 {
+		o.Budget = 20
+	}
+	return o
+}
+
+// RunFig56 reproduces Figures 5 and 6: vary the number of sampled graphs θ
+// and report GreedyReplace's result quality and running time on every
+// dataset under the TR model. The paper's finding: quality saturates (the
+// spread decrease from θ=10³→10⁴ is ≤ 2.89 % and from 10⁴→10⁵ below 0.1 %)
+// while time grows roughly linearly in θ — justifying θ=10⁴.
+func RunFig56(cfg Config, opts Fig56Options) ([]Fig56Point, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+	specs, err := cfg.selectedSpecs()
+	if err != nil {
+		return nil, err
+	}
+
+	var points []Fig56Point
+	for _, spec := range specs {
+		inst, err := cfg.prepare(spec, graph.Trivalency)
+		if err != nil {
+			return nil, err
+		}
+		prevSpread := 0.0
+		for i, theta := range opts.Thetas {
+			run := cfg
+			run.Theta = theta
+			res, spread, err := run.run(inst, core.GreedyReplace, opts.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fig5/6 %s θ=%d: %w", spec.Name, theta, err)
+			}
+			pt := Fig56Point{Dataset: spec.Name, Theta: theta, Spread: spread, Runtime: res.Runtime}
+			if i > 0 && prevSpread > 0 {
+				pt.DecreaseRatioPct = 100 * (prevSpread - spread) / prevSpread
+			}
+			prevSpread = spread
+			points = append(points, pt)
+		}
+	}
+
+	fmt.Fprintln(cfg.Out, "Figures 5+6: GR quality and time vs number of sampled graphs (TR model)")
+	fmt.Fprintln(cfg.Out, "Dataset      theta    E(spread)   decrease%     time")
+	for _, p := range points {
+		fmt.Fprintf(cfg.Out, "%-12s %6d  %10.3f  %9.3f%%  %9s\n",
+			p.Dataset, p.Theta, p.Spread, p.DecreaseRatioPct, p.Runtime.Round(time.Millisecond))
+	}
+	return points, nil
+}

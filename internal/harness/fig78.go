@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Fig78Row is one dataset's bar group in Figure 7 (TR) or 8 (WC): the
+// running time of BaselineGreedy, AdvancedGreedy and GreedyReplace at
+// budget 10. A timed-out BG is reported with TimedOut set, mirroring the
+// paper's ">24h" bars.
+type Fig78Row struct {
+	Dataset    string
+	Model      graph.ProbModel
+	BG, AG, GR time.Duration
+	BGTimedOut bool
+}
+
+// Fig78Options configures the efficiency comparison.
+type Fig78Options struct {
+	// Budget for all three algorithms (paper: 10).
+	Budget int
+	// SkipBG drops BaselineGreedy (useful for quick sweeps of only the
+	// paper's algorithms).
+	SkipBG bool
+}
+
+func (o Fig78Options) withDefaults() Fig78Options {
+	if o.Budget == 0 {
+		o.Budget = 10
+	}
+	return o
+}
+
+// RunFig78 reproduces Figure 7 (model = Trivalency) or Figure 8
+// (WeightedCascade): the wall-clock time of BG, AG and GR on every dataset.
+// The paper's findings: AG and GR beat BG by at least 3 orders of magnitude
+// where BG finishes at all; BG exceeds the time cap on the larger datasets
+// (6 of 8 under TR, 5 of 8 under WC at the paper's scale); GR's time is
+// close to AG's.
+func RunFig78(cfg Config, model graph.ProbModel, opts Fig78Options) ([]Fig78Row, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+	specs, err := cfg.selectedSpecs()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig78Row
+	for _, spec := range specs {
+		inst, err := cfg.prepare(spec, model)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig78Row{Dataset: spec.Name, Model: model}
+
+		if !opts.SkipBG {
+			res, _, err := cfg.runNoEval(inst, core.BaselineGreedy, opts.Budget)
+			if err != nil {
+				return nil, err
+			}
+			row.BG = res.Runtime
+			row.BGTimedOut = res.TimedOut
+		}
+		res, _, err := cfg.runNoEval(inst, core.AdvancedGreedy, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		row.AG = res.Runtime
+		res, _, err = cfg.runNoEval(inst, core.GreedyReplace, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		row.GR = res.Runtime
+		rows = append(rows, row)
+	}
+
+	figName := "Figure 7 (TR model)"
+	if model == graph.WeightedCascade {
+		figName = "Figure 8 (WC model)"
+	}
+	fmt.Fprintf(cfg.Out, "%s: time cost of BG / AG / GR, b=%d\n", figName, opts.Budget)
+	fmt.Fprintln(cfg.Out, "Dataset            BG           AG           GR")
+	for _, r := range rows {
+		bg := r.BG.Round(time.Millisecond).String()
+		if r.BGTimedOut {
+			bg = fmt.Sprintf(">%s (timeout)", cfg.Timeout)
+		}
+		fmt.Fprintf(cfg.Out, "%-12s %12s %12s %12s\n",
+			r.Dataset, bg, r.AG.Round(time.Millisecond), r.GR.Round(time.Millisecond))
+	}
+	return rows, nil
+}
+
+// runNoEval runs one algorithm without the Monte-Carlo spread evaluation —
+// the efficiency figures time only the selection itself.
+func (c Config) runNoEval(in *instance, alg core.Algorithm, b int) (core.Result, float64, error) {
+	opt := c.solveOptions(core.DiffusionIC, c.Seed^algSalt(alg))
+	res, err := core.Solve(in.G, in.Seeds, b, alg, opt)
+	return res, 0, err
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Fig9Point is one (dataset, model, budget) time measurement of Figure 9:
+// running time of BG, AG and GR as the budget grows, on Facebook and DBLP.
+type Fig9Point struct {
+	Dataset    string
+	Model      graph.ProbModel
+	Budget     int
+	BG, AG, GR time.Duration
+	BGTimedOut bool
+	BGSkipped  bool
+}
+
+// Fig9Options configures the budget sweep.
+type Fig9Options struct {
+	// Budgets to sweep; the paper uses 1..400 on Facebook and 1..100 on
+	// DBLP. Default {1, 5, 10, 20, 40} for the scaled datasets.
+	Budgets []int
+	// Datasets, default Facebook and DBLP as in the paper.
+	Datasets []string
+	// IncludeBG runs BaselineGreedy too (only feasible at small scales;
+	// the paper only has BG on Facebook). Default false.
+	IncludeBG bool
+}
+
+func (o Fig9Options) withDefaults() Fig9Options {
+	if len(o.Budgets) == 0 {
+		o.Budgets = []int{1, 5, 10, 20, 40}
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = []string{"Facebook", "DBLP"}
+	}
+	return o
+}
+
+// RunFig9 reproduces Figure 9: running time versus budget under both
+// models. The paper's findings: AG and GR vastly outrun BG with the gap
+// widening in b; AG's time can *decrease* with larger budgets thanks to
+// GreedyReplace-style early termination; GR overtakes AG at large budgets.
+func RunFig9(cfg Config, opts Fig9Options) ([]Fig9Point, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+
+	var points []Fig9Point
+	for _, model := range []graph.ProbModel{graph.Trivalency, graph.WeightedCascade} {
+		for _, name := range opts.Datasets {
+			sub := cfg
+			sub.Datasets = []string{name}
+			specs, err := sub.selectedSpecs()
+			if err != nil {
+				return nil, err
+			}
+			inst, err := cfg.prepare(specs[0], model)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range opts.Budgets {
+				pt := Fig9Point{Dataset: specs[0].Name, Model: model, Budget: b}
+				if opts.IncludeBG {
+					res, _, err := cfg.runNoEval(inst, core.BaselineGreedy, b)
+					if err != nil {
+						return nil, err
+					}
+					pt.BG = res.Runtime
+					pt.BGTimedOut = res.TimedOut
+				} else {
+					pt.BGSkipped = true
+				}
+				res, _, err := cfg.runNoEval(inst, core.AdvancedGreedy, b)
+				if err != nil {
+					return nil, err
+				}
+				pt.AG = res.Runtime
+				res, _, err = cfg.runNoEval(inst, core.GreedyReplace, b)
+				if err != nil {
+					return nil, err
+				}
+				pt.GR = res.Runtime
+				points = append(points, pt)
+			}
+		}
+	}
+
+	fmt.Fprintln(cfg.Out, "Figure 9: running time vs budget")
+	fmt.Fprintln(cfg.Out, "Dataset      Model    b           BG           AG           GR")
+	for _, p := range points {
+		bg := "-"
+		if !p.BGSkipped {
+			bg = p.BG.Round(time.Millisecond).String()
+			if p.BGTimedOut {
+				bg = "timeout"
+			}
+		}
+		fmt.Fprintf(cfg.Out, "%-12s %-5s %4d %12s %12s %12s\n",
+			p.Dataset, p.Model, p.Budget, bg, p.AG.Round(time.Millisecond), p.GR.Round(time.Millisecond))
+	}
+	return points, nil
+}

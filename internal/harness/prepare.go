@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// instance is one prepared (graph, probability model, seed set) workload.
+type instance struct {
+	Spec  datasets.Spec
+	Model graph.ProbModel
+	G     *graph.Graph
+	Seeds []graph.V
+}
+
+// selectedSpecs resolves the Config's dataset filter.
+func (c Config) selectedSpecs() ([]datasets.Spec, error) {
+	if len(c.Datasets) == 0 {
+		return datasets.Registry(), nil
+	}
+	var specs []datasets.Spec
+	for _, name := range c.Datasets {
+		s, ok := datasets.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown dataset %q", name)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// prepare generates the scaled dataset, assigns the probability model, and
+// draws the seed set, all deterministically from the Config seed.
+func (c Config) prepare(spec datasets.Spec, model graph.ProbModel) (*instance, error) {
+	return c.prepareSeeds(spec, model, c.NumSeeds)
+}
+
+// prepareSeeds is prepare with an explicit seed-set size (the scalability
+// figures sweep it).
+func (c Config) prepareSeeds(spec datasets.Spec, model graph.ProbModel, numSeeds int) (*instance, error) {
+	structural := spec.Generate(c.Scale, c.Seed)
+	r := rng.New(c.Seed ^ 0xda7a5e7 ^ uint64(model))
+	g := model.Assign(structural, r)
+	if numSeeds > g.N()/2 {
+		return nil, fmt.Errorf("harness: %d seeds on a %d-vertex graph", numSeeds, g.N())
+	}
+	seeds, err := datasets.RandomSeeds(g, numSeeds, true, rng.New(c.Seed^0x5eed5))
+	if err != nil {
+		return nil, err
+	}
+	return &instance{Spec: spec, Model: model, G: g, Seeds: seeds}, nil
+}
+
+// run executes one algorithm on the instance and measures the resulting
+// expected spread with the evaluation Monte-Carlo budget.
+func (c Config) run(in *instance, alg core.Algorithm, b int) (core.Result, float64, error) {
+	diffusion := core.DiffusionIC
+	opt := c.solveOptions(diffusion, c.Seed^algSalt(alg))
+	res, err := core.Solve(in.G, in.Seeds, b, alg, opt)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	spread, err := core.EvaluateSpread(in.G, in.Seeds, res.Blockers, c.EvalRounds, opt)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	return res, spread, nil
+}
+
+// algSalt decorrelates the random streams of different algorithms.
+func algSalt(alg core.Algorithm) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(alg); i++ {
+		h ^= uint64(alg[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/exact"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Table56Row is one budget row of Table V (TR model) or VI (WC model):
+// optimal spread vs GreedyReplace spread and both running times.
+type Table56Row struct {
+	Budget       int
+	ExactSpread  float64
+	GRSpread     float64
+	Ratio        float64 // ExactSpread / GRSpread — 1.0 means GR is optimal
+	ExactRuntime time.Duration
+	GRRuntime    time.Duration
+}
+
+// Table56Options sizes the optimality experiment. The paper extracts
+// 100-vertex subgraphs of EmailCore and enumerates up to b=4 (80 050 s for
+// the largest); the defaults here use a smaller extract so the exact
+// factoring spread stays tractable without the authors' BDD library — the
+// quantities of interest (ratio ≈ 1, orders-of-magnitude time gap) are
+// scale-free. Raise ExtractSize/MaxBudget to approach the paper's setting.
+type Table56Options struct {
+	ExtractSize int // vertices in the extracted instance (default 26)
+	MaxBudget   int // enumerate b = 1..MaxBudget (default 3)
+	NodeBudget  int // factoring recursion cap per spread (default 4e6)
+	// SourceDataset names the dataset stand-in to extract from. The paper
+	// extracts from EmailCore; the default here is the much sparser
+	// EmailAll, which keeps the exact factoring spread computation
+	// tractable without the authors' BDD library (EXPERIMENTS.md records
+	// this substitution). Set to "EmailCore" to mirror the paper; dense
+	// extracts then fall back to Monte-Carlo spread evaluation.
+	SourceDataset string
+	// FallbackRounds is the Monte-Carlo budget used when factoring exceeds
+	// NodeBudget (default 20000).
+	FallbackRounds int
+}
+
+func (o Table56Options) withDefaults() Table56Options {
+	if o.ExtractSize == 0 {
+		o.ExtractSize = 26
+	}
+	if o.MaxBudget == 0 {
+		o.MaxBudget = 3
+	}
+	if o.NodeBudget == 0 {
+		o.NodeBudget = 4_000_000
+	}
+	if o.SourceDataset == "" {
+		o.SourceDataset = "EmailAll"
+	}
+	if o.FallbackRounds == 0 {
+		o.FallbackRounds = 20000
+	}
+	return o
+}
+
+// RunTable56 reproduces Tables V and VI for the given probability model
+// (Trivalency → Table V, WeightedCascade → Table VI): on a small extracted
+// instance, compare the exhaustive-optimal blocker set against
+// GreedyReplace, scoring both with the exact expected spread.
+func RunTable56(cfg Config, model graph.ProbModel, opts Table56Options) ([]Table56Row, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+
+	inst, err := buildSmallInstance(cfg, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, src := inst.g, inst.src
+
+	// Spread evaluator: exact factoring, with a Monte-Carlo fallback when
+	// the extract is too dense for the node budget (possible when
+	// SourceDataset is EmailCore, as in the paper).
+	eval := exact.EvalExact(g, src, opts.NodeBudget)
+	if _, err := exact.Spread(g, src, nil, opts.NodeBudget); errors.Is(err, exact.ErrBudget) {
+		est := &cascade.SpreadEstimator{Sampler: cascade.NewIC(g), Rounds: opts.FallbackRounds, Workers: cfg.Workers}
+		base := rng.New(cfg.Seed ^ 0xfa11bacc)
+		call := uint64(0)
+		eval = func(blocked []bool) (float64, error) {
+			call++
+			return est.Spread(src, blocked, base, call), nil
+		}
+		fmt.Fprintf(cfg.Out, "(extract too dense for exact factoring; spreads below are MCS estimates with %d rounds)\n", opts.FallbackRounds)
+	}
+
+	var rows []Table56Row
+	for b := 1; b <= opts.MaxBudget; b++ {
+		startExact := time.Now()
+		ex, err := exact.SolveIMIN(g, src, b, nil, eval)
+		if err != nil {
+			return nil, fmt.Errorf("harness: exact solve b=%d: %w", b, err)
+		}
+		exactTime := time.Since(startExact)
+
+		opt := cfg.solveOptions(core.DiffusionIC, cfg.Seed)
+		startGR := time.Now()
+		gr, err := core.Solve(g, []graph.V{src}, b, core.GreedyReplace, opt)
+		if err != nil {
+			return nil, err
+		}
+		grTime := time.Since(startGR)
+		grBlocked := make([]bool, g.N())
+		for _, v := range gr.Blockers {
+			grBlocked[v] = true
+		}
+		grSpread, err := eval(grBlocked)
+		if err != nil {
+			return nil, err
+		}
+
+		ratio := 1.0
+		if grSpread > 0 {
+			ratio = ex.Spread / grSpread
+		}
+		rows = append(rows, Table56Row{
+			Budget: b, ExactSpread: ex.Spread, GRSpread: grSpread,
+			Ratio: ratio, ExactRuntime: exactTime, GRRuntime: grTime,
+		})
+	}
+
+	name := "Table V (TR model)"
+	if model == graph.WeightedCascade {
+		name = "Table VI (WC model)"
+	}
+	fmt.Fprintf(cfg.Out, "%s: Exact vs GreedyReplace on a %d-vertex extract\n", name, g.N())
+	fmt.Fprintln(cfg.Out, " b   Exact      GR      Ratio    t_Exact      t_GR")
+	for _, r := range rows {
+		fmt.Fprintf(cfg.Out, "%2d  %7.3f  %7.3f  %6.2f%%  %9s  %9s\n",
+			r.Budget, r.ExactSpread, r.GRSpread, 100*r.Ratio, r.ExactRuntime.Round(time.Microsecond), r.GRRuntime.Round(time.Microsecond))
+	}
+	return rows, nil
+}
+
+type smallInstance struct {
+	g   *graph.Graph
+	src graph.V
+}
+
+// buildSmallInstance extracts a Table V/VI-style instance: the configured
+// dataset stand-in, neighborhood-extracted to the requested size,
+// probability model applied, with a single seed (the extraction start).
+// The paper seeds 10 random vertices; a single-source extract keeps the
+// exact enumeration's candidate space identical while avoiding the
+// unified-graph indirection in reported vertex ids.
+func buildSmallInstance(cfg Config, model graph.ProbModel, opts Table56Options) (*smallInstance, error) {
+	spec, ok := datasets.ByName(opts.SourceDataset)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown source dataset %q", opts.SourceDataset)
+	}
+	structural := spec.Generate(maxf(cfg.Scale, 0.01), cfg.Seed)
+	sub, _ := datasets.ExtractNeighborhood(structural, 0, opts.ExtractSize)
+	r := rng.New(cfg.Seed ^ 0x7ab1e56)
+	g := model.Assign(sub, r)
+	return &smallInstance{g: g, src: 0}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
