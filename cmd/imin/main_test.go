@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the imin command into a temp dir and returns the
+// binary path.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "imin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// End-to-end smoke test: generate a small dataset stand-in, run the full
+// CLI solve path, and check the blocker count and exit code.
+func TestCLISolveSmoke(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin,
+		"-dataset", "EmailCore", "-scale", "0.05",
+		"-seeds", "3", "-b", "4",
+		"-alg", "advanced-greedy",
+		"-theta", "200", "-mcs", "100", "-eval", "500",
+		"-rng", "1",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"graph:", "seeds:", "blockers (4):", "expected spread:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The explicit seed-vertex path must produce a deterministic, repeatable
+// run.
+func TestCLIExplicitSeedsDeterministic(t *testing.T) {
+	bin := buildCLI(t)
+	run := func() string {
+		out, err := exec.Command(bin,
+			"-dataset", "EmailCore", "-scale", "0.05",
+			"-seed-vertices", "0,2,5", "-b", "3",
+			"-alg", "greedy-replace",
+			"-theta", "150", "-eval", "300", "-rng", "7",
+		).CombinedOutput()
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out)
+		}
+		// Drop the wall-clock line; everything else must be bit-identical.
+		var kept []string
+		for _, line := range strings.Split(string(out), "\n") {
+			if !strings.Contains(line, "selection time") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two identical runs diverged:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// -h prints usage and exits 0; contradictory flags exit non-zero.
+func TestCLIFlagHandling(t *testing.T) {
+	bin := buildCLI(t)
+
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-h exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-dataset") {
+		t.Errorf("-h output missing flag docs:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-graph", "x.txt", "-dataset", "Facebook").CombinedOutput()
+	if err == nil {
+		t.Fatalf("conflicting -graph/-dataset exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "only one of") {
+		t.Errorf("unexpected error output:\n%s", out)
+	}
+}

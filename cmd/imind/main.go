@@ -1,0 +1,115 @@
+// Command imind is the influence-minimization daemon: it keeps registered
+// graphs and warm solver sessions in memory and serves blocking requests
+// over HTTP/JSON, so repeated solves on a hot graph skip all setup cost
+// (graph load, multi-seed unification, sampler and estimator scratch).
+//
+// Endpoints:
+//
+//	POST /graphs            register a graph (file, dataset stand-in, or generator)
+//	GET  /graphs            list registered graphs
+//	GET  /graphs/{id}       one graph's info
+//	POST /graphs/{id}/solve select blockers: {seeds, budget, algorithm, model, theta, ...}
+//	GET  /healthz           liveness
+//	GET  /stats             registry size, session-cache hit/miss/eviction counters, load
+//
+// Example:
+//
+//	imind -addr :8080 -data ./graphs -preload Wiki-Vote,Facebook -scale 0.05
+//	curl -s localhost:8080/graphs
+//	curl -s -X POST localhost:8080/graphs/Wiki-Vote/solve \
+//	     -d '{"num_seeds": 10, "budget": 20, "algorithm": "greedy-replace", "seed": 1}'
+//
+// See README.md for the full API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	imin "github.com/imin-dev/imin"
+	"github.com/imin-dev/imin/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataDir     = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
+		maxConc     = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxSessions = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
+		workers     = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
+		timeout     = flag.Duration("timeout", 0, "default per-solve timeout (0 = none; requests may set timeout_ms)")
+		theta       = flag.Int("theta", 10000, "default sampled graphs per estimation round")
+		evalRounds  = flag.Int("eval", 2000, "default Monte-Carlo rounds for spread reports")
+		preload     = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
+		scale       = flag.Float64("scale", 0.02, "scale for -preload datasets")
+		rngSeed     = flag.Uint64("rng", 1, "seed for -preload generation")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MaxConcurrent:     *maxConc,
+		MaxSessions:       *maxSessions,
+		SolveWorkers:      *workers,
+		DefaultTimeout:    *timeout,
+		DefaultTheta:      *theta,
+		DefaultEvalRounds: *evalRounds,
+		DataDir:           *dataDir,
+	})
+
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			g, err := imin.GenerateDataset(name, *scale, *rngSeed)
+			if err != nil {
+				fatal(err)
+			}
+			g = imin.AssignProbabilities(g, imin.Trivalency, *rngSeed^0x7112)
+			if _, err := srv.Registry().Register(name, g, fmt.Sprintf("preload %s @ %g, TR", name, *scale)); err != nil {
+				fatal(err)
+			}
+			log.Printf("preloaded %s: %d vertices, %d edges", name, g.N(), g.M())
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight solves.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("imind listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imind:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards the daemon's captured output: the failure paths read
+// it while exec's pipe copier may still be writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// End-to-end daemon smoke test: build imind, start it with a preloaded
+// dataset, register a second graph and solve on it over real HTTP, then
+// shut it down gracefully with SIGTERM.
+func TestDaemonSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "imind")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve a port; tiny race between Close and daemon bind, fine for a test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-preload", "EmailCore", "-scale", "0.05", "-theta", "300", "-eval", "300")
+	var logs syncBuffer
+	cmd.Stdout, cmd.Stderr = &logs, &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+	}
+
+	// The preloaded dataset must be listed.
+	resp, err := http.Get(base + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0]["name"] != "EmailCore" {
+		t.Fatalf("graphs = %v, want preloaded EmailCore", list)
+	}
+
+	// Register a generator graph and solve on it.
+	reg := `{"name": "toy", "generator": "erdos-renyi", "n": 200, "m": 1000, "directed": true, "seed": 3}`
+	resp, err = http.Post(base+"/graphs", "application/json", bytes.NewReader([]byte(reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+
+	solve := `{"num_seeds": 3, "budget": 4, "algorithm": "greedy-replace", "theta": 200, "seed": 1}`
+	resp, err = http.Post(base+"/graphs/toy/solve", "application/json", bytes.NewReader([]byte(solve)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Blockers     []int    `json:"blockers"`
+		SpreadBefore *float64 `json:"spread_before"`
+		SpreadAfter  *float64 `json:"spread_after"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	if len(sr.Blockers) != 4 {
+		t.Errorf("got %d blockers, want 4", len(sr.Blockers))
+	}
+	// The two spreads are independent Monte-Carlo estimates (300 rounds
+	// here), so allow sampling noise rather than flaking CI on an
+	// unlucky draw.
+	if sr.SpreadBefore == nil || sr.SpreadAfter == nil || *sr.SpreadAfter > *sr.SpreadBefore*1.1 {
+		t.Errorf("spread report broken: %+v", sr)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal(fmt.Sprintf("daemon did not shut down; logs:\n%s", logs.String()))
+	}
+}

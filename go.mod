@@ -1,0 +1,3 @@
+module github.com/imin-dev/imin
+
+go 1.24.0

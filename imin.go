@@ -35,6 +35,7 @@
 package imin
 
 import (
+	"context"
 	"time"
 
 	"github.com/imin-dev/imin/internal/cascade"
@@ -112,6 +113,9 @@ const (
 	GreedyReplace  = core.GreedyReplace
 )
 
+// Diffusion selects the diffusion model (IC or LT).
+type Diffusion = core.Diffusion
+
 // Diffusion models.
 const (
 	IC = core.DiffusionIC
@@ -137,6 +141,37 @@ func Minimize(g *Graph, seeds []Vertex, b int, opt Options) (Result, error) {
 // MinimizeWith is Minimize with an explicit algorithm.
 func MinimizeWith(g *Graph, seeds []Vertex, b int, alg Algorithm, opt Options) (Result, error) {
 	return core.Solve(g, seeds, b, alg, opt)
+}
+
+// MinimizeContext is MinimizeWith with a cancelable context: when ctx is
+// canceled the greedy loop stops at the next round boundary and the partial
+// blocker set is returned with Result.Canceled set (no error), mirroring
+// how Options.Timeout sets Result.TimedOut.
+func MinimizeContext(ctx context.Context, g *Graph, seeds []Vertex, b int, alg Algorithm, opt Options) (Result, error) {
+	return core.SolveContext(ctx, g, seeds, b, alg, opt)
+}
+
+// Session keeps per-graph solver state (the multi-seed unified instance,
+// the live-edge sampler, and the estimator's worker scratch) warm across
+// Minimize calls, so repeated solves on one graph skip all setup cost.
+// Construct with NewSession; methods are safe for concurrent use but
+// serialize internally. See core.Session for details.
+type Session = core.Session
+
+// SessionStats counts a Session's state reuse.
+type SessionStats = core.SessionStats
+
+// NewSession returns a warm-state solver session for g under the given
+// diffusion model. workers bounds per-solve parallelism (0 = all cores).
+// The session's diffusion model and worker count override the
+// corresponding Options fields on every Solve (cached state must match
+// the run). Caching never changes results: Session.Solve matches
+// MinimizeContext exactly for equal (Seed, Theta) whenever the Options'
+// Diffusion and Workers resolve to the session's own — note the estimator
+// partitions samples per worker, so a session built with workers=2 only
+// matches direct calls that also set Options.Workers=2.
+func NewSession(g *Graph, d Diffusion, workers int) *Session {
+	return core.NewSession(g, d, core.DomLengauerTarjan, workers)
 }
 
 // EstimateSpread estimates the expected spread E(S, G[V\B]) of a blocker

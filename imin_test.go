@@ -1,6 +1,7 @@
 package imin
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -159,5 +160,45 @@ func TestFacadeLTDiffusion(t *testing.T) {
 	}
 	if len(res.Blockers) != 1 || res.Blockers[0] != fixture.V5 {
 		t.Fatalf("LT blockers = %v, want [v5]", res.Blockers)
+	}
+}
+
+func TestFacadeSessionAndContext(t *testing.T) {
+	g := GeneratePreferentialAttachment(200, 3, true, 6)
+	g = AssignProbabilities(g, Trivalency, 8)
+	seeds := []Vertex{1, 4}
+	opt := Options{Theta: 200, Workers: 2, Seed: 3}
+
+	direct, err := MinimizeWith(g, seeds, 3, AdvancedGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(g, IC, 2)
+	for i := 0; i < 2; i++ {
+		res, err := sess.Solve(context.Background(), seeds, 3, AdvancedGreedy, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Blockers) != len(direct.Blockers) {
+			t.Fatalf("session blockers %v, direct %v", res.Blockers, direct.Blockers)
+		}
+		for j := range res.Blockers {
+			if res.Blockers[j] != direct.Blockers[j] {
+				t.Fatalf("session blockers %v, direct %v", res.Blockers, direct.Blockers)
+			}
+		}
+	}
+	if st := sess.Stats(); st.Solves != 2 || st.Rebuilds != 1 {
+		t.Errorf("session stats = %+v", st)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MinimizeContext(ctx, g, seeds, 3, AdvancedGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || len(res.Blockers) != 0 {
+		t.Errorf("canceled run: %+v", res)
 	}
 }

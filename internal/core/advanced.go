@@ -1,10 +1,7 @@
 package core
 
 import (
-	"time"
-
 	"github.com/imin-dev/imin/internal/graph"
-	"github.com/imin-dev/imin/internal/rng"
 )
 
 // solveAdvancedGreedy implements Algorithm 3: the same greedy framework as
@@ -12,20 +9,15 @@ import (
 // candidate at once from one DecreaseESComputation call (Algorithm 2)
 // instead of n separate Monte-Carlo estimations. Complexity
 // O(b·θ·m·α(m,n)) versus the baseline's O(b·n·r·m).
-func solveAdvancedGreedy(in *instance, b int, opt Options) Result {
-	start := time.Now()
-	dl := opt.deadline(start)
-	base := rng.New(opt.Seed)
-	est := newEstBackend(in, opt, base)
-
+func solveAdvancedGreedy(halt stopper, in *instance, est *estBackend, b int, opt Options) Result {
 	n := in.g.N()
 	blocked := make([]bool, n)
 	delta := make([]float64, n)
 	var blockers []graph.V
 
 	for round := 0; round < b; round++ {
-		if pastDeadline(dl) {
-			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		if halt.stop() {
+			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
 		// Δ[u] for every candidate at once, on G[V \ B].
 		est.decreaseES(delta, in.src, blocked, uint64(round))

@@ -30,6 +30,15 @@ func newEstBackend(in *instance, opt Options, base *rng.Source) *estBackend {
 	return b
 }
 
+// newEstBackendCached wraps an already-built fresh Estimator (a Session's
+// warm one) as a backend for one run. The estimator holds no per-run state
+// — randomness enters only through the base source split per round — so a
+// run through a warm estimator selects exactly the blockers a cold run
+// with the same (Seed, Theta, Workers) would.
+func newEstBackendCached(est *Estimator, opt Options, base *rng.Source) *estBackend {
+	return &estBackend{fresh: est, theta: opt.Theta, base: base}
+}
+
 // decreaseES fills dst with Δ[u] on G[V\B] for the given greedy round.
 func (b *estBackend) decreaseES(dst []float64, src graph.V, blocked []bool, round uint64) {
 	if b.pooled != nil {

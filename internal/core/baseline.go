@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
@@ -14,12 +12,10 @@ import (
 // estimated spread. Complexity O(b·n·r·m), which is what makes it
 // cost-prohibitive on large graphs — the motivation for Algorithm 2.
 //
-// The deadline is checked between candidate evaluations; on expiry the
-// partial blocker set is returned with TimedOut set, mirroring the paper's
-// 24-hour cap in Figures 7-9.
-func solveBaselineGreedy(in *instance, b int, opt Options) Result {
-	start := time.Now()
-	dl := opt.deadline(start)
+// The deadline and context are checked between candidate evaluations; on
+// expiry the partial blocker set is returned with TimedOut (or Canceled)
+// set, mirroring the paper's 24-hour cap in Figures 7-9.
+func solveBaselineGreedy(halt stopper, in *instance, b int, opt Options) Result {
 	sampler := in.sampler(opt.Diffusion)
 	base := rng.New(opt.Seed)
 
@@ -35,8 +31,8 @@ func solveBaselineGreedy(in *instance, b int, opt Options) Result {
 			if !in.candidate(u) || blocked[u] {
 				continue
 			}
-			if pastDeadline(dl) {
-				return Result{Blockers: blockers, TimedOut: true, MCSSimulations: sims}
+			if halt.stop() {
+				return halt.abort(Result{Blockers: blockers, MCSSimulations: sims})
 			}
 			blocked[u] = true
 			call++

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"time"
-
 	"github.com/imin-dev/imin/internal/graph"
-	"github.com/imin-dev/imin/internal/rng"
 )
 
 // solveGreedyReplace implements Algorithm 4. The motivation (Example 3):
@@ -20,12 +17,7 @@ import (
 //
 // The expected spread is never worse than blocking out-neighbors only, and
 // the replacement pass recovers greedy's advantage at small budgets.
-func solveGreedyReplace(in *instance, b int, opt Options) Result {
-	start := time.Now()
-	dl := opt.deadline(start)
-	base := rng.New(opt.Seed)
-	est := newEstBackend(in, opt, base)
-
+func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt Options) Result {
 	n := in.g.N()
 	blocked := make([]bool, n)
 	delta := make([]float64, n)
@@ -47,8 +39,8 @@ func solveGreedyReplace(in *instance, b int, opt Options) Result {
 		phase1 = b
 	}
 	for i := 0; i < phase1; i++ {
-		if pastDeadline(dl) {
-			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		if halt.stop() {
+			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
 		est.decreaseES(delta, in.src, blocked, round)
 		round++
@@ -73,8 +65,8 @@ func solveGreedyReplace(in *instance, b int, opt Options) Result {
 	// Phase 2: replacement in reverse insertion order over the full
 	// candidate set.
 	for i := len(blockers) - 1; i >= 0; i-- {
-		if pastDeadline(dl) {
-			return Result{Blockers: blockers, TimedOut: true, SampledGraphs: est.samplesDrawn()}
+		if halt.stop() {
+			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
 		u := blockers[i]
 		blocked[u] = false // B ← B \ {u}

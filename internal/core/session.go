@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Session keeps the expensive per-problem solver state warm across Solve
+// calls on one graph under one diffusion model: the multi-seed unified
+// instance (UnifySeeds copies the whole graph), the live-edge sampler, and
+// the Algorithm 2 estimator with its per-worker scratch (several O(n)
+// arrays per worker). A cold Solve pays all of that on every call; a warm
+// Session call with the same seed set skips straight to the greedy rounds.
+//
+// A Session is bound to (graph, diffusion, dominator algorithm, workers) at
+// construction; Solve overrides those Options fields with the session's own
+// so cached scratch always matches the run. Solve serializes callers
+// internally — the estimator admits one DecreaseES stream at a time — so a
+// Session is safe for concurrent use, at the price of queueing (the wait is
+// context-aware: a canceled caller stops queueing immediately); run
+// independent graphs on independent Sessions.
+//
+// Determinism is preserved: the cached estimator carries no randomness of
+// its own (each round's rng is split from the per-call Options.Seed), so a
+// warm Solve returns exactly the blockers a cold Solve with equal
+// (Seed, Theta) and the session's workers/diffusion/domAlgo would.
+type Session struct {
+	g         *graph.Graph
+	diffusion Diffusion
+	domAlgo   DomAlgo
+	workers   int
+
+	lk    chan struct{} // cap-1 context-aware mutex over the fields below
+	insts []*sessionInstance
+	tick  int64
+	stats SessionStats
+}
+
+// maxSessionInstances bounds the per-seed-set cache inside one session, so
+// a few clients interleaving different seed sets on one hot graph don't
+// evict each other's prepared state on every request (instances cost a
+// whole-graph copy for multi-seed problems plus per-worker estimator
+// scratch, which is also why the bound is small).
+const maxSessionInstances = 4
+
+// sessionInstance is the prepared state for one seed set: the unified
+// instance and the estimator bound to its sampler.
+type sessionInstance struct {
+	key  string
+	in   *instance
+	est  *Estimator
+	used int64 // LRU tick, guarded by the session lock
+}
+
+// SessionStats counts how often the cached state could be reused.
+type SessionStats struct {
+	// Solves is the number of Solve calls answered.
+	Solves int64
+	// Reuses counts Solve/EvaluateSpread calls that found their seed set's
+	// prepared instance and estimator in the session's cache; Rebuilds
+	// counts calls that had to build them (first sight of a seed set, or
+	// re-entry after eviction past maxSessionInstances).
+	Reuses   int64
+	Rebuilds int64
+}
+
+// NewSession returns an empty session for g under the given diffusion
+// model; state is built lazily on first use. workers <= 0 selects
+// GOMAXPROCS, matching Options.Workers semantics.
+func NewSession(g *graph.Graph, diffusion Diffusion, domAlgo DomAlgo, workers int) *Session {
+	return &Session{g: g, diffusion: diffusion, domAlgo: domAlgo, workers: workers, lk: make(chan struct{}, 1)}
+}
+
+// lock acquires the session, giving up if ctx is canceled first: a caller
+// abandoning a queued solve must not keep waiting (in a server, that wait
+// would pin a worker-pool slot behind a long-running solve).
+func (s *Session) lock(ctx context.Context) error {
+	select {
+	case s.lk <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.lk <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Session) unlock() { <-s.lk }
+
+// Graph returns the session's underlying graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Diffusion returns the session's diffusion model.
+func (s *Session) Diffusion() Diffusion { return s.diffusion }
+
+// prepare returns the cached instance+estimator for seeds, building one on
+// a miss and evicting the least recently used entry past the bound. Caller
+// holds the session lock.
+func (s *Session) prepare(seeds []graph.V) (*sessionInstance, error) {
+	key := seedsKey(seeds)
+	s.tick++
+	for _, si := range s.insts {
+		if si.key == key {
+			si.used = s.tick
+			s.stats.Reuses++
+			return si, nil
+		}
+	}
+	in, err := newInstance(s.g, seeds)
+	if err != nil {
+		return nil, err
+	}
+	si := &sessionInstance{
+		key:  key,
+		in:   in,
+		est:  NewEstimator(in.sampler(s.diffusion), s.workers, s.domAlgo),
+		used: s.tick,
+	}
+	if len(s.insts) < maxSessionInstances {
+		s.insts = append(s.insts, si)
+	} else {
+		lru := 0
+		for i, c := range s.insts {
+			if c.used < s.insts[lru].used {
+				lru = i
+			}
+		}
+		s.insts[lru] = si
+	}
+	s.stats.Rebuilds++
+	return si, nil
+}
+
+// Acquire locks the session for one caller, waiting until it is free or
+// ctx is canceled, and returns a handle whose methods run without further
+// locking. Use it to hold the session across a whole request (e.g.
+// spread-eval, solve, spread-eval) — and, in a server, to wait for a hot
+// graph without occupying a CPU-admission slot. Callers must Release the
+// handle exactly once.
+func (s *Session) Acquire(ctx context.Context) (*LockedSession, error) {
+	if err := s.lock(ctx); err != nil {
+		return nil, err
+	}
+	return &LockedSession{s: s}, nil
+}
+
+// LockedSession is exclusive access to a Session between Acquire and
+// Release. It must stay on the goroutine chain that acquired it.
+type LockedSession struct {
+	s *Session
+}
+
+// Release unlocks the session.
+func (h *LockedSession) Release() { h.s.unlock() }
+
+// Solve is Session.Solve on an already-acquired session.
+func (h *LockedSession) Solve(ctx context.Context, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
+	if b < 0 {
+		return Result{}, fmt.Errorf("core: negative budget %d", b)
+	}
+	s := h.s
+	si, err := s.prepare(seeds)
+	if err != nil {
+		return Result{}, err
+	}
+	s.stats.Solves++
+	opt.Diffusion = s.diffusion
+	opt.DomAlgo = s.domAlgo
+	opt.Workers = s.workers
+	return solveInstance(ctx, si.in, si.est, b, alg, opt)
+}
+
+// EvaluateSpread is Session.EvaluateSpread on an already-acquired session.
+func (h *LockedSession) EvaluateSpread(seeds []graph.V, blockers []graph.V, rounds int, opt Options) (float64, error) {
+	s := h.s
+	si, err := s.prepare(seeds)
+	if err != nil {
+		return 0, err
+	}
+	opt = opt.withDefaults()
+	in := si.in
+	blocked := make([]bool, in.g.N())
+	for _, v := range blockers {
+		if v < 0 || int(v) >= s.g.N() {
+			return 0, fmt.Errorf("core: blocker %d out of range", v)
+		}
+		if in.isSeed[v] {
+			return 0, fmt.Errorf("core: blocker %d is a seed", v)
+		}
+		blocked[v] = true
+	}
+	spread := cascade.EstimateSpreadParallel(si.est.Sampler(), in.src, blocked, rounds, s.workers, rng.New(opt.Seed^0x5eed))
+	return graph.SpreadFromUnified(spread, in.numSeeds), nil
+}
+
+// Solve is SolveContext through the session's cached state. The session's
+// diffusion model, dominator algorithm, and worker count override the
+// corresponding Options fields so cached scratch always matches the run;
+// with Options that agree on those fields it returns results identical to
+// SolveContext. Canceling ctx while queued for the session returns
+// ctx.Err() without solving.
+func (s *Session) Solve(ctx context.Context, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
+	h, err := s.Acquire(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.Release()
+	return h.Solve(ctx, seeds, b, alg, opt)
+}
+
+// EvaluateSpread is EvaluateSpread through the session's cached instance
+// and sampler (the estimator is untouched). ctx only bounds the wait for
+// the session lock; the evaluation itself runs to completion.
+func (s *Session) EvaluateSpread(ctx context.Context, seeds []graph.V, blockers []graph.V, rounds int, opt Options) (float64, error) {
+	h, err := s.Acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer h.Release()
+	return h.EvaluateSpread(seeds, blockers, rounds, opt)
+}
+
+// Stats returns a snapshot of the reuse counters. It waits for any
+// in-flight solve.
+func (s *Session) Stats() SessionStats {
+	s.lk <- struct{}{}
+	defer s.unlock()
+	return s.stats
+}
+
+// seedsKey canonicalizes a seed slice for reuse detection. Order is kept:
+// UnifySeeds lays out the super-source adjacency in seed order, so only a
+// byte-identical seed sequence is guaranteed to replay identically.
+func seedsKey(seeds []graph.V) string {
+	var b strings.Builder
+	for i, v := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+func sessionTestGraph(n int) *graph.Graph {
+	g := datasets.PreferentialAttachment(n, 3, true, rng.New(11))
+	return graph.Trivalency.Assign(g, rng.New(12))
+}
+
+// A warm Session must select exactly the blockers a cold Solve picks for
+// the same (Seed, Theta, Workers, Diffusion, DomAlgo) — the cached
+// estimator carries no per-run state.
+func TestSessionMatchesSolve(t *testing.T) {
+	g := sessionTestGraph(400)
+	seeds := []graph.V{1, 5, 9}
+	opt := Options{Theta: 200, Seed: 7, Workers: 2}
+	sess := NewSession(g, DiffusionIC, DomLengauerTarjan, 2)
+
+	for _, alg := range []Algorithm{AdvancedGreedy, GreedyReplace, OutDegree, Rand} {
+		direct, err := Solve(g, seeds, 6, alg, opt)
+		if err != nil {
+			t.Fatalf("%s: direct solve: %v", alg, err)
+		}
+		for call := 0; call < 2; call++ {
+			res, err := sess.Solve(context.Background(), seeds, 6, alg, opt)
+			if err != nil {
+				t.Fatalf("%s: session solve %d: %v", alg, call, err)
+			}
+			if !reflect.DeepEqual(res.Blockers, direct.Blockers) {
+				t.Fatalf("%s call %d: session blockers %v != direct %v", alg, call, res.Blockers, direct.Blockers)
+			}
+		}
+	}
+
+	st := sess.Stats()
+	if st.Rebuilds != 1 {
+		t.Errorf("rebuilds = %d, want 1 (same seed set throughout)", st.Rebuilds)
+	}
+	if st.Reuses < 7 {
+		t.Errorf("reuses = %d, want >= 7", st.Reuses)
+	}
+	if st.Solves != 8 {
+		t.Errorf("solves = %d, want 8", st.Solves)
+	}
+}
+
+// Changing the seed set must rebuild the unified instance (and count as a
+// rebuild), not silently reuse the old one.
+func TestSessionRebuildsOnSeedChange(t *testing.T) {
+	g := sessionTestGraph(200)
+	sess := NewSession(g, DiffusionIC, DomLengauerTarjan, 2)
+	opt := Options{Theta: 100, Seed: 3, Workers: 2}
+	ctx := context.Background()
+
+	if _, err := sess.Solve(ctx, []graph.V{0, 1}, 3, AdvancedGreedy, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(ctx, []graph.V{2, 3}, 3, AdvancedGreedy, opt); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Solve(g, []graph.V{2, 3}, 3, AdvancedGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Solve(ctx, []graph.V{2, 3}, 3, AdvancedGreedy, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Blockers, direct.Blockers) {
+		t.Fatalf("after seed change: session %v != direct %v", res.Blockers, direct.Blockers)
+	}
+	if st := sess.Stats(); st.Rebuilds != 2 || st.Reuses != 1 {
+		t.Errorf("stats = %+v, want 2 rebuilds, 1 reuse", st)
+	}
+}
+
+// Interleaved seed sets on one session must not thrash: each set keeps its
+// prepared instance (up to maxSessionInstances), so alternating callers
+// rebuild once each, not on every call.
+func TestSessionInterleavedSeedSets(t *testing.T) {
+	g := sessionTestGraph(200)
+	sess := NewSession(g, DiffusionIC, DomLengauerTarjan, 2)
+	opt := Options{Theta: 100, Seed: 3, Workers: 2}
+	ctx := context.Background()
+	setA, setB := []graph.V{0, 1}, []graph.V{2, 3}
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Solve(ctx, setA, 2, AdvancedGreedy, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Solve(ctx, setB, 2, AdvancedGreedy, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess.Stats(); st.Rebuilds != 2 || st.Reuses != 4 {
+		t.Errorf("stats = %+v, want 2 rebuilds, 4 reuses", st)
+	}
+
+	// More distinct seed sets than the cache bound still stay bounded:
+	// only eviction victims rebuild.
+	for i := 0; i < maxSessionInstances+1; i++ {
+		if _, err := sess.Solve(ctx, []graph.V{graph.V(10 + i)}, 1, OutDegree, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(sess.insts); n != maxSessionInstances {
+		t.Errorf("cached instances = %d, want %d", n, maxSessionInstances)
+	}
+}
+
+// Session.EvaluateSpread must agree with the stateless EvaluateSpread.
+func TestSessionEvaluateSpread(t *testing.T) {
+	g := sessionTestGraph(200)
+	seeds := []graph.V{1, 4}
+	blockers := []graph.V{7, 20}
+	opt := Options{Seed: 5, Workers: 2}
+
+	want, err := EvaluateSpread(g, seeds, blockers, 2000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(g, DiffusionIC, DomLengauerTarjan, 2)
+	got, err := sess.EvaluateSpread(context.Background(), seeds, blockers, 2000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("session spread %v != direct %v", got, want)
+	}
+}
+
+// Waiting for a busy session is context-aware: a canceled caller stops
+// queueing with ctx.Err() instead of blocking until the session frees.
+func TestSessionLockContextAware(t *testing.T) {
+	g := sessionTestGraph(100)
+	sess := NewSession(g, DiffusionIC, DomLengauerTarjan, 1)
+	if err := sess.lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Solve(ctx, []graph.V{0}, 1, AdvancedGreedy, Options{Theta: 10}); err == nil {
+		t.Fatal("Solve acquired a held session despite a canceled context")
+	}
+	if _, err := sess.EvaluateSpread(ctx, []graph.V{0}, nil, 10, Options{}); err == nil {
+		t.Fatal("EvaluateSpread acquired a held session despite a canceled context")
+	}
+	sess.unlock()
+	if _, err := sess.Solve(context.Background(), []graph.V{0}, 1, AdvancedGreedy, Options{Theta: 10, Seed: 1}); err != nil {
+		t.Fatalf("freed session: %v", err)
+	}
+}
+
+// A canceled context stops the greedy loop at the next round boundary and
+// flags the partial result as Canceled, not TimedOut.
+func TestSolveContextCanceled(t *testing.T) {
+	g := sessionTestGraph(200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first round check must fire
+	for _, alg := range []Algorithm{AdvancedGreedy, GreedyReplace, BaselineGreedy} {
+		res, err := SolveContext(ctx, g, []graph.V{0}, 5, alg, Options{Theta: 50, MCSRounds: 50, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !res.Canceled {
+			t.Errorf("%s: Canceled not set", alg)
+		}
+		if res.TimedOut {
+			t.Errorf("%s: TimedOut set on cancellation", alg)
+		}
+		if len(res.Blockers) != 0 {
+			t.Errorf("%s: got %d blockers before first round check", alg, len(res.Blockers))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -90,6 +91,10 @@ type Result struct {
 	// TimedOut reports whether the run hit Options.Timeout; Blockers then
 	// holds the partial selection.
 	TimedOut bool
+	// Canceled reports whether the run was stopped early by the caller's
+	// context (SolveContext / Session.Solve); Blockers then holds the
+	// partial selection, mirroring TimedOut.
+	Canceled bool
 	// SampledGraphs counts live-edge samples drawn (AG/GR) and
 	// MCSSimulations counts Monte-Carlo rounds run (BG), for the cost
 	// accounting in the efficiency experiments.
@@ -155,7 +160,18 @@ func (in *instance) candidate(u graph.V) bool {
 // Solve selects at most b blockers for seed set seeds on g using the chosen
 // algorithm. It returns the blockers in original vertex ids.
 func Solve(g *graph.Graph, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
-	opt = opt.withDefaults()
+	return SolveContext(context.Background(), g, seeds, b, alg, opt)
+}
+
+// SolveContext is Solve with a cancelable context: when ctx is canceled the
+// greedy loops stop at the next round boundary (BaselineGreedy: the next
+// candidate evaluation) and the partial selection is returned with
+// Result.Canceled set, exactly like an Options.Timeout expiry sets
+// Result.TimedOut. No error is returned for cancellation, so long-running
+// services can still use the partial blocker set.
+func SolveContext(ctx context.Context, g *graph.Graph, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
+	// Validate before newInstance: the multi-seed reduction copies the
+	// whole graph, which bad input should not pay for.
 	if b < 0 {
 		return Result{}, fmt.Errorf("core: negative budget %d", b)
 	}
@@ -163,7 +179,20 @@ func Solve(g *graph.Graph, seeds []graph.V, b int, alg Algorithm, opt Options) (
 	if err != nil {
 		return Result{}, err
 	}
+	return solveInstance(ctx, in, nil, b, alg, opt)
+}
+
+// solveInstance dispatches a prepared instance to the chosen algorithm.
+// Callers (SolveContext, Session.Solve) have already rejected negative
+// budgets — before paying for instance preparation. cached, when non-nil,
+// is a warm estimator over in's sampler to reuse instead of allocating
+// fresh worker scratch (the Session fast path); it is ignored by the
+// algorithms that do not use the Algorithm 2 estimator and by ReuseSamples
+// runs, whose pool depends on the per-run Options.Seed.
+func solveInstance(ctx context.Context, in *instance, cached *Estimator, b int, alg Algorithm, opt Options) (Result, error) {
+	opt = opt.withDefaults()
 	start := time.Now()
+	halt := stopper{ctx: ctx, dl: opt.deadline(start)}
 	var res Result
 	switch alg {
 	case Rand:
@@ -171,11 +200,20 @@ func Solve(g *graph.Graph, seeds []graph.V, b int, alg Algorithm, opt Options) (
 	case OutDegree:
 		res = solveOutDegree(in, b, opt)
 	case BaselineGreedy:
-		res = solveBaselineGreedy(in, b, opt)
-	case AdvancedGreedy:
-		res = solveAdvancedGreedy(in, b, opt)
-	case GreedyReplace:
-		res = solveGreedyReplace(in, b, opt)
+		res = solveBaselineGreedy(halt, in, b, opt)
+	case AdvancedGreedy, GreedyReplace:
+		base := rng.New(opt.Seed)
+		var est *estBackend
+		if cached != nil && !opt.ReuseSamples {
+			est = newEstBackendCached(cached, opt, base)
+		} else {
+			est = newEstBackend(in, opt, base)
+		}
+		if alg == AdvancedGreedy {
+			res = solveAdvancedGreedy(halt, in, est, b, opt)
+		} else {
+			res = solveGreedyReplace(halt, in, est, b, opt)
+		}
 	default:
 		return Result{}, fmt.Errorf("core: unknown algorithm %q", alg)
 	}
@@ -219,4 +257,33 @@ func (o Options) deadline(start time.Time) time.Time {
 
 func pastDeadline(dl time.Time) bool {
 	return !dl.IsZero() && time.Now().After(dl)
+}
+
+// stopper bundles the two early-exit signals the greedy loops poll between
+// rounds: the Options.Timeout deadline and caller-context cancellation.
+type stopper struct {
+	ctx context.Context
+	dl  time.Time
+}
+
+// stop reports whether the run should end now with a partial result.
+func (s stopper) stop() bool {
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return pastDeadline(s.dl)
+}
+
+// abort stamps the matching early-exit flag onto a partial result.
+func (s stopper) abort(res Result) Result {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		res.Canceled = true
+	} else {
+		res.TimedOut = true
+	}
+	return res
 }

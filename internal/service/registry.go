@@ -1,0 +1,115 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// ErrDuplicate reports a Register call for a name that is already taken,
+// ErrFull a registry at its configured capacity — the two registry
+// failures that are the server's state rather than the caller's input.
+var (
+	ErrDuplicate = errors.New("graph already registered")
+	ErrFull      = errors.New("graph registry full")
+)
+
+// Registry is the concurrent store of named, immutable graphs. Graphs are
+// registered once and shared by reference afterwards: graph.Graph is
+// read-only after construction, so any number of solves may read one
+// concurrently while the registry lock only guards the name table.
+type Registry struct {
+	mu      sync.RWMutex
+	limit   int // max entries; <= 0 means unbounded
+	entries map[string]*GraphEntry
+}
+
+// GraphEntry is one registered graph.
+type GraphEntry struct {
+	Name         string
+	G            *graph.Graph
+	Source       string // human-readable provenance ("dataset Wiki-Vote @ 0.02", "file edges.txt", ...)
+	RegisteredAt time.Time
+}
+
+// Info summarizes the entry for the listing API.
+func (e *GraphEntry) Info() GraphInfo {
+	return GraphInfo{
+		Name:         e.Name,
+		Vertices:     e.G.N(),
+		Edges:        e.G.M(),
+		Source:       e.Source,
+		RegisteredAt: e.RegisteredAt,
+	}
+}
+
+// NewRegistry returns an empty registry holding at most limit graphs
+// (<= 0 for no bound). Every entry lives in memory forever — per-entry
+// size caps alone would not stop many right-sized registrations from
+// exhausting memory, hence the count bound.
+func NewRegistry(limit int) *Registry {
+	return &Registry{limit: limit, entries: make(map[string]*GraphEntry)}
+}
+
+// graphName constrains registry names so they can appear in URL paths.
+var graphName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidateName reports whether name may be registered. Register applies it
+// itself; callers may use it up front to fail fast before building a graph.
+func ValidateName(name string) error {
+	if !graphName.MatchString(name) {
+		return fmt.Errorf("invalid graph name %q (want %s)", name, graphName)
+	}
+	return nil
+}
+
+// Register adds a graph under name. Registering an existing name fails:
+// entries are immutable so cached sessions can never go stale.
+func (r *Registry) Register(name string, g *graph.Graph, source string) (*GraphEntry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("graph %q: %w", name, ErrDuplicate)
+	}
+	if r.limit > 0 && len(r.entries) >= r.limit {
+		return nil, fmt.Errorf("%w (limit %d)", ErrFull, r.limit)
+	}
+	e := &GraphEntry{Name: name, G: g, Source: source, RegisteredAt: time.Now()}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Get looks up a graph by name.
+func (r *Registry) Get(name string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// List returns all entries' info, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,620 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// Config tunes a Server. The zero value is serviceable: all cores, a
+// session cache of 8 graphs, the paper's default θ, and no file loading.
+type Config struct {
+	// MaxConcurrent bounds the solve worker pool: at most this many solves
+	// (plus their spread evaluations) run at once, the rest queue on the
+	// request context. Default GOMAXPROCS.
+	MaxConcurrent int
+	// MaxSessions bounds the warm-session LRU. Default 8.
+	MaxSessions int
+	// SolveWorkers is the per-solve parallelism handed to the estimator
+	// (Options.Workers). Default 0 = all cores.
+	SolveWorkers int
+	// DomAlgo selects the dominator algorithm for every session.
+	DomAlgo core.DomAlgo
+	// DefaultTimeout caps solves that do not set timeout_ms; 0 = none.
+	DefaultTimeout time.Duration
+	// DefaultTheta, DefaultMCSRounds and DefaultEvalRounds fill unset
+	// request fields. Defaults 10000, 10000, 2000.
+	DefaultTheta      int
+	DefaultMCSRounds  int
+	DefaultEvalRounds int
+	// MaxTheta and MaxEvalRounds clamp the per-request sample counts (one
+	// estimation round is not cancelable, so unbounded values would let a
+	// single request burn CPU past any timeout). Defaults 1e6 and 50000.
+	MaxTheta      int
+	MaxEvalRounds int
+	// MaxGraphSize rejects generator registrations whose vertex count or
+	// estimated edge count exceeds it, and MaxGraphs bounds how many
+	// graphs may be registered at all — the registry holds whole graphs
+	// in memory forever, so neither one oversized POST nor many
+	// right-sized ones may OOM the daemon. Defaults 20e6 and 64.
+	// (Files are bounded by DataDir contents, datasets by Scale <= 1.)
+	MaxGraphSize int
+	MaxGraphs    int
+	// DataDir is the only directory path-based graph registration may read
+	// from; empty disables file loading entirely.
+	DataDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.DefaultTheta <= 0 {
+		c.DefaultTheta = 10000
+	}
+	if c.DefaultMCSRounds <= 0 {
+		c.DefaultMCSRounds = 10000
+	}
+	if c.DefaultEvalRounds <= 0 {
+		c.DefaultEvalRounds = 2000
+	}
+	if c.MaxTheta <= 0 {
+		c.MaxTheta = 1_000_000
+	}
+	if c.MaxEvalRounds <= 0 {
+		c.MaxEvalRounds = 50_000
+	}
+	if c.MaxGraphSize <= 0 {
+		c.MaxGraphSize = 20_000_000
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	return c
+}
+
+// Server is the HTTP front end. Create with New, mount Handler on an
+// http.Server.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	sessions *SessionCache
+	sem      chan struct{}
+	regSem   chan struct{} // serializes graph builds: N concurrent registrations must not hold N graphs transiently
+	mux      *http.ServeMux
+	started  time.Time
+	inFlight atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxGraphs),
+		sessions: NewSessionCache(cfg.MaxSessions, cfg.SolveWorkers, cfg.DomAlgo),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		regSem:   make(chan struct{}, 1),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /graphs", s.handleRegister)
+	s.mux.HandleFunc("GET /graphs", s.handleList)
+	s.mux.HandleFunc("GET /graphs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the graph registry, e.g. for preloading at startup.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Sessions exposes the warm-session cache (tests, metrics).
+func (s *Server) Sessions() *SessionCache { return s.sessions }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing left to do on error
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Graphs:        s.registry.Len(),
+		Sessions:      s.sessions.Stats(),
+		InFlight:      s.inFlight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+// maxBodyBytes caps request bodies: the graph-size/count/sample caps are
+// pointless if a multi-gigabyte JSON body can OOM the decoder first. 8 MB
+// still fits about a million explicit seed ids.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterGraphRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Fail fast on a bad name, a taken name, or a full registry before
+	// paying for a graph build. Register re-checks authoritatively under
+	// its own lock; these pre-checks only avoid building doomed graphs.
+	if err := ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, taken := s.registry.Get(req.Name); taken {
+		writeErr(w, http.StatusConflict, "graph %q: %v", req.Name, ErrDuplicate)
+		return
+	}
+	if s.registry.Len() >= s.cfg.MaxGraphs {
+		writeErr(w, http.StatusInsufficientStorage, "%v (limit %d)", ErrFull, s.cfg.MaxGraphs)
+		return
+	}
+	// One build at a time: the caps bound each graph, this bounds how many
+	// not-yet-registered graphs can exist transiently.
+	select {
+	case s.regSem <- struct{}{}:
+		defer func() { <-s.regSem }()
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for registration")
+		return
+	}
+	g, source, err := s.buildGraph(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.registry.Register(req.Name, g, source)
+	switch {
+	case errors.Is(err, ErrDuplicate):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrFull):
+		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+// buildGraph materializes the requested graph and a provenance string.
+func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, error) {
+	sources := 0
+	for _, set := range []bool{req.Path != "", req.Dataset != "", req.Generator != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", fmt.Errorf("set exactly one of path, dataset, generator")
+	}
+
+	var g *graph.Graph
+	var source string
+	generated := true
+	switch {
+	case req.Path != "":
+		generated = false
+		var err error
+		g, source, err = s.loadGraphFile(req)
+		if err != nil {
+			return nil, "", err
+		}
+	case req.Dataset != "":
+		spec, ok := datasets.ByName(req.Dataset)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown dataset %q (have %v)", req.Dataset, datasets.Names())
+		}
+		scale := req.Scale
+		if scale == 0 {
+			scale = 0.02
+		}
+		if scale <= 0 || scale > 1 {
+			return nil, "", fmt.Errorf("scale %v out of (0,1]", scale)
+		}
+		// The stand-in's size is known from the spec before any
+		// allocation; hold it to the same cap as the generators.
+		estN := float64(spec.FullN) * scale
+		estM := float64(spec.FullM) * scale
+		if !spec.Directed {
+			estM *= 2 // undirected edges materialize in both directions
+		}
+		if estN > float64(s.cfg.MaxGraphSize) || estM > float64(s.cfg.MaxGraphSize) {
+			return nil, "", fmt.Errorf("graph too large: %s at scale %g is ~%.0f vertices / ~%.0f edges, exceeding the server cap of %d",
+				spec.Name, scale, estN, estM, s.cfg.MaxGraphSize)
+		}
+		g = spec.Generate(scale, req.Seed)
+		source = fmt.Sprintf("dataset %s @ %g", spec.Name, scale)
+	default:
+		var err error
+		g, source, err = generateGraph(req, s.cfg.MaxGraphSize)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	model := req.ProbModel
+	if model == "" {
+		if generated {
+			model = "TR"
+		} else {
+			model = "keep"
+		}
+	}
+	switch strings.ToUpper(model) {
+	case "TR":
+		g = graph.Trivalency.Assign(g, rng.New(req.Seed^0x7112))
+		source += ", TR"
+	case "WC":
+		g = graph.WeightedCascade.Assign(g, nil)
+		source += ", WC"
+	case "KEEP":
+	default:
+		return nil, "", fmt.Errorf("unknown prob_model %q (want TR, WC or keep)", req.ProbModel)
+	}
+	return g, source, nil
+}
+
+// loadGraphFile reads an edge-list or binary graph file confined to the
+// configured data directory.
+func (s *Server) loadGraphFile(req RegisterGraphRequest) (*graph.Graph, string, error) {
+	if s.cfg.DataDir == "" {
+		return nil, "", fmt.Errorf("file loading disabled: server started without a data directory")
+	}
+	full := filepath.Join(s.cfg.DataDir, filepath.Clean("/"+req.Path))
+	rel, err := filepath.Rel(s.cfg.DataDir, full)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return nil, "", fmt.Errorf("path %q escapes the data directory", req.Path)
+	}
+	if strings.HasSuffix(full, ".bin") {
+		g, err := graph.ReadBinaryFile(full)
+		if err != nil {
+			return nil, "", fmt.Errorf("read %s: %v", rel, err)
+		}
+		return g, "file " + rel, nil
+	}
+	g, _, err := graph.ReadEdgeListFile(full, graph.ReadOptions{Undirected: req.Undirected})
+	if err != nil {
+		return nil, "", fmt.Errorf("read %s: %v", rel, err)
+	}
+	return g, "file " + rel, nil
+}
+
+func generateGraph(req RegisterGraphRequest, maxSize int) (*graph.Graph, string, error) {
+	// Each branch re-states its generator's panic preconditions as 400s:
+	// a remote request must never reach a datasets panic.
+	var (
+		estEdges float64
+		source   string
+		build    func(*rng.Source) *graph.Graph
+	)
+	undirected := !req.Directed
+	switch req.Generator {
+	case "preferential-attachment":
+		if req.N < 2 {
+			return nil, "", fmt.Errorf("preferential-attachment needs n >= 2")
+		}
+		epv := req.EdgesPerVertex
+		if epv <= 0 {
+			epv = 5
+		}
+		estEdges = float64(req.N) * epv
+		source = fmt.Sprintf("preferential-attachment n=%d epv=%g", req.N, epv)
+		build = func(r *rng.Source) *graph.Graph {
+			return datasets.PreferentialAttachment(req.N, epv, req.Directed, r)
+		}
+	case "erdos-renyi":
+		if req.N < 2 {
+			return nil, "", fmt.Errorf("erdos-renyi needs n >= 2")
+		}
+		if req.M <= 0 {
+			return nil, "", fmt.Errorf("erdos-renyi needs m > 0")
+		}
+		estEdges = float64(req.M)
+		source = fmt.Sprintf("erdos-renyi n=%d m=%d", req.N, req.M)
+		build = func(r *rng.Source) *graph.Graph {
+			return datasets.ErdosRenyi(req.N, req.M, req.Directed, r)
+		}
+	case "watts-strogatz":
+		k := req.K
+		if k <= 0 {
+			k = 4
+		}
+		if req.N < 2*k+1 {
+			return nil, "", fmt.Errorf("watts-strogatz needs n > 2k (n=%d, k=%d)", req.N, k)
+		}
+		if req.Directed {
+			return nil, "", fmt.Errorf("watts-strogatz graphs are undirected; omit directed")
+		}
+		undirected = true
+		estEdges = float64(req.N) * float64(k)
+		source = fmt.Sprintf("watts-strogatz n=%d k=%d beta=%g", req.N, k, req.Beta)
+		build = func(r *rng.Source) *graph.Graph {
+			return datasets.WattsStrogatz(req.N, k, req.Beta, r)
+		}
+	default:
+		return nil, "", fmt.Errorf("unknown generator %q (want preferential-attachment, erdos-renyi or watts-strogatz)", req.Generator)
+	}
+	if undirected {
+		estEdges *= 2 // undirected edges materialize in both directions
+	}
+	// Size-check from the request alone, before any allocation.
+	if float64(req.N) > float64(maxSize) || estEdges > float64(maxSize) {
+		return nil, "", fmt.Errorf("graph too large: %d vertices / ~%.0f edges exceed the server cap of %d", req.N, estEdges, maxSize)
+	}
+	return build(rng.New(req.Seed)), source, nil
+}
+
+var validAlgorithms = map[core.Algorithm]bool{
+	core.Rand:           true,
+	core.OutDegree:      true,
+	core.BaselineGreedy: true,
+	core.AdvancedGreedy: true,
+	core.GreedyReplace:  true,
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Budget < 0 {
+		writeErr(w, http.StatusBadRequest, "negative budget %d", req.Budget)
+		return
+	}
+	alg := core.GreedyReplace
+	if req.Algorithm != "" {
+		alg = core.Algorithm(req.Algorithm)
+		if !validAlgorithms[alg] {
+			writeErr(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+			return
+		}
+	}
+	var diffusion core.Diffusion
+	switch strings.ToUpper(req.Model) {
+	case "", "IC":
+		diffusion = core.DiffusionIC
+	case "LT":
+		diffusion = core.DiffusionLT
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown model %q (want IC or LT)", req.Model)
+		return
+	}
+
+	g := entry.G
+	seeds, err := resolveSeeds(g, &req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := r.Context()
+	key := SessionKey{Graph: entry.Name, Diffusion: diffusion}
+	sess, hit := s.sessions.Acquire(key, g)
+
+	// Queue for the (graph, model) session first: sessions serialize their
+	// callers, and the wait costs no CPU, so it must not occupy a solve
+	// slot — otherwise one hot graph's queue would hold every slot and
+	// starve requests for all other graphs (head-of-line blocking).
+	lh, err := sess.Acquire(ctx)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for the graph session")
+		return
+	}
+	defer lh.Release()
+
+	// CPU admission: the bounded pool of actually-running solves. Safe to
+	// wait while holding the session: slot holders are running, never
+	// queued on a session themselves.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for a solve slot")
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	theta := min(orDefault(req.Theta, s.cfg.DefaultTheta), s.cfg.MaxTheta)
+	mcs := min(orDefault(req.MCSRounds, s.cfg.DefaultMCSRounds), s.cfg.MaxEvalRounds)
+	opt := core.Options{
+		Theta:     theta,
+		MCSRounds: mcs,
+		Seed:      req.Seed,
+		Timeout:   timeout,
+	}
+
+	evalRounds := req.EvalRounds
+	if evalRounds == 0 {
+		evalRounds = s.cfg.DefaultEvalRounds
+	}
+	if evalRounds > s.cfg.MaxEvalRounds {
+		evalRounds = s.cfg.MaxEvalRounds
+	}
+
+	resp := SolveResponse{
+		Graph:           entry.Name,
+		Algorithm:       string(alg),
+		Model:           diffusionName(diffusion),
+		Seeds:           verticesToInts(seeds),
+		Theta:           theta,
+		MCSRounds:       mcs,
+		SessionCacheHit: hit,
+	}
+
+	var before float64
+	if evalRounds > 0 {
+		before, err = evaluateSpread(ctx, lh, seeds, nil, evalRounds, opt)
+		if err != nil {
+			writeErr(w, evalStatus(ctx), "spread evaluation: %v", err)
+			return
+		}
+	}
+
+	res, err := lh.Solve(ctx, seeds, req.Budget, alg, opt)
+	if err != nil {
+		writeErr(w, evalStatus(ctx), "solve: %v", err)
+		return
+	}
+	resp.Blockers = verticesToInts(res.Blockers)
+	resp.SampledGraphs = res.SampledGraphs
+	resp.MCSSimulations = res.MCSSimulations
+	resp.SolveMS = float64(res.Runtime) / float64(time.Millisecond)
+	resp.TimedOut = res.TimedOut
+	resp.Canceled = res.Canceled
+
+	if evalRounds > 0 && !resp.Canceled {
+		after, err := evaluateSpread(ctx, lh, seeds, res.Blockers, evalRounds, opt)
+		if err != nil {
+			writeErr(w, evalStatus(ctx), "spread evaluation: %v", err)
+			return
+		}
+		resp.SpreadBefore = &before
+		resp.SpreadAfter = &after
+		if before > 0 {
+			pct := 100 * (before - after) / before
+			resp.ReductionPct = &pct
+		}
+	}
+	resp.TotalMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalChunk is the largest number of Monte-Carlo rounds run between
+// context checks: one EvaluateSpread call is not cancelable, so the
+// before/after spread reports run in chunks to stop burning CPU (and
+// holding the worker slot and session) once the client is gone.
+const evalChunk = 2000
+
+// evaluateSpread is EvaluateSpread on an acquired session with
+// cancellation, averaging independent chunks (each on its own rng stream)
+// into one estimate.
+func evaluateSpread(ctx context.Context, h *core.LockedSession, seeds, blockers []graph.V, rounds int, opt core.Options) (float64, error) {
+	var total float64
+	for done := 0; done < rounds; done += evalChunk {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n := min(rounds-done, evalChunk)
+		copt := opt
+		copt.Seed = opt.Seed + uint64(done)*0x9e3779b97f4a7c15
+		v, err := h.EvaluateSpread(seeds, blockers, n, copt)
+		if err != nil {
+			return 0, err
+		}
+		total += v * float64(n)
+	}
+	return total / float64(rounds), nil
+}
+
+// evalStatus maps a solve or evaluation failure to a status: a dead or
+// timed-out client gets a best-effort 503, a bad problem a 400.
+func evalStatus(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// orDefault substitutes def for unset (non-positive) request values.
+func orDefault(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// resolveSeeds validates explicit seeds or draws the requested number of
+// random ones.
+func resolveSeeds(g *graph.Graph, req *SolveRequest) ([]graph.V, error) {
+	if len(req.Seeds) > 0 {
+		seeds := make([]graph.V, len(req.Seeds))
+		for i, id := range req.Seeds {
+			if id < 0 || id >= g.N() {
+				return nil, fmt.Errorf("seed %d out of range [0,%d)", id, g.N())
+			}
+			seeds[i] = graph.V(id)
+		}
+		return seeds, nil
+	}
+	count := req.NumSeeds
+	if count <= 0 {
+		count = 1
+	}
+	return datasets.RandomSeeds(g, count, true, rng.New(req.Seed^0x5eed))
+}
+
+func diffusionName(d core.Diffusion) string {
+	if d == core.DiffusionLT {
+		return "LT"
+	}
+	return "IC"
+}
+
+func verticesToInts(vs []graph.V) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// SessionKey identifies one warm solver session: sessions cache sampler and
+// estimator state, both of which are bound to a graph and a diffusion
+// model, so the pair is the natural cache key.
+type SessionKey struct {
+	Graph     string
+	Diffusion core.Diffusion
+}
+
+// CacheStats reports session-cache effectiveness.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// SessionCache is a bounded LRU of core.Session values. A session's worker
+// scratch costs several O(n) arrays per worker, so an unbounded cache on a
+// server with many registered graphs would hold the sum of all their
+// vertex counts in memory forever; the LRU bound caps that at Capacity
+// graphs' worth.
+//
+// Eviction only drops the cache's reference: a solve holding the evicted
+// *core.Session finishes normally (the session is self-contained and owns
+// its own mutex) and the memory is reclaimed when the last holder returns.
+type SessionCache struct {
+	mu       sync.Mutex
+	capacity int
+	workers  int
+	domAlgo  core.DomAlgo
+	entries  map[SessionKey]*list.Element
+	order    *list.List // front = most recently used
+	stats    CacheStats
+}
+
+type cacheItem struct {
+	key  SessionKey
+	sess *core.Session
+}
+
+// NewSessionCache returns an LRU bound to capacity sessions (minimum 1).
+// workers and domAlgo configure every session it builds.
+func NewSessionCache(capacity, workers int, domAlgo core.DomAlgo) *SessionCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SessionCache{
+		capacity: capacity,
+		workers:  workers,
+		domAlgo:  domAlgo,
+		entries:  make(map[SessionKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Acquire returns the warm session for key, building one over g on a miss,
+// and reports whether it was a cache hit. The caller uses the session
+// outside the cache lock; session-internal locking serializes concurrent
+// solves on the same key.
+func (c *SessionCache) Acquire(key SessionKey, g *graph.Graph) (*core.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheItem).sess, true
+	}
+	c.stats.Misses++
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+		c.stats.Evictions++
+	}
+	sess := core.NewSession(g, key.Diffusion, c.domAlgo, c.workers)
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, sess: sess})
+	return sess, false
+}
+
+// Contains reports whether key is currently cached, without touching LRU
+// order or counters.
+func (c *SessionCache) Contains(key SessionKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Stats returns a snapshot of the counters.
+func (c *SessionCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Size = c.order.Len()
+	st.Capacity = c.capacity
+	return st
+}

@@ -1,0 +1,143 @@
+// Package service is the blocking-as-a-service layer: a long-running HTTP
+// server that keeps graphs and per-graph solver sessions warm so repeated
+// influence-minimization requests skip all setup cost (graph load,
+// multi-seed unification, sampler/estimator scratch allocation).
+//
+// It is built from three parts:
+//
+//   - Registry: named, immutable graphs registered once (from an edge-list
+//     file, a Table IV stand-in dataset, or a random-graph generator) and
+//     shared by every request that names them.
+//   - SessionCache: an LRU of warm core.Session values keyed by
+//     (graph, diffusion model), each serializing its callers to honor the
+//     estimator's single-caller constraint.
+//   - Server: the HTTP/JSON front end with a bounded solve worker pool and
+//     per-request timeout/cancellation plumbed down into the greedy loops.
+package service
+
+import "time"
+
+// RegisterGraphRequest is the body of POST /graphs. Name is required, plus
+// exactly one graph source: Path (an edge-list or .bin file under the
+// server's data directory), Dataset (a Table IV stand-in, generated at
+// Scale), or Generator (a random-graph family).
+type RegisterGraphRequest struct {
+	Name string `json:"name"`
+
+	// Path names a graph file relative to the server's data directory:
+	// SNAP-style edge list ("u v [p]" lines) or the library's .bin format.
+	Path       string `json:"path,omitempty"`
+	Undirected bool   `json:"undirected,omitempty"` // edge-list files only
+
+	// Dataset generates a synthetic stand-in for one of the paper's
+	// Table IV datasets at Scale (fraction of published size, default 0.02).
+	Dataset string  `json:"dataset,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+
+	// Generator is one of "preferential-attachment" (N, EdgesPerVertex,
+	// Directed), "erdos-renyi" (N, M, Directed) or "watts-strogatz"
+	// (N, K, Beta).
+	Generator      string  `json:"generator,omitempty"`
+	N              int     `json:"n,omitempty"`
+	M              int     `json:"m,omitempty"`
+	EdgesPerVertex float64 `json:"edges_per_vertex,omitempty"`
+	K              int     `json:"k,omitempty"`
+	Beta           float64 `json:"beta,omitempty"`
+	Directed       bool    `json:"directed,omitempty"`
+
+	// ProbModel assigns edge probabilities: "TR" (trivalency), "WC"
+	// (weighted cascade) or "keep" (use the source's probabilities).
+	// Default: "TR" for generated graphs, "keep" for files.
+	ProbModel string `json:"prob_model,omitempty"`
+	// Seed drives dataset/generator randomness and TR assignment.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// GraphInfo describes one registered graph (GET /graphs).
+type GraphInfo struct {
+	Name         string    `json:"name"`
+	Vertices     int       `json:"vertices"`
+	Edges        int       `json:"edges"`
+	Source       string    `json:"source"`
+	RegisteredAt time.Time `json:"registered_at"`
+}
+
+// SolveRequest is the body of POST /graphs/{id}/solve.
+type SolveRequest struct {
+	// Seeds are explicit misinformation-seed vertex ids; when empty,
+	// NumSeeds random out-degree-positive vertices are drawn from Seed.
+	Seeds    []int `json:"seeds,omitempty"`
+	NumSeeds int   `json:"num_seeds,omitempty"`
+	// Budget is the maximum number of vertices to block.
+	Budget int `json:"budget"`
+	// Algorithm: rand, outdegree, baseline-greedy, advanced-greedy or
+	// greedy-replace (default).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model: "IC" (default) or "LT".
+	Model string `json:"model,omitempty"`
+	// Theta is Algorithm 2's sample count per greedy round (default: the
+	// server's configured default, normally 10000; clamped to the server's
+	// MaxTheta — the effective value is echoed in the response).
+	Theta int `json:"theta,omitempty"`
+	// MCSRounds is baseline-greedy's Monte-Carlo rounds per evaluation
+	// (clamped to the server's MaxEvalRounds; effective value echoed).
+	MCSRounds int `json:"mcs_rounds,omitempty"`
+	// EvalRounds is the Monte-Carlo rounds for the before/after spread
+	// report; 0 uses the server default, -1 skips the spread evaluation
+	// (clamped to the server's MaxEvalRounds).
+	EvalRounds int `json:"eval_rounds,omitempty"`
+	// Seed makes the request reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS caps the solve; 0 uses the server default. On expiry the
+	// partial blocker set is returned with timed_out set.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse reports a solve.
+type SolveResponse struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
+	Seeds     []int  `json:"seeds"`
+	Blockers  []int  `json:"blockers"`
+	// SpreadBefore/SpreadAfter are Monte-Carlo estimates of the expected
+	// spread with no blockers and with the returned blockers; omitted when
+	// eval_rounds = -1.
+	SpreadBefore *float64 `json:"spread_before,omitempty"`
+	SpreadAfter  *float64 `json:"spread_after,omitempty"`
+	ReductionPct *float64 `json:"reduction_pct,omitempty"`
+	// Theta and MCSRounds echo the effective (defaulted, clamped) sample
+	// counts; SampledGraphs and MCSSimulations are the solver's cost
+	// counters.
+	Theta          int   `json:"theta"`
+	MCSRounds      int   `json:"mcs_rounds"`
+	SampledGraphs  int64 `json:"sampled_graphs,omitempty"`
+	MCSSimulations int64 `json:"mcs_simulations,omitempty"`
+	// SolveMS is the blocker-selection wall clock; TotalMS includes seed
+	// resolution and the spread evaluations.
+	SolveMS float64 `json:"solve_ms"`
+	TotalMS float64 `json:"total_ms"`
+	// TimedOut/Canceled report an early exit with a partial blocker set.
+	TimedOut bool `json:"timed_out,omitempty"`
+	Canceled bool `json:"canceled,omitempty"`
+	// SessionCacheHit reports whether the request found a warm session for
+	// (graph, model). The session caches prepared state per seed set, so a
+	// hit skips all setup only when this seed set was solved recently; a
+	// new seed set still pays instance+estimator construction once.
+	SessionCacheHit bool `json:"session_cache_hit"`
+}
+
+// StatsResponse is GET /stats: registry size, session-cache counters, and
+// server load.
+type StatsResponse struct {
+	Graphs        int        `json:"graphs"`
+	Sessions      CacheStats `json:"sessions"`
+	InFlight      int64      `json:"in_flight"`
+	MaxConcurrent int        `json:"max_concurrent"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the JSON error envelope for every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
