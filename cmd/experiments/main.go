@@ -33,7 +33,7 @@ func (e *expFlag) Set(v string) error { *e = append(*e, strings.ToLower(v)); ret
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable): table3, table5, table6, table7, fig5, fig7, fig8, fig9, fig10, fig11, all")
+	flag.Var(&exps, "exp", "experiment to run (repeatable): table3, table5, table6, table7, fig5, fig7, fig8, fig9, fig10, fig11, all, benchcore (explicit only, not in all)")
 	var (
 		scale    = flag.Float64("scale", 0.02, "dataset scale")
 		theta    = flag.Int("theta", 1000, "sampled graphs per round")
@@ -45,6 +45,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (full or short names)")
 		csvDir   = flag.String("csv-dir", "", "also write each experiment's rows as CSV into this directory")
+		benchOut = flag.String("bench-out", "BENCH_core.json", "JSON output path for -exp benchcore")
+		benchB   = flag.Int("bench-budget", 10, "greedy rounds per benchcore run")
 	)
 	flag.Parse()
 	if len(exps) == 0 {
@@ -131,6 +133,19 @@ func main() {
 		pts, err := harness.RunFig1011(cfg, graph.Trivalency, harness.Fig1011Options{})
 		failIf(err)
 		dumpCSV(*csvDir, "fig10.csv", func(w io.Writer) error { return harness.WriteFig1011CSV(w, pts) })
+	}
+	// benchcore is the estimator cost baseline, not a paper experiment; it
+	// writes BENCH_core.json and only runs when named explicitly.
+	if want["benchcore"] {
+		section("Estimator benchmark (DecreaseES fresh vs pooled vs incremental)")
+		_, err := harness.RunBenchCore(cfg, harness.BenchCoreOptions{
+			Budget:   *benchB,
+			JSONPath: *benchOut,
+		})
+		failIf(err)
+		if *benchOut != "" {
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
 	}
 	if run("fig11") {
 		section("Figure 11 (time vs seeds, WC)")

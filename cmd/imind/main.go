@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +53,7 @@ func main() {
 		preload     = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
 		scale       = flag.Float64("scale", 0.02, "scale for -preload datasets")
 		rngSeed     = flag.Uint64("rng", 1, "seed for -preload generation")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,18 @@ func main() {
 			}
 			log.Printf("preloaded %s: %d vertices, %d edges", name, g.N(), g.M())
 		}
+	}
+
+	// The profiler gets its own listener (and the default mux, where the
+	// blank pprof import registers) so profiling endpoints are never exposed
+	// on the service address.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -27,6 +27,7 @@ func solveAdvancedGreedy(halt stopper, in *instance, est *estBackend, b int, opt
 			break
 		}
 		blocked[best] = true
+		est.noteFlip(best)
 		blockers = append(blockers, best)
 	}
 	return Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()}
@@ -35,11 +36,15 @@ func solveAdvancedGreedy(halt stopper, in *instance, est *estBackend, b int, opt
 // pickMax returns the unblocked candidate with the largest Δ, ties broken
 // by smaller vertex id (deterministic), or -1 if none remain. Following
 // Algorithm 1/3 line "x = -1 or Δ[u] > Δ[x]", a candidate is returned even
-// when every Δ is zero — blocking it is harmless and keeps |B| = b.
+// when every Δ is zero — blocking it is harmless and keeps |B| = b. The
+// scan walks the instance's precomputed candidate list (ascending, so
+// tie-breaking is unchanged) instead of re-filtering all n vertices: at
+// serving scale — millions of vertices, a handful of seeds — the two are
+// the same length, but the candidate test drops out of the per-round path.
 func pickMax(in *instance, blocked []bool, delta []float64) graph.V {
 	best := graph.V(-1)
-	for u := graph.V(0); int(u) < in.orig.N(); u++ {
-		if !in.candidate(u) || blocked[u] {
+	for _, u := range in.cands {
+		if blocked[u] {
 			continue
 		}
 		if best == -1 || delta[u] > delta[best] {

@@ -5,24 +5,42 @@ import (
 	"github.com/imin-dev/imin/internal/rng"
 )
 
-// estBackend abstracts over the two DecreaseES strategies so the greedy
+// estBackend abstracts over the DecreaseES strategies so the greedy
 // algorithms stay agnostic: fresh samples every round (the paper's
-// Algorithm 2, default) or one shared pool reused across rounds
-// (Options.ReuseSamples; see PooledEstimator).
+// Algorithm 2, default), or one shared pool reused across rounds
+// (Options.ReuseSamples) answered by the delta-maintained
+// IncrementalPooledEstimator. The non-incremental PooledEstimator can also
+// be slotted in (tests and the ablation benchmarks do) — the two are
+// bit-identical over the same pool, so nothing downstream can tell.
 type estBackend struct {
 	fresh  *Estimator
 	pooled *PooledEstimator
+	incr   *IncrementalPooledEstimator
 	theta  int
 	base   *rng.Source
 	drawn  int64
+
+	// flips accumulates the blocked-set mutations the greedy loop reported
+	// since the last decreaseES call; flipsKnown turns true after the first
+	// call, from which point the list is complete and the incremental
+	// estimator can skip its O(n) diff scan.
+	flips      []graph.V
+	flipsKnown bool
 }
 
-// newEstBackend builds the configured backend for one solve run.
+// noteFlip records that the caller flipped v's blocked state. The greedy
+// loops call it after every blocked[v] mutation; a loop that ever mutates
+// blocked without reporting here would corrupt the incremental cache.
+func (b *estBackend) noteFlip(v graph.V) {
+	b.flips = append(b.flips, v)
+}
+
+// newEstBackend builds the configured backend for one cold solve run.
 func newEstBackend(in *instance, opt Options, base *rng.Source) *estBackend {
 	b := &estBackend{theta: opt.Theta, base: base}
 	sampler := in.sampler(opt.Diffusion)
 	if opt.ReuseSamples {
-		b.pooled = NewPooledEstimator(sampler, in.src, opt.Theta, opt.Workers, opt.DomAlgo, base.Split(^uint64(0)))
+		b.incr = NewIncrementalPooledEstimator(sampler, in.src, opt.Theta, opt.Workers, opt.DomAlgo, base.Split(^uint64(0)))
 		b.drawn = int64(opt.Theta)
 	} else {
 		b.fresh = NewEstimator(sampler, opt.Workers, opt.DomAlgo)
@@ -39,16 +57,37 @@ func newEstBackendCached(est *Estimator, opt Options, base *rng.Source) *estBack
 	return &estBackend{fresh: est, theta: opt.Theta, base: base}
 }
 
-// decreaseES fills dst with Δ[u] on G[V\B] for the given greedy round.
-func (b *estBackend) decreaseES(dst []float64, src graph.V, blocked []bool, round uint64) {
-	if b.pooled != nil {
-		b.pooled.DecreaseES(dst, blocked)
-		return
-	}
-	b.fresh.DecreaseES(dst, src, blocked, b.theta, b.base.Split(round))
-	b.drawn += int64(b.theta)
+// newEstBackendWarmPool wraps a Session's warm incremental estimator: the
+// pool already exists, so the run draws zero new samples and the
+// accumulator state carried over from earlier runs keeps rounds O(θ_x·m̄).
+// Determinism still holds — the pool is keyed by (Seed, Theta) and the
+// maintained accumulator always equals a full re-scan's.
+func newEstBackendWarmPool(est *IncrementalPooledEstimator, opt Options, base *rng.Source) *estBackend {
+	return &estBackend{incr: est, theta: opt.Theta, base: base}
 }
 
-// samplesDrawn reports the number of live-edge samples generated so far
-// (the pool counts once, fresh sampling counts per round).
+// decreaseES fills dst with Δ[u] on G[V\B] for the given greedy round.
+func (b *estBackend) decreaseES(dst []float64, src graph.V, blocked []bool, round uint64) {
+	switch {
+	case b.incr != nil:
+		if b.flipsKnown {
+			b.incr.DecreaseESFlips(dst, blocked, b.flips)
+		} else {
+			// First call of this run: a warm estimator may carry blocked
+			// state from an earlier run, so diff in full once.
+			b.incr.DecreaseES(dst, blocked)
+		}
+		b.flips = b.flips[:0]
+		b.flipsKnown = true
+	case b.pooled != nil:
+		b.pooled.DecreaseES(dst, blocked)
+	default:
+		b.fresh.DecreaseES(dst, src, blocked, b.theta, b.base.Split(round))
+		b.drawn += int64(b.theta)
+	}
+}
+
+// samplesDrawn reports the number of live-edge samples generated during this
+// run (a freshly built pool counts once, a warm pool counts zero, fresh
+// sampling counts per round).
 func (b *estBackend) samplesDrawn() int64 { return b.drawn }

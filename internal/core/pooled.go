@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 
 	"github.com/imin-dev/imin/internal/cascade"
@@ -12,8 +11,8 @@ import (
 
 // PooledEstimator is the sample-reuse variant of Algorithm 2 (the
 // DESIGN.md §6 "sampling reuse" ablation): it draws the θ live-edge
-// samples once, stores them, and answers every subsequent DecreaseES call
-// — one per greedy round — by re-scanning the stored samples with the
+// samples once into a SamplePool and answers every subsequent DecreaseES
+// call — one per greedy round — by re-scanning every stored sample with the
 // current blocker set filtered out.
 //
 // Trade-offs versus the paper's fresh-samples-per-round scheme:
@@ -28,70 +27,47 @@ import (
 //     still unbiased for G[V\B] because filtering a live-edge sample of G
 //     by removing B yields exactly a live-edge sample of G[V\B].
 //
-// Enable it for AdvancedGreedy/GreedyReplace through Options.ReuseSamples.
+// Every round still costs O(θ·m̄) regardless of how little the blocker set
+// changed; IncrementalPooledEstimator removes that with delta maintenance
+// and is what Options.ReuseSamples actually runs. PooledEstimator remains
+// the straight-line reference the incremental path is verified against
+// (bit-identical Δ for the same pool) and the ablation baseline in the
+// benchmarks.
 type PooledEstimator struct {
-	g       *graph.Graph
-	src     graph.V
-	samples []storedSample
+	pool    *SamplePool
 	workers int
 	domAlgo DomAlgo
 	scratch []*pooledWorker
 }
 
-// storedSample is one live-edge sample in compact local-id form (local 0 =
-// source), as produced by cascade samplers.
-type storedSample struct {
-	orig     []graph.V
-	outStart []int32
-	outTo    []int32
+// NewPooledEstimator draws theta samples from the sampler into a fresh pool
+// and wraps it. workers <= 0 selects GOMAXPROCS.
+func NewPooledEstimator(sampler cascade.LiveSampler, src graph.V, theta, workers int, domAlgo DomAlgo, base *rng.Source) *PooledEstimator {
+	return NewPooledEstimatorFromPool(NewSamplePool(sampler, src, theta, workers, base), workers, domAlgo)
 }
 
-// NewPooledEstimator draws theta samples from the sampler and stores them.
-// workers <= 0 selects GOMAXPROCS.
-func NewPooledEstimator(sampler cascade.LiveSampler, src graph.V, theta, workers int, domAlgo DomAlgo, base *rng.Source) *PooledEstimator {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > theta {
-		workers = theta
-	}
-	p := &PooledEstimator{
-		g:       sampler.Graph(),
-		src:     src,
-		samples: make([]storedSample, theta),
-		workers: workers,
+// NewPooledEstimatorFromPool wraps an existing pool without copying it; the
+// pool may be shared with other estimators.
+func NewPooledEstimatorFromPool(pool *SamplePool, workers int, domAlgo DomAlgo) *PooledEstimator {
+	return &PooledEstimator{
+		pool:    pool,
+		workers: poolWorkers(workers, pool.Theta()),
 		domAlgo: domAlgo,
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * theta / workers
-		hi := (w + 1) * theta / workers
-		r := base.Split(uint64(w))
-		wg.Add(1)
-		go func(lo, hi int, r *rng.Source) {
-			defer wg.Done()
-			ws := sampler.NewWorkspace()
-			for i := lo; i < hi; i++ {
-				sg := sampler.Sample(src, nil, r, ws)
-				p.samples[i] = storedSample{
-					orig:     append([]graph.V(nil), sg.Orig[:sg.K]...),
-					outStart: append([]int32(nil), sg.OutStart[:sg.K+1]...),
-					outTo:    append([]int32(nil), sg.OutTo...),
-				}
-			}
-		}(lo, hi, r)
-	}
-	wg.Wait()
-	return p
 }
 
 // Theta returns the stored sample count.
-func (p *PooledEstimator) Theta() int { return len(p.samples) }
+func (p *PooledEstimator) Theta() int { return p.pool.Theta() }
 
-type pooledWorker struct {
-	dws   *dominator.Workspace
-	acc   []int64
-	sizes []int32
+// Pool returns the backing sample pool.
+func (p *PooledEstimator) Pool() *SamplePool { return p.pool }
+
+// filterScratch is the reusable per-worker state for restricting a stored
+// sample to its non-blocked reachable region and running the dominator
+// computation on the result. It is shared by the pooled and incremental
+// estimators.
+type filterScratch struct {
+	dws *dominator.Workspace
 	// filtered-sample scratch, stamped per sample
 	stamp    []int32
 	flocal   []int32
@@ -105,13 +81,23 @@ type pooledWorker struct {
 	inStart  []int32
 	inTo     []int32
 	fill     []int32
+	sizes    []int32
+}
+
+func newFilterScratch() filterScratch {
+	return filterScratch{dws: dominator.NewWorkspace(0)}
+}
+
+type pooledWorker struct {
+	filterScratch
+	acc []int64
 }
 
 func (p *PooledEstimator) worker(w int) *pooledWorker {
 	for len(p.scratch) <= w {
 		p.scratch = append(p.scratch, &pooledWorker{
-			dws: dominator.NewWorkspace(0),
-			acc: make([]int64, p.g.N()),
+			filterScratch: newFilterScratch(),
+			acc:           make([]int64, p.pool.g.N()),
 		})
 	}
 	return p.scratch[w]
@@ -120,9 +106,9 @@ func (p *PooledEstimator) worker(w int) *pooledWorker {
 // DecreaseES estimates Δ[u] on G[V\B] for every vertex from the stored
 // pool, writing into dst (length ≥ n). Deterministic given the pool.
 func (p *PooledEstimator) DecreaseES(dst []float64, blocked []bool) {
-	n := p.g.N()
+	n := p.pool.g.N()
 	var wg sync.WaitGroup
-	theta := len(p.samples)
+	theta := p.pool.Theta()
 	for w := 0; w < p.workers; w++ {
 		lo := w * theta / p.workers
 		hi := (w + 1) * theta / p.workers
@@ -133,8 +119,13 @@ func (p *PooledEstimator) DecreaseES(dst []float64, blocked []bool) {
 			for i := range st.acc[:n] {
 				st.acc[i] = 0
 			}
+			var s sampleView
 			for i := lo; i < hi; i++ {
-				p.accumulateFiltered(st, &p.samples[i], blocked)
+				p.pool.view(i, &s)
+				forig, sizes := st.filterAndDominate(&s, blocked, p.domAlgo)
+				for fl := 1; fl < len(forig); fl++ {
+					st.acc[forig[fl]] += int64(sizes[fl])
+				}
 			}
 		}(st, lo, hi)
 	}
@@ -147,15 +138,18 @@ func (p *PooledEstimator) DecreaseES(dst []float64, blocked []bool) {
 		}
 		dst[u] = float64(total) * inv
 	}
-	dst[p.src] = 0
+	dst[p.pool.src] = 0
 }
 
-// accumulateFiltered restricts one stored sample to the non-blocked region
+// filterAndDominate restricts one stored sample to the non-blocked region
 // reachable from the source, runs the dominator computation on it, and
-// accumulates subtree sizes. Removing blocked vertices from a live-edge
-// sample of G produces a live-edge sample of G[V\B], so the estimate stays
-// unbiased for the blocked graph.
-func (p *PooledEstimator) accumulateFiltered(st *pooledWorker, s *storedSample, blocked []bool) {
+// returns the filtered vertex list (original ids; index 0 = the source)
+// together with each vertex's dominator-subtree size. Removing blocked
+// vertices from a live-edge sample of G produces a live-edge sample of
+// G[V\B], so estimates built on the result stay unbiased for the blocked
+// graph. The returned slices alias scratch and are valid until the next
+// call.
+func (st *filterScratch) filterAndDominate(s *sampleView, blocked []bool, domAlgo DomAlgo) ([]graph.V, []int32) {
 	k := len(s.orig)
 	st.stamp = growI32(st.stamp, k)
 	st.flocal = growI32(st.flocal, k)
@@ -241,16 +235,21 @@ func (p *PooledEstimator) accumulateFiltered(st *pooledWorker, s *storedSample, 
 	}
 
 	fg := dominator.FlowGraph{N: fk, OutStart: outStart, OutTo: outTo, InStart: inStart, InTo: inTo}
+	return st.forig, st.runDominators(&fg, domAlgo)
+}
+
+// runDominators computes the dominator tree of fg rooted at local 0 with
+// the selected algorithm and returns every vertex's dominator-subtree size
+// (aliasing scratch, valid until the next call).
+func (st *filterScratch) runDominators(fg *dominator.FlowGraph, domAlgo DomAlgo) []int32 {
 	var tree *dominator.Tree
-	if p.domAlgo == DomSNCA {
-		tree = st.dws.SNCA(&fg, 0)
+	if domAlgo == DomSNCA {
+		tree = st.dws.SNCA(fg, 0)
 	} else {
-		tree = st.dws.LengauerTarjan(&fg, 0)
+		tree = st.dws.LengauerTarjan(fg, 0)
 	}
-	st.sizes = growI32(st.sizes, fk)
-	sizes := st.sizes[:fk]
+	st.sizes = growI32(st.sizes, fg.N)
+	sizes := st.sizes[:fg.N]
 	st.dws.SubtreeSizes(tree, sizes)
-	for fl := 1; fl < fk; fl++ {
-		st.acc[st.forig[fl]] += int64(sizes[fl])
-	}
+	return sizes
 }

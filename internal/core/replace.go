@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"github.com/imin-dev/imin/internal/graph"
 )
 
@@ -26,15 +28,19 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 
 	// Phase 1: candidate blockers limited to the seed's out-neighbors
 	// (in the unified instance: the union of all seeds' out-neighbors).
+	// The members are collected once into an ascending id list so each
+	// round scans |CB| entries, not all n vertices; ascending order keeps
+	// the original whole-vertex-range tie-breaking.
 	inCB := make([]bool, n)
-	cbCount := 0
+	var cbList []graph.V
 	for _, v := range in.g.OutNeighbors(in.src) {
 		if in.candidate(v) && !inCB[v] {
 			inCB[v] = true
-			cbCount++
+			cbList = append(cbList, v)
 		}
 	}
-	phase1 := cbCount
+	sort.Slice(cbList, func(i, j int) bool { return cbList[i] < cbList[j] })
+	phase1 := len(cbList)
 	if b < phase1 {
 		phase1 = b
 	}
@@ -46,7 +52,7 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		round++
 
 		best := graph.V(-1)
-		for u := graph.V(0); int(u) < in.orig.N(); u++ {
+		for _, u := range cbList {
 			if !inCB[u] || blocked[u] {
 				continue
 			}
@@ -59,6 +65,7 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		}
 		inCB[best] = false // CB ← CB \ {x}
 		blocked[best] = true
+		est.noteFlip(best)
 		blockers = append(blockers, best)
 	}
 
@@ -70,15 +77,18 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		}
 		u := blockers[i]
 		blocked[u] = false // B ← B \ {u}
+		est.noteFlip(u)
 		est.decreaseES(delta, in.src, blocked, round)
 		round++
 
 		best := pickMax(in, blocked, delta)
 		if best == -1 {
 			blocked[u] = true // nothing to swap in; keep u
+			est.noteFlip(u)
 			continue
 		}
 		blocked[best] = true
+		est.noteFlip(best)
 		blockers[i] = best
 		if best == u {
 			// Early termination: the removed blocker is its own best

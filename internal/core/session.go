@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/graph"
@@ -39,6 +40,12 @@ type Session struct {
 	insts []*sessionInstance
 	tick  int64
 	stats SessionStats
+
+	// Pool counters are atomic so the serving layer's /stats can read them
+	// without queueing behind an in-flight solve on the session lock.
+	poolBytes  atomic.Int64
+	poolBuilds atomic.Int64
+	poolReuses atomic.Int64
 }
 
 // maxSessionInstances bounds the per-seed-set cache inside one session, so
@@ -48,13 +55,35 @@ type Session struct {
 // scratch, which is also why the bound is small).
 const maxSessionInstances = 4
 
+// maxSessionPools bounds the per-instance cache of ReuseSamples pools. A
+// pool costs θ × (average sample size) memory — usually the largest object
+// a session owns — so the bound is even smaller than the instance bound:
+// one hot (seed, θ) pair plus one alternate.
+const maxSessionPools = 2
+
 // sessionInstance is the prepared state for one seed set: the unified
-// instance and the estimator bound to its sampler.
+// instance, the estimator bound to its sampler, and the ReuseSamples pools
+// drawn for it so far.
 type sessionInstance struct {
-	key  string
-	in   *instance
-	est  *Estimator
-	used int64 // LRU tick, guarded by the session lock
+	key   string
+	in    *instance
+	est   *Estimator
+	used  int64 // LRU tick, guarded by the session lock
+	pools []*sessionPool
+}
+
+// sessionPool is one cached ReuseSamples pool with its incremental
+// estimator. The pool content is fully determined by (Options.Seed,
+// Options.Theta) plus the session-fixed sampler and worker count, so those
+// two form the cache key. The estimator is cached along with the pool:
+// its delta-maintained accumulator survives across solves, so a repeat
+// solve only reprocesses samples touched by the previous run's blockers.
+type sessionPool struct {
+	seed  uint64
+	theta int
+	est   *IncrementalPooledEstimator
+	used  int64 // LRU tick, guarded by the session lock
+	bytes int64 // est.MemoryBytes() as last folded into the poolBytes gauge
 }
 
 // SessionStats counts how often the cached state could be reused.
@@ -67,6 +96,13 @@ type SessionStats struct {
 	// re-entry after eviction past maxSessionInstances).
 	Reuses   int64
 	Rebuilds int64
+	// PoolBuilds and PoolReuses count ReuseSamples solves that had to draw
+	// their θ-sample pool versus ones that found it cached under the same
+	// (seed set, Options.Seed, Options.Theta); PoolBytes is the resident
+	// footprint of all cached pools and their estimators.
+	PoolBuilds int64
+	PoolReuses int64
+	PoolBytes  int64
 }
 
 // NewSession returns an empty session for g under the given diffusion
@@ -133,10 +169,59 @@ func (s *Session) prepare(seeds []graph.V) (*sessionInstance, error) {
 				lru = i
 			}
 		}
+		for _, sp := range s.insts[lru].pools {
+			s.poolBytes.Add(-sp.bytes)
+		}
 		s.insts[lru] = si
 	}
 	s.stats.Rebuilds++
 	return si, nil
+}
+
+// warmPool returns si's cached incremental estimator for (opt.Seed,
+// opt.Theta), building pool and estimator on a miss and evicting the least
+// recently used pool past the bound. The pool is drawn exactly as a cold
+// ReuseSamples run would draw it — same rng split chain, same worker
+// ranges — so warm and cold solves stay bit-identical. Caller holds the
+// session lock and has already applied opt.withDefaults.
+func (s *Session) warmPool(si *sessionInstance, opt Options) (sp *sessionPool, built bool) {
+	s.tick++
+	for _, c := range si.pools {
+		if c.seed == opt.Seed && c.theta == opt.Theta {
+			c.used = s.tick
+			s.poolReuses.Add(1)
+			return c, false
+		}
+	}
+	base := rng.New(opt.Seed)
+	est := NewIncrementalPooledEstimator(
+		si.est.Sampler(), si.in.src, opt.Theta, s.workers, s.domAlgo, base.Split(^uint64(0)))
+	sp = &sessionPool{seed: opt.Seed, theta: opt.Theta, est: est, used: s.tick, bytes: est.MemoryBytes()}
+	if len(si.pools) < maxSessionPools {
+		si.pools = append(si.pools, sp)
+	} else {
+		lru := 0
+		for i, c := range si.pools {
+			if c.used < si.pools[lru].used {
+				lru = i
+			}
+		}
+		s.poolBytes.Add(-si.pools[lru].bytes)
+		si.pools[lru] = sp
+	}
+	s.poolBuilds.Add(1)
+	s.poolBytes.Add(sp.bytes)
+	return sp, true
+}
+
+// refreshPoolBytes folds the estimator's current footprint into the gauge:
+// worker scratch and the dirty list are allocated lazily during solves, so
+// the build-time measurement alone would understate residency severalfold
+// on large graphs.
+func (s *Session) refreshPoolBytes(sp *sessionPool) {
+	now := sp.est.MemoryBytes()
+	s.poolBytes.Add(now - sp.bytes)
+	sp.bytes = now
 }
 
 // Acquire locks the session for one caller, waiting until it is free or
@@ -172,10 +257,21 @@ func (h *LockedSession) Solve(ctx context.Context, seeds []graph.V, b int, alg A
 		return Result{}, err
 	}
 	s.stats.Solves++
+	opt = opt.withDefaults()
 	opt.Diffusion = s.diffusion
 	opt.DomAlgo = s.domAlgo
 	opt.Workers = s.workers
-	return solveInstance(ctx, si.in, si.est, b, alg, opt)
+	warm := warmState{fresh: si.est}
+	var sp *sessionPool
+	if opt.ReuseSamples && (alg == AdvancedGreedy || alg == GreedyReplace) {
+		sp, warm.poolBuilt = s.warmPool(si, opt)
+		warm.incr = sp.est
+	}
+	res, err := solveInstance(ctx, si.in, warm, b, alg, opt)
+	if sp != nil {
+		s.refreshPoolBytes(sp)
+	}
+	return res, err
 }
 
 // EvaluateSpread is Session.EvaluateSpread on an already-acquired session.
@@ -233,7 +329,17 @@ func (s *Session) EvaluateSpread(ctx context.Context, seeds []graph.V, blockers 
 func (s *Session) Stats() SessionStats {
 	s.lk <- struct{}{}
 	defer s.unlock()
-	return s.stats
+	st := s.stats
+	st.PoolBuilds = s.poolBuilds.Load()
+	st.PoolReuses = s.poolReuses.Load()
+	st.PoolBytes = s.poolBytes.Load()
+	return st
+}
+
+// PoolStats reports the ReuseSamples pool counters without taking the
+// session lock, so a metrics endpoint never queues behind a running solve.
+func (s *Session) PoolStats() (bytes, builds, reuses int64) {
+	return s.poolBytes.Load(), s.poolBuilds.Load(), s.poolReuses.Load()
 }
 
 // seedsKey canonicalizes a seed slice for reuse detection. Order is kept:

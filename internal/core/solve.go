@@ -109,6 +109,7 @@ type instance struct {
 	isSeed   []bool // over working-graph ids; excludes super-seed
 	numSeeds int
 	orig     *graph.Graph // the caller's graph (original ids = working ids)
+	cands    []graph.V    // blockable vertices, ascending (not src, not a seed)
 }
 
 // newInstance applies the multi-seed reduction of Section V.
@@ -132,16 +133,29 @@ func newInstance(g *graph.Graph, seeds []graph.V) (*instance, error) {
 	if distinct == g.N() {
 		return nil, errors.New("core: every vertex is a seed; nothing to block")
 	}
+	var in *instance
 	if distinct == 1 {
 		var src graph.V
 		for _, s := range seeds {
 			src = s
 			break
 		}
-		return &instance{g: g, src: src, isSeed: isSeed[:g.N()], numSeeds: 1, orig: g}, nil
+		in = &instance{g: g, src: src, isSeed: isSeed[:g.N()], numSeeds: 1, orig: g}
+	} else {
+		unified, super := g.UnifySeeds(seeds)
+		in = &instance{g: unified, src: super, isSeed: isSeed, numSeeds: distinct, orig: g}
 	}
-	unified, super := g.UnifySeeds(seeds)
-	return &instance{g: unified, src: super, isSeed: isSeed, numSeeds: distinct, orig: g}, nil
+	// The candidate id list is shared by every selection loop (greedy argmax
+	// scans, the Rand/OutDegree baselines): built once per instance, it keeps
+	// per-round scans O(candidates) instead of O(n) re-filtering, and a
+	// session-cached instance pays it only on first sight of a seed set.
+	in.cands = make([]graph.V, 0, in.orig.N()-distinct)
+	for u := graph.V(0); int(u) < in.orig.N(); u++ {
+		if in.candidate(u) {
+			in.cands = append(in.cands, u)
+		}
+	}
+	return in, nil
 }
 
 // sampler builds the live-edge sampler for the chosen diffusion model.
@@ -179,17 +193,28 @@ func SolveContext(ctx context.Context, g *graph.Graph, seeds []graph.V, b int, a
 	if err != nil {
 		return Result{}, err
 	}
-	return solveInstance(ctx, in, nil, b, alg, opt)
+	return solveInstance(ctx, in, warmState{}, b, alg, opt)
+}
+
+// warmState carries a Session's cached estimator state into solveInstance.
+// The zero value means a cold run: everything is built from scratch.
+type warmState struct {
+	// fresh is a warm Algorithm 2 estimator over the instance's sampler,
+	// reused instead of allocating fresh worker scratch. Ignored by
+	// ReuseSamples runs and by algorithms that do not use the estimator.
+	fresh *Estimator
+	// incr is a warm pool-backed incremental estimator whose pool matches
+	// (Options.Seed, Options.Theta); ReuseSamples runs use it instead of
+	// drawing a new pool. poolBuilt records whether the session had to draw
+	// the pool for this very call, for the SampledGraphs cost accounting.
+	incr      *IncrementalPooledEstimator
+	poolBuilt bool
 }
 
 // solveInstance dispatches a prepared instance to the chosen algorithm.
 // Callers (SolveContext, Session.Solve) have already rejected negative
-// budgets — before paying for instance preparation. cached, when non-nil,
-// is a warm estimator over in's sampler to reuse instead of allocating
-// fresh worker scratch (the Session fast path); it is ignored by the
-// algorithms that do not use the Algorithm 2 estimator and by ReuseSamples
-// runs, whose pool depends on the per-run Options.Seed.
-func solveInstance(ctx context.Context, in *instance, cached *Estimator, b int, alg Algorithm, opt Options) (Result, error) {
+// budgets — before paying for instance preparation.
+func solveInstance(ctx context.Context, in *instance, warm warmState, b int, alg Algorithm, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
 	halt := stopper{ctx: ctx, dl: opt.deadline(start)}
@@ -204,9 +229,15 @@ func solveInstance(ctx context.Context, in *instance, cached *Estimator, b int, 
 	case AdvancedGreedy, GreedyReplace:
 		base := rng.New(opt.Seed)
 		var est *estBackend
-		if cached != nil && !opt.ReuseSamples {
-			est = newEstBackendCached(cached, opt, base)
-		} else {
+		switch {
+		case opt.ReuseSamples && warm.incr != nil:
+			est = newEstBackendWarmPool(warm.incr, opt, base)
+			if warm.poolBuilt {
+				est.drawn = int64(opt.Theta)
+			}
+		case !opt.ReuseSamples && warm.fresh != nil:
+			est = newEstBackendCached(warm.fresh, opt, base)
+		default:
 			est = newEstBackend(in, opt, base)
 		}
 		if alg == AdvancedGreedy {

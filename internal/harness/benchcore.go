@@ -1,0 +1,242 @@
+// benchcore.go measures the per-round cost of the three DecreaseES
+// estimator modes outside the Go testing framework, so cmd/experiments can
+// emit a committed JSON baseline (BENCH_core.json) that future changes are
+// regressed against. The workload mirrors internal/core's
+// BenchmarkDecreaseES_* benchmarks: a b-round AdvancedGreedy trajectory on
+// the ~100k-edge serving benchmark graph, replayed per estimator.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// BenchCoreOptions parameterizes the estimator benchmark.
+type BenchCoreOptions struct {
+	// N and EdgesPerVertex shape the preferential-attachment graph
+	// (defaults 20000 and 5, the serving benchmark's ~100k edges).
+	N              int
+	EdgesPerVertex float64
+	// Budget is the greedy round count b (default 10).
+	Budget int
+	// MinTime is the minimum measuring time per mode (default 2s).
+	MinTime time.Duration
+	// JSONPath, when non-empty, receives the report as indented JSON.
+	JSONPath string
+}
+
+// BenchCoreMode is one estimator's measurement.
+type BenchCoreMode struct {
+	NsPerRound    float64 `json:"ns_per_round"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+	// DirtySamplesPerRound is how many stored samples the round actually
+	// re-processed (θ for the full-scan modes; the measured average for
+	// the incremental mode, including its priming scan).
+	DirtySamplesPerRound float64 `json:"dirty_samples_per_round"`
+}
+
+// BenchCoreReport is the BENCH_core.json schema.
+type BenchCoreReport struct {
+	Graph struct {
+		Generator      string  `json:"generator"`
+		N              int     `json:"n"`
+		EdgesPerVertex float64 `json:"edges_per_vertex"`
+		Edges          int     `json:"edges"`
+		NumSeeds       int     `json:"num_seeds"`
+	} `json:"graph"`
+	Theta                      int           `json:"theta"`
+	Budget                     int           `json:"budget"`
+	Workers                    int           `json:"workers"`
+	PoolBytes                  int64         `json:"pool_bytes"`
+	PoolBuildMS                float64       `json:"pool_build_ms"`
+	GoMaxProcs                 int           `json:"gomaxprocs"`
+	GoVersion                  string        `json:"go_version"`
+	GeneratedBy                string        `json:"generated_by"`
+	Fresh                      BenchCoreMode `json:"fresh"`
+	Pooled                     BenchCoreMode `json:"pooled"`
+	Incremental                BenchCoreMode `json:"incremental"`
+	SpeedupPooledVsFresh       float64       `json:"speedup_pooled_vs_fresh"`
+	SpeedupIncrementalVsPooled float64       `json:"speedup_incremental_vs_pooled"`
+	SpeedupIncrementalVsFresh  float64       `json:"speedup_incremental_vs_fresh"`
+}
+
+// RunBenchCore builds the benchmark instance, measures the three modes, and
+// writes the report table to cfg.Out (and JSON to opt.JSONPath, if set).
+func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
+	cfg = cfg.WithDefaults()
+	if opt.N <= 0 {
+		opt.N = 20_000
+	}
+	if opt.EdgesPerVertex <= 0 {
+		opt.EdgesPerVertex = 5
+	}
+	if opt.Budget <= 0 {
+		opt.Budget = 10
+	}
+	if opt.MinTime <= 0 {
+		opt.MinTime = 2 * time.Second
+	}
+
+	g := datasets.PreferentialAttachment(opt.N, opt.EdgesPerVertex, true, rng.New(1))
+	g = graph.Trivalency.Assign(g, rng.New(2))
+	seeds, err := datasets.RandomSeeds(g, cfg.NumSeeds, true, rng.New(3))
+	if err != nil {
+		return nil, err
+	}
+	unified, super := g.UnifySeeds(seeds)
+	sampler := cascade.NewIC(unified)
+	isSeed := make([]bool, unified.N())
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+
+	rep := &BenchCoreReport{
+		Theta:       cfg.Theta,
+		Budget:      opt.Budget,
+		Workers:     cfg.Workers,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GeneratedBy: "cmd/experiments -exp benchcore",
+	}
+	rep.Graph.Generator = "preferential-attachment"
+	rep.Graph.N = opt.N
+	rep.Graph.EdgesPerVertex = opt.EdgesPerVertex
+	rep.Graph.Edges = g.M()
+	rep.Graph.NumSeeds = cfg.NumSeeds
+
+	t0 := time.Now()
+	pool := core.NewSamplePool(sampler, super, cfg.Theta, cfg.Workers, rng.New(cfg.Seed).Split(^uint64(0)))
+	rep.PoolBuildMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	rep.PoolBytes = pool.MemoryBytes()
+
+	// One greedy trajectory, recorded over the pooled estimator, replayed
+	// by every mode so the measurement isolates DecreaseES.
+	n := unified.N()
+	blocked := make([]bool, n)
+	delta := make([]float64, n)
+	pooled := core.NewPooledEstimatorFromPool(pool, cfg.Workers, core.DomLengauerTarjan)
+	traj := make([]graph.V, 0, opt.Budget)
+	for round := 0; round < opt.Budget; round++ {
+		pooled.DecreaseES(delta, blocked)
+		best := graph.V(-1)
+		for v := graph.V(0); int(v) < g.N(); v++ {
+			if isSeed[v] || blocked[v] {
+				continue
+			}
+			if best == -1 || delta[v] > delta[best] {
+				best = v
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("benchcore: ran out of candidates at round %d", round)
+		}
+		blocked[best] = true
+		traj = append(traj, best)
+	}
+	clear(blocked)
+
+	measure := func(oneRun func()) (nsPerRound, bytesPerRound float64, rounds int64) {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for time.Since(start) < opt.MinTime {
+			oneRun()
+			rounds += int64(opt.Budget)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return float64(elapsed.Nanoseconds()) / float64(rounds),
+			float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(rounds), rounds
+	}
+
+	// Fresh: θ new samples every round.
+	fresh := core.NewEstimator(sampler, cfg.Workers, core.DomLengauerTarjan)
+	base := rng.New(cfg.Seed)
+	round := uint64(0)
+	ns, by, _ := measure(func() {
+		for _, v := range traj {
+			fresh.DecreaseES(delta, super, blocked, cfg.Theta, base.Split(round))
+			round++
+			blocked[v] = true
+		}
+		clear(blocked)
+	})
+	rep.Fresh = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
+		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta)}
+
+	// Pooled: full re-scan of the stored pool every round.
+	ns, by, _ = measure(func() {
+		for _, v := range traj {
+			pooled.DecreaseES(delta, blocked)
+			blocked[v] = true
+		}
+		clear(blocked)
+	})
+	rep.Pooled = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
+		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta)}
+
+	// Incremental: persistent estimator, flips reported, priming included
+	// in the first run and amortized like a warm session would.
+	incr := core.NewIncrementalPooledEstimatorFromPool(pool, cfg.Workers, core.DomLengauerTarjan)
+	flips := make([]graph.V, 0, opt.Budget)
+	st0 := incr.Stats()
+	ns, by, rounds := measure(func() {
+		for _, v := range traj {
+			incr.DecreaseESFlips(delta, blocked, flips)
+			flips = flips[:0]
+			blocked[v] = true
+			flips = append(flips, v)
+		}
+		for _, v := range traj {
+			blocked[v] = false
+			flips = append(flips, v)
+		}
+	})
+	st1 := incr.Stats()
+	dirtyPerRound := float64(st1.SamplesReprocessed-st0.SamplesReprocessed) / float64(rounds)
+	rep.Incremental = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
+		SamplesPerSec: dirtyPerRound / ns * 1e9, DirtySamplesPerRound: dirtyPerRound}
+
+	rep.SpeedupPooledVsFresh = rep.Fresh.NsPerRound / rep.Pooled.NsPerRound
+	rep.SpeedupIncrementalVsPooled = rep.Pooled.NsPerRound / rep.Incremental.NsPerRound
+	rep.SpeedupIncrementalVsFresh = rep.Fresh.NsPerRound / rep.Incremental.NsPerRound
+
+	if cfg.Out != nil {
+		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d\n",
+			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers)
+		fmt.Fprintf(cfg.Out, "pool: %d samples, %.1f MB, built in %.0f ms\n",
+			cfg.Theta, float64(rep.PoolBytes)/(1<<20), rep.PoolBuildMS)
+		fmt.Fprintf(cfg.Out, "%-12s %14s %16s %14s %18s\n", "mode", "ns/round", "samples/sec", "bytes/round", "dirty samples/rnd")
+		for _, row := range []struct {
+			name string
+			m    BenchCoreMode
+		}{{"fresh", rep.Fresh}, {"pooled", rep.Pooled}, {"incremental", rep.Incremental}} {
+			fmt.Fprintf(cfg.Out, "%-12s %14.0f %16.0f %14.0f %18.1f\n",
+				row.name, row.m.NsPerRound, row.m.SamplesPerSec, row.m.BytesPerRound, row.m.DirtySamplesPerRound)
+		}
+		fmt.Fprintf(cfg.Out, "speedups: pooled/fresh %.2fx, incremental/pooled %.2fx, incremental/fresh %.2fx\n",
+			rep.SpeedupPooledVsFresh, rep.SpeedupIncrementalVsPooled, rep.SpeedupIncrementalVsFresh)
+	}
+
+	if opt.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(opt.JSONPath, buf, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

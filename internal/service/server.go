@@ -478,10 +478,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	theta := min(orDefault(req.Theta, s.cfg.DefaultTheta), s.cfg.MaxTheta)
 	mcs := min(orDefault(req.MCSRounds, s.cfg.DefaultMCSRounds), s.cfg.MaxEvalRounds)
 	opt := core.Options{
-		Theta:     theta,
-		MCSRounds: mcs,
-		Seed:      req.Seed,
-		Timeout:   timeout,
+		Theta:        theta,
+		MCSRounds:    mcs,
+		Seed:         req.Seed,
+		Timeout:      timeout,
+		ReuseSamples: req.ReuseSamples,
 	}
 
 	evalRounds := req.EvalRounds

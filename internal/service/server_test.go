@@ -358,3 +358,55 @@ func TestModelsGetSeparateSessions(t *testing.T) {
 		t.Error("no LT session cached")
 	}
 }
+
+// A reuse_samples request must run the pooled path (exactly θ samples drawn
+// regardless of budget), cache the pool in the warm session so the repeat
+// draws zero samples, surface the pool footprint in /stats — and still
+// return exactly the blockers a direct ReuseSamples core.Solve picks.
+func TestReuseSamplesWarmPool(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	registerTestGraphs(t, ts)
+
+	req := SolveRequest{
+		Seeds: []int{2, 5}, Budget: 4, Algorithm: "advanced-greedy",
+		Theta: 200, Seed: 9, ReuseSamples: true, EvalRounds: -1,
+	}
+	var first, second SolveResponse
+	if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", req, &first); code != http.StatusOK {
+		t.Fatalf("first solve: %d %s", code, body)
+	}
+	if first.SampledGraphs != int64(req.Theta) {
+		t.Errorf("first solve drew %d samples, want %d (one pool)", first.SampledGraphs, req.Theta)
+	}
+	if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", req, &second); code != http.StatusOK {
+		t.Fatalf("second solve: %d %s", code, body)
+	}
+	if second.SampledGraphs != 0 {
+		t.Errorf("warm solve drew %d samples, want 0 (cached pool)", second.SampledGraphs)
+	}
+	if !reflect.DeepEqual(first.Blockers, second.Blockers) {
+		t.Errorf("warm blockers %v != cold blockers %v", second.Blockers, first.Blockers)
+	}
+
+	entry, _ := srv.Registry().Get("g1")
+	direct, err := core.Solve(entry.G, []graph.V{2, 5}, 4, core.AdvancedGreedy,
+		core.Options{Theta: 200, Seed: 9, Workers: 2, ReuseSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(direct.Blockers))
+	for i, v := range direct.Blockers {
+		want[i] = int(v)
+	}
+	if !reflect.DeepEqual(first.Blockers, want) {
+		t.Errorf("service blockers %v != direct core.Solve %v", first.Blockers, want)
+	}
+
+	st := srv.Sessions().Stats()
+	if st.PoolBuilds != 1 || st.PoolReuses != 1 {
+		t.Errorf("pool builds/reuses = %d/%d, want 1/1", st.PoolBuilds, st.PoolReuses)
+	}
+	if st.PoolBytes <= 0 {
+		t.Errorf("pool bytes = %d, want > 0", st.PoolBytes)
+	}
+}

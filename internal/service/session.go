@@ -16,13 +16,22 @@ type SessionKey struct {
 	Diffusion core.Diffusion
 }
 
-// CacheStats reports session-cache effectiveness.
+// CacheStats reports session-cache effectiveness and the resident footprint
+// of the ReuseSamples pools cached inside the live sessions (read without
+// blocking on any session's solve lock, so /stats stays responsive while
+// solves run).
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
+	// PoolBytes is the summed memory of all cached sample pools;
+	// PoolBuilds/PoolReuses count ReuseSamples solves that drew a pool
+	// versus ones answered from a warm pool.
+	PoolBytes  int64 `json:"pool_bytes"`
+	PoolBuilds int64 `json:"pool_builds"`
+	PoolReuses int64 `json:"pool_reuses"`
 }
 
 // SessionCache is a bounded LRU of core.Session values. A session's worker
@@ -80,7 +89,15 @@ func (c *SessionCache) Acquire(key SessionKey, g *graph.Graph) (*core.Session, b
 	for c.order.Len() >= c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheItem).key)
+		item := oldest.Value.(*cacheItem)
+		delete(c.entries, item.key)
+		// Pool builds/reuses are cumulative counters: fold the evicted
+		// session's totals into the cache's own so /stats never goes
+		// backwards. Its pool bytes are NOT folded — that gauge tracks
+		// resident memory, which eviction releases.
+		_, builds, reuses := item.sess.PoolStats()
+		c.stats.PoolBuilds += builds
+		c.stats.PoolReuses += reuses
 		c.stats.Evictions++
 	}
 	sess := core.NewSession(g, key.Diffusion, c.domAlgo, c.workers)
@@ -97,12 +114,19 @@ func (c *SessionCache) Contains(key SessionKey) bool {
 	return ok
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Pool numbers are aggregated
+// over the cached sessions through their lock-free counters.
 func (c *SessionCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
 	st.Size = c.order.Len()
 	st.Capacity = c.capacity
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		bytes, builds, reuses := el.Value.(*cacheItem).sess.PoolStats()
+		st.PoolBytes += bytes
+		st.PoolBuilds += builds
+		st.PoolReuses += reuses
+	}
 	return st
 }

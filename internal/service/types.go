@@ -88,6 +88,12 @@ type SolveRequest struct {
 	EvalRounds int `json:"eval_rounds,omitempty"`
 	// Seed makes the request reproducible.
 	Seed uint64 `json:"seed,omitempty"`
+	// ReuseSamples draws the θ live-edge samples once and reuses the pool
+	// across greedy rounds through the delta-maintained incremental
+	// estimator; the pool is cached in the warm session keyed by
+	// (seeds, seed, theta), so repeated solves skip sampling entirely.
+	// Costs server memory proportional to θ × average sample size.
+	ReuseSamples bool `json:"reuse_samples,omitempty"`
 	// TimeoutMS caps the solve; 0 uses the server default. On expiry the
 	// partial blocker set is returned with timed_out set.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
