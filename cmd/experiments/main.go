@@ -35,18 +35,20 @@ func main() {
 	var exps expFlag
 	flag.Var(&exps, "exp", "experiment to run (repeatable): table3, table5, table6, table7, fig5, fig7, fig8, fig9, fig10, fig11, all, benchcore (explicit only, not in all)")
 	var (
-		scale    = flag.Float64("scale", 0.02, "dataset scale")
-		theta    = flag.Int("theta", 1000, "sampled graphs per round")
-		mcs      = flag.Int("mcs", 1000, "Monte-Carlo rounds for baseline greedy")
-		evalR    = flag.Int("eval", 10000, "Monte-Carlo rounds for spread evaluation")
-		seeds    = flag.Int("seeds", 10, "seed-set size")
-		seed     = flag.Uint64("rng", 1, "random seed")
-		timeout  = flag.Duration("timeout", 15*time.Second, "per-run timeout (the paper's 24h cap, scaled)")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		datasets = flag.String("datasets", "", "comma-separated dataset filter (full or short names)")
-		csvDir   = flag.String("csv-dir", "", "also write each experiment's rows as CSV into this directory")
-		benchOut = flag.String("bench-out", "BENCH_core.json", "JSON output path for -exp benchcore")
-		benchB   = flag.Int("bench-budget", 10, "greedy rounds per benchcore run")
+		scale      = flag.Float64("scale", 0.02, "dataset scale")
+		theta      = flag.Int("theta", 1000, "sampled graphs per round")
+		mcs        = flag.Int("mcs", 1000, "Monte-Carlo rounds for baseline greedy")
+		evalR      = flag.Int("eval", 10000, "Monte-Carlo rounds for spread evaluation")
+		seeds      = flag.Int("seeds", 10, "seed-set size")
+		seed       = flag.Uint64("rng", 1, "random seed")
+		timeout    = flag.Duration("timeout", 15*time.Second, "per-run timeout (the paper's 24h cap, scaled)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		datasets   = flag.String("datasets", "", "comma-separated dataset filter (full or short names)")
+		csvDir     = flag.String("csv-dir", "", "also write each experiment's rows as CSV into this directory")
+		benchOut   = flag.String("bench-out", "BENCH_core.json", "JSON output path for -exp benchcore")
+		benchB     = flag.Int("bench-budget", 10, "greedy rounds per benchcore run")
+		benchMin   = flag.Duration("bench-mintime", 2*time.Second, "minimum measuring time per benchcore mode and sweep point")
+		benchForce = flag.Bool("force", false, "overwrite an existing -bench-out measured under a different worker configuration")
 	)
 	flag.Parse()
 	if len(exps) == 0 {
@@ -140,7 +142,9 @@ func main() {
 		section("Estimator benchmark (DecreaseES fresh vs pooled vs incremental)")
 		_, err := harness.RunBenchCore(cfg, harness.BenchCoreOptions{
 			Budget:   *benchB,
+			MinTime:  *benchMin,
 			JSONPath: *benchOut,
+			Force:    *benchForce,
 		})
 		failIf(err)
 		if *benchOut != "" {

@@ -12,7 +12,6 @@ import (
 func solveAdvancedGreedy(halt stopper, in *instance, est *estBackend, b int, opt Options) Result {
 	n := in.g.N()
 	blocked := make([]bool, n)
-	delta := make([]float64, n)
 	var blockers []graph.V
 
 	for round := 0; round < b; round++ {
@@ -20,7 +19,7 @@ func solveAdvancedGreedy(halt stopper, in *instance, est *estBackend, b int, opt
 			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
 		// Δ[u] for every candidate at once, on G[V \ B].
-		est.decreaseES(delta, in.src, blocked, uint64(round))
+		delta := est.decreaseES(in.src, blocked, uint64(round))
 
 		best := pickMax(in, blocked, delta)
 		if best == -1 {

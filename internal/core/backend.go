@@ -26,6 +26,19 @@ type estBackend struct {
 	// estimator can skip its O(n) diff scan.
 	flips      []graph.V
 	flipsKnown bool
+
+	// scratch receives the Δ vector for the estimators that fill a caller
+	// buffer; the incremental estimator instead lends out its maintained
+	// vector, so the ReuseSamples path never pays a per-round O(n) fill.
+	scratch []float64
+}
+
+// buf returns the backend-owned Δ buffer of length n.
+func (b *estBackend) buf(n int) []float64 {
+	if cap(b.scratch) < n {
+		b.scratch = make([]float64, n)
+	}
+	return b.scratch[:n]
 }
 
 // noteFlip records that the caller flipped v's blocked state. The greedy
@@ -66,24 +79,33 @@ func newEstBackendWarmPool(est *IncrementalPooledEstimator, opt Options, base *r
 	return &estBackend{incr: est, theta: opt.Theta, base: base}
 }
 
-// decreaseES fills dst with Δ[u] on G[V\B] for the given greedy round.
-func (b *estBackend) decreaseES(dst []float64, src graph.V, blocked []bool, round uint64) {
+// decreaseES returns Δ[u] on G[V\B] for the given greedy round. The
+// returned slice aliases backend or estimator state and is read-only,
+// valid until the next call — the greedy loops scan it for their argmax
+// and never retain it across rounds.
+func (b *estBackend) decreaseES(src graph.V, blocked []bool, round uint64) []float64 {
 	switch {
 	case b.incr != nil:
+		var vals []float64
 		if b.flipsKnown {
-			b.incr.DecreaseESFlips(dst, blocked, b.flips)
+			vals = b.incr.DecreaseESFlipsView(blocked, b.flips)
 		} else {
 			// First call of this run: a warm estimator may carry blocked
 			// state from an earlier run, so diff in full once.
-			b.incr.DecreaseES(dst, blocked)
+			vals = b.incr.DecreaseESView(blocked)
 		}
 		b.flips = b.flips[:0]
 		b.flipsKnown = true
+		return vals
 	case b.pooled != nil:
+		dst := b.buf(len(blocked))
 		b.pooled.DecreaseES(dst, blocked)
+		return dst
 	default:
+		dst := b.buf(len(blocked))
 		b.fresh.DecreaseES(dst, src, blocked, b.theta, b.base.Split(round))
 		b.drawn += int64(b.theta)
+		return dst
 	}
 }
 

@@ -80,9 +80,9 @@ func benchTrajectory(b *testing.B, in *instance, pool *SamplePool) []graph.V {
 // per-round estimator work of solveAdvancedGreedy. The blocker set is
 // cleared (with flips reported) at the end, so a persistent estimator sees
 // the repeated-solve pattern a warm session serves.
-func greedyRounds(in *instance, est *estBackend, traj []graph.V, blocked []bool, delta []float64) {
+func greedyRounds(in *instance, est *estBackend, traj []graph.V, blocked []bool) {
 	for round, v := range traj {
-		est.decreaseES(delta, in.src, blocked, uint64(round))
+		est.decreaseES(in.src, blocked, uint64(round))
 		blocked[v] = true
 		est.noteFlip(v)
 	}
@@ -101,12 +101,11 @@ func BenchmarkDecreaseES_Fresh(b *testing.B) {
 	pool := NewSamplePool(in.sampler(DiffusionIC), in.src, estBenchTheta, 0, rng.New(7))
 	traj := benchTrajectory(b, in, pool)
 	blocked := make([]bool, in.g.N())
-	delta := make([]float64, in.g.N())
 	base := rng.New(7)
 	est := newEstBackendCached(NewEstimator(in.sampler(DiffusionIC), 0, DomLengauerTarjan), Options{Theta: estBenchTheta}, base)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		greedyRounds(in, est, traj, blocked, delta)
+		greedyRounds(in, est, traj, blocked)
 	}
 	reportPerRound(b)
 }
@@ -116,11 +115,10 @@ func BenchmarkDecreaseES_Pooled(b *testing.B) {
 	pool := NewSamplePool(in.sampler(DiffusionIC), in.src, estBenchTheta, 0, rng.New(7))
 	traj := benchTrajectory(b, in, pool)
 	blocked := make([]bool, in.g.N())
-	delta := make([]float64, in.g.N())
 	est := &estBackend{pooled: NewPooledEstimatorFromPool(pool, 0, DomLengauerTarjan), theta: estBenchTheta}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		greedyRounds(in, est, traj, blocked, delta)
+		greedyRounds(in, est, traj, blocked)
 	}
 	reportPerRound(b)
 }
@@ -130,7 +128,6 @@ func BenchmarkDecreaseES_Incremental(b *testing.B) {
 	pool := NewSamplePool(in.sampler(DiffusionIC), in.src, estBenchTheta, 0, rng.New(7))
 	traj := benchTrajectory(b, in, pool)
 	blocked := make([]bool, in.g.N())
-	delta := make([]float64, in.g.N())
 	// One persistent estimator, like a warm session: the first iteration
 	// pays the priming scan, every later iteration's round 0 diffs away the
 	// previous iteration's blockers — the repeated-solve pattern the
@@ -139,7 +136,7 @@ func BenchmarkDecreaseES_Incremental(b *testing.B) {
 	est := &estBackend{incr: incr, theta: estBenchTheta}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		greedyRounds(in, est, traj, blocked, delta)
+		greedyRounds(in, est, traj, blocked)
 	}
 	reportPerRound(b)
 	st := incr.Stats()

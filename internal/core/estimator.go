@@ -63,6 +63,20 @@ func NewEstimator(sampler cascade.LiveSampler, workers int, domAlgo DomAlgo) *Es
 	return &Estimator{sampler: sampler, workers: workers, domAlgo: domAlgo}
 }
 
+// SetWorkers changes the fan-out of later DecreaseES calls; workers <= 0
+// selects GOMAXPROCS. Scratch for new workers is allocated lazily, scratch
+// beyond the new count is kept (sessions bounce between worker counts).
+// Unlike the pooled estimators, the fresh estimator's output depends on the
+// worker count: each worker draws from its own rng stream, so w workers
+// partition θ differently than w′ would. Equal (Seed, Theta, workers)
+// still reproduce exactly. Must not be called during a DecreaseES call.
+func (e *Estimator) SetWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.workers = workers
+}
+
 // worker returns the cached scratch state for worker w, allocating on first
 // use.
 func (e *Estimator) worker(w int) *estWorker {

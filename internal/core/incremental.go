@@ -9,63 +9,98 @@ import (
 	"github.com/imin-dev/imin/internal/rng"
 )
 
-// IncrementalPooledEstimator is the delta-maintained version of
-// PooledEstimator. Blocking (or unblocking) a vertex x can only change the
-// filtered dominator computation of samples whose reachable region contains
-// x, so instead of re-scanning all θ samples every round it
+// IncrementalPooledEstimator is the delta-maintained, shard-parallel
+// version of PooledEstimator. Blocking (or unblocking) a vertex x can only
+// change the filtered dominator computation of samples whose reachable
+// region contains x, so instead of re-scanning all θ samples every round it
 //
 //  1. diffs the requested blocker set against the one the cache reflects,
-//  2. collects the dirty samples through the pool's inverted index,
-//  3. subtracts each dirty sample's cached per-vertex subtree-size
-//     contributions from a persistent int64 accumulator, re-runs the
-//     filtered dominator computation on just those samples, and adds the
-//     new contributions back.
+//  2. collects the dirty samples through the pool's inverted index into
+//     per-shard dirty queues,
+//  3. has each shard retract the dirty samples' cached per-vertex
+//     subtree-size contributions from its own int64 accumulator, re-run the
+//     filtered dominator computation, and add the new contributions back,
+//  4. refreshes the cached Δ vector at exactly the touched vertices by
+//     summing the shard accumulators in fixed shard order.
 //
-// A round therefore costs O(θ_x·m̄ + n) where θ_x is the number of samples
-// containing the flipped vertices — on real graphs a small fraction of θ —
-// against PooledEstimator's O(θ·m̄). The O(n) term (the diff scan and the
-// dst fill) is shared with every other estimator.
+// A round therefore costs O(θ_x·m̄/P + t) where θ_x is the number of
+// samples containing the flipped vertices — on real graphs a small
+// fraction of θ — P the shard count, and t the number of touched vertices,
+// against PooledEstimator's O(θ·m̄).
 //
-// Equivalence: contributions are exact int64 values and integer addition is
-// associative and commutative, so the maintained accumulator always equals
-// the full re-scan's per-worker sums, and DecreaseES output is bit-identical
-// to PooledEstimator over the same pool for every blocker sequence (the
-// cross-validation tests assert this). The estimator carries mutable state
-// and admits one DecreaseES caller at a time, like Estimator; the state
-// survives across solves, so a warm session's later runs on the same pool
-// only reprocess samples touched by the previous run's blockers.
+// Sharding: the θ samples are partitioned into P contiguous ranges; shard
+// s owns samples [s·θ/P, (s+1)·θ/P), its own accumulator array acc_s[u]
+// (the sum of u's cached contributions over the shard's samples), its own
+// dirty queue, and its own dominator/filter scratch. Dirty samples are
+// routed to their owning shard, so shards never write shared state during
+// the parallel phase; the contribution arena is disjoint per sample and
+// therefore also race-free.
+//
+// Equivalence and P-independence: contributions are exact int64 values and
+// Σ_s acc_s[u] = Σ over all samples of u's contribution for any partition,
+// so DecreaseES output is bit-identical to PooledEstimator over the same
+// pool for every blocker sequence and every worker count — workers=1 and
+// workers=8 return the same bits (the cross-validation and determinism
+// tests assert this). The estimator carries mutable state and admits one
+// DecreaseES caller at a time, like Estimator; the state survives across
+// solves, so a warm session's later runs on the same pool only reprocess
+// samples touched by the previous run's blockers. SetWorkers reshards
+// without touching the pool or the contribution cache.
 type IncrementalPooledEstimator struct {
 	pool    *SamplePool
-	workers int
+	workers int // requested; len(shards) is the clamped effective count
 	domAlgo DomAlgo
 
 	primed      bool
 	prevBlocked []bool    // blocker set the cache reflects
-	acc         []int64   // acc[u] = Σ over samples of u's cached subtree size
-	vals        []float64 // vals[u] = float64(acc[u])/θ, maintained at touched entries
+	vals        []float64 // vals[u] = float64(Σ_s acc_s[u])/θ, maintained at touched entries
 
 	// Per-sample contribution cache in arena form: sample i's entries
 	// occupy the first contribLen[i] slots of
 	// contrib{Vert,Size}[pool.vertStart[i]:], which fits because a sample
 	// contributes at most K_i−1 (vertex, size) pairs. Slots of distinct
-	// samples are disjoint, so dirty samples are recomputed in parallel.
+	// samples are disjoint, so shards recompute dirty samples in parallel.
+	// The cache is partition-independent state: resharding reuses it to
+	// rebuild the new shard accumulators.
 	contribLen  []int32
 	contribVert []graph.V
 	contribSize []int32
 
-	dirty     []int32 // scratch: dirty sample ids for the current round
-	dirtyMark []bool  // dedup over samples, cleared after each round
-	scratch   []*incWorker
+	shards  []*incShard
+	ownerOf []int32 // sample id → owning shard index
+
+	dirtyMark []bool // dedup over samples, cleared after each round
+	nDirty    int    // dirty samples queued this round, across all shards
+
+	union     []graph.V // scratch: union of shard-touched vertices
+	unionMark []bool
 
 	rounds      int64 // DecreaseES calls answered
 	reprocessed int64 // dirty samples recomputed across all rounds
 }
 
-type incWorker struct {
+// incShard owns one contiguous range of the pool's samples: its persistent
+// accumulator, its dirty queue for the current round, and the scratch for
+// re-running filtered dominator computations. During the parallel phase a
+// shard touches only its own fields plus the (sample-disjoint) contribution
+// arena.
+type incShard struct {
+	lo, hi int // owned sample range [lo, hi)
 	filterScratch
-	delta   []int64   // pending acc deltas, only touched entries nonzero
-	touched []graph.V // vertices with pending deltas
+	acc     []int64   // acc[u] = Σ over owned samples of u's cached subtree size
+	dirty   []int32   // dirty queue for the current round, owned samples only
+	touched []graph.V // vertices whose acc changed this round
 	marked  []bool    // dedup for touched
+}
+
+// add folds one contribution delta into the shard accumulator, recording
+// the vertex for the reduction phase.
+func (sh *incShard) add(v graph.V, d int64) {
+	if !sh.marked[v] {
+		sh.marked[v] = true
+		sh.touched = append(sh.touched, v)
+	}
+	sh.acc[v] += d
 }
 
 // NewIncrementalPooledEstimator draws theta samples into a fresh pool and
@@ -76,21 +111,23 @@ func NewIncrementalPooledEstimator(sampler cascade.LiveSampler, src graph.V, the
 
 // NewIncrementalPooledEstimatorFromPool wraps an existing (possibly shared)
 // pool. The estimator's first DecreaseES call processes every sample to
-// prime the accumulator; later calls are incremental.
+// prime the accumulators; later calls are incremental.
 func NewIncrementalPooledEstimatorFromPool(pool *SamplePool, workers int, domAlgo DomAlgo) *IncrementalPooledEstimator {
 	n := pool.g.N()
-	return &IncrementalPooledEstimator{
+	e := &IncrementalPooledEstimator{
 		pool:        pool,
-		workers:     poolWorkers(workers, pool.Theta()),
 		domAlgo:     domAlgo,
 		prevBlocked: make([]bool, n),
-		acc:         make([]int64, n),
 		vals:        make([]float64, n),
 		contribLen:  make([]int32, pool.Theta()),
 		contribVert: make([]graph.V, len(pool.vertOrig)),
 		contribSize: make([]int32, len(pool.vertOrig)),
+		ownerOf:     make([]int32, pool.Theta()),
 		dirtyMark:   make([]bool, pool.Theta()),
+		unionMark:   make([]bool, n),
 	}
+	e.reshard(workers)
+	return e
 }
 
 // Theta returns the stored sample count.
@@ -99,15 +136,58 @@ func (e *IncrementalPooledEstimator) Theta() int { return e.pool.Theta() }
 // Pool returns the backing sample pool.
 func (e *IncrementalPooledEstimator) Pool() *SamplePool { return e.pool }
 
-func (e *IncrementalPooledEstimator) worker(w int) *incWorker {
-	for len(e.scratch) <= w {
-		e.scratch = append(e.scratch, &incWorker{
-			filterScratch: newFilterScratch(),
-			delta:         make([]int64, e.pool.g.N()),
-			marked:        make([]bool, e.pool.g.N()),
-		})
+// Workers returns the requested worker count (0 = GOMAXPROCS at reshard
+// time, clamped to θ).
+func (e *IncrementalPooledEstimator) Workers() int { return e.workers }
+
+// SetWorkers re-partitions the samples across the new worker count. The
+// pool, the contribution cache, and the cached Δ vector are untouched —
+// only the shard accumulators are rebuilt (one pass over the cached
+// contributions) — so a warm session can serve requests at different
+// worker counts without re-drawing or re-priming anything, and the output
+// stays bit-identical: Σ_s acc_s is invariant under the partition. No-op
+// when the effective shard count is unchanged. Must not be called
+// concurrently with DecreaseES.
+func (e *IncrementalPooledEstimator) SetWorkers(workers int) {
+	if poolWorkers(workers, e.pool.Theta()) == len(e.shards) {
+		e.workers = workers
+		return
 	}
-	return e.scratch[w]
+	e.reshard(workers)
+}
+
+// reshard builds the shard set for the clamped worker count and, if the
+// estimator is primed, re-aggregates the per-sample contribution cache into
+// the new owners' accumulators.
+func (e *IncrementalPooledEstimator) reshard(workers int) {
+	e.workers = workers
+	theta := e.pool.Theta()
+	n := e.pool.g.N()
+	p := poolWorkers(workers, theta)
+	e.shards = make([]*incShard, p)
+	for s := 0; s < p; s++ {
+		sh := &incShard{
+			lo:            s * theta / p,
+			hi:            (s + 1) * theta / p,
+			filterScratch: newFilterScratch(),
+			acc:           make([]int64, n),
+			marked:        make([]bool, n),
+		}
+		e.shards[s] = sh
+		for i := sh.lo; i < sh.hi; i++ {
+			e.ownerOf[i] = int32(s)
+		}
+	}
+	if !e.primed {
+		return
+	}
+	for i := 0; i < theta; i++ {
+		acc := e.shards[e.ownerOf[i]].acc
+		base := e.pool.vertStart[i]
+		for j := base; j < base+int64(e.contribLen[i]); j++ {
+			acc[e.contribVert[j]] += int64(e.contribSize[j])
+		}
+	}
 }
 
 // DecreaseES estimates Δ[u] on G[V\B] for every vertex from the stored
@@ -118,7 +198,7 @@ func (e *IncrementalPooledEstimator) worker(w int) *incWorker {
 // the previous call's set; callers that track their own mutations can hand
 // them over through DecreaseESFlips and skip the O(n) diff.
 func (e *IncrementalPooledEstimator) DecreaseES(dst []float64, blocked []bool) {
-	e.decreaseES(dst, blocked, nil, false)
+	copy(dst[:e.pool.g.N()], e.decreaseES(blocked, nil, false))
 }
 
 // DecreaseESFlips is DecreaseES with the exact set of vertices whose
@@ -128,19 +208,53 @@ func (e *IncrementalPooledEstimator) DecreaseES(dst []float64, blocked []bool) {
 // reprocessing. An incomplete flips list silently corrupts the cache, so
 // callers must report every mutation. Ignored (full scan) before priming.
 func (e *IncrementalPooledEstimator) DecreaseESFlips(dst []float64, blocked []bool, flips []graph.V) {
-	e.decreaseES(dst, blocked, flips, true)
+	copy(dst[:e.pool.g.N()], e.decreaseES(blocked, flips, true))
 }
 
-func (e *IncrementalPooledEstimator) decreaseES(dst []float64, blocked []bool, flips []graph.V, haveFlips bool) {
+// DecreaseESView is DecreaseES without the O(n) copy: the returned slice
+// is the estimator's maintained Δ vector, valid (and read-only) until the
+// next DecreaseES* call. The greedy argmax scans read it in place, which
+// removes the last per-round O(n) term from the ReuseSamples fast path.
+func (e *IncrementalPooledEstimator) DecreaseESView(blocked []bool) []float64 {
+	return e.decreaseES(blocked, nil, false)
+}
+
+// DecreaseESFlipsView is DecreaseESFlips without the O(n) copy; see
+// DecreaseESView for the aliasing contract.
+func (e *IncrementalPooledEstimator) DecreaseESFlipsView(blocked []bool, flips []graph.V) []float64 {
+	return e.decreaseES(blocked, flips, true)
+}
+
+// smallRoundInline is the dirty-sample count under which the round runs on
+// the calling goroutine: spawning and joining shard goroutines costs more
+// than a few dozen tiny dominator runs. The serial path walks the shards
+// in the same fixed order, so the output bits do not depend on which path
+// ran.
+const smallRoundInline = 32
+
+// markDirty routes sample i to its owning shard's dirty queue, once.
+func (e *IncrementalPooledEstimator) markDirty(i int32) {
+	if !e.dirtyMark[i] {
+		e.dirtyMark[i] = true
+		sh := e.shards[e.ownerOf[i]]
+		sh.dirty = append(sh.dirty, i)
+		e.nDirty++
+	}
+}
+
+func (e *IncrementalPooledEstimator) decreaseES(blocked []bool, flips []graph.V, haveFlips bool) []float64 {
 	n := e.pool.g.N()
 	theta := e.pool.Theta()
 	e.rounds++
 
-	e.dirty = e.dirty[:0]
+	// Phase 0 (serial): route dirty samples to their owning shards.
 	switch {
 	case !e.primed:
-		for i := 0; i < theta; i++ {
-			e.dirty = append(e.dirty, int32(i))
+		for _, sh := range e.shards {
+			for i := sh.lo; i < sh.hi; i++ {
+				sh.dirty = append(sh.dirty, int32(i))
+			}
+			e.nDirty += sh.hi - sh.lo
 		}
 		e.primed = true
 		if blocked == nil {
@@ -158,14 +272,8 @@ func (e *IncrementalPooledEstimator) decreaseES(dst []float64, blocked []bool, f
 			}
 			e.prevBlocked[v] = nb
 			for _, i := range e.pool.SamplesContaining(v) {
-				if !e.dirtyMark[i] {
-					e.dirtyMark[i] = true
-					e.dirty = append(e.dirty, i)
-				}
+				e.markDirty(i)
 			}
-		}
-		for _, i := range e.dirty {
-			e.dirtyMark[i] = false
 		}
 	default:
 		for v := 0; v < n; v++ {
@@ -175,91 +283,118 @@ func (e *IncrementalPooledEstimator) decreaseES(dst []float64, blocked []bool, f
 			}
 			e.prevBlocked[v] = nb
 			for _, i := range e.pool.SamplesContaining(graph.V(v)) {
-				if !e.dirtyMark[i] {
-					e.dirtyMark[i] = true
-					e.dirty = append(e.dirty, i)
-				}
+				e.markDirty(i)
 			}
 		}
-		for _, i := range e.dirty {
+	}
+	if e.nDirty == 0 {
+		return e.vals
+	}
+	e.reprocessed += int64(e.nDirty)
+
+	// Phase 1: each shard reprocesses its own dirty queue against its own
+	// accumulator. Tiny rounds run inline, in shard order; the result is
+	// the same either way because shards share nothing.
+	parallel := len(e.shards) > 1 && e.nDirty > smallRoundInline
+	if parallel {
+		var wg sync.WaitGroup
+		for _, sh := range e.shards {
+			if len(sh.dirty) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh *incShard) {
+				defer wg.Done()
+				e.processShard(sh, blocked)
+			}(sh)
+		}
+		wg.Wait()
+	} else {
+		for _, sh := range e.shards {
+			if len(sh.dirty) > 0 {
+				e.processShard(sh, blocked)
+			}
+		}
+	}
+
+	// Phase 2 (serial): merge the shards' touched lists into one deduped
+	// union, in fixed shard order, and drain the round's queues.
+	e.union = e.union[:0]
+	for _, sh := range e.shards {
+		for _, v := range sh.touched {
+			sh.marked[v] = false
+			if !e.unionMark[v] {
+				e.unionMark[v] = true
+				e.union = append(e.union, v)
+			}
+		}
+		sh.touched = sh.touched[:0]
+		for _, i := range sh.dirty {
 			e.dirtyMark[i] = false
 		}
+		sh.dirty = sh.dirty[:0]
 	}
-	e.reprocessed += int64(len(e.dirty))
+	e.nDirty = 0
 
-	if len(e.dirty) > 0 {
-		workers := e.workers
-		if workers > len(e.dirty) {
-			workers = len(e.dirty)
-		}
-		// Small dirty sets run inline: spawning and joining W goroutines
-		// costs more than a few dozen tiny dominator runs.
-		if len(e.dirty) <= 32 {
-			workers = 1
-		}
-		if workers == 1 {
-			st := e.worker(0)
-			for _, i := range e.dirty {
-				e.reprocess(st, i, blocked)
+	// Phase 3: refresh the cached Δ vector at exactly the union entries.
+	// vals[u] = float64(Σ_s acc_s[u])·θ⁻¹ — the same expression
+	// PooledEstimator evaluates over its per-worker sums, summed in fixed
+	// shard order (int64 addition is exact, so the order is immaterial to
+	// the bits; the fixed order keeps it auditable). Parallel over disjoint
+	// chunks of the union when the round is large enough to pay for it.
+	inv := 1 / float64(theta)
+	reduce := func(part []graph.V) {
+		for _, v := range part {
+			total := int64(0)
+			for _, sh := range e.shards {
+				total += sh.acc[v]
 			}
-		} else {
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				lo := w * len(e.dirty) / workers
-				hi := (w + 1) * len(e.dirty) / workers
-				st := e.worker(w)
-				wg.Add(1)
-				go func(st *incWorker, lo, hi int) {
-					defer wg.Done()
-					for _, i := range e.dirty[lo:hi] {
-						e.reprocess(st, i, blocked)
-					}
-				}(st, lo, hi)
-			}
-			wg.Wait()
-		}
-		// Fold the per-worker deltas into the shared accumulator; touched
-		// lists may overlap across workers, so this stays serial. int64
-		// addition commutes exactly, so the fold order never changes acc.
-		// vals is refreshed at exactly the entries whose acc moved — the
-		// same float64(acc)·θ⁻¹ expression PooledEstimator evaluates, so
-		// the cached vector stays bit-identical to a full recompute.
-		inv := 1 / float64(theta)
-		for w := 0; w < workers; w++ {
-			st := e.scratch[w]
-			for _, v := range st.touched {
-				e.acc[v] += st.delta[v]
-				e.vals[v] = float64(e.acc[v]) * inv
-				st.delta[v] = 0
-				st.marked[v] = false
-			}
-			st.touched = st.touched[:0]
+			e.vals[v] = float64(total) * inv
+			e.unionMark[v] = false
 		}
 	}
-
-	copy(dst[:n], e.vals)
-	dst[e.pool.src] = 0
+	if parallel && len(e.union) > 4*smallRoundInline {
+		var wg sync.WaitGroup
+		p := len(e.shards)
+		for w := 0; w < p; w++ {
+			lo, hi := w*len(e.union)/p, (w+1)*len(e.union)/p
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []graph.V) {
+				defer wg.Done()
+				reduce(part)
+			}(e.union[lo:hi])
+		}
+		wg.Wait()
+	} else {
+		reduce(e.union)
+	}
+	return e.vals
 }
 
-// reprocess retracts sample i's cached contributions, recomputes its
-// filtered dominator tree under the new blocker set, and caches the result,
-// recording the net change in the worker's delta buffer.
-func (e *IncrementalPooledEstimator) reprocess(st *incWorker, i int32, blocked []bool) {
-	base := e.pool.vertStart[i]
-	old := int64(e.contribLen[i])
-	for j := base; j < base+old; j++ {
-		st.addDelta(e.contribVert[j], -int64(e.contribSize[j]))
-	}
-
+// processShard retracts each queued sample's cached contributions from the
+// shard accumulator, recomputes its filtered dominator tree under the new
+// blocker set, and caches the result.
+func (e *IncrementalPooledEstimator) processShard(sh *incShard, blocked []bool) {
 	var s sampleView
-	e.pool.view(int(i), &s)
-	forig, sizes := st.dominateSample(&s, blocked, e.domAlgo)
-	e.contribLen[i] = int32(len(forig) - 1)
-	for fl := 1; fl < len(forig); fl++ {
-		v, sz := forig[fl], sizes[fl]
-		e.contribVert[base+int64(fl-1)] = v
-		e.contribSize[base+int64(fl-1)] = sz
-		st.addDelta(v, int64(sz))
+	for _, i := range sh.dirty {
+		base := e.pool.vertStart[i]
+		old := int64(e.contribLen[i])
+		for j := base; j < base+old; j++ {
+			sh.add(e.contribVert[j], -int64(e.contribSize[j]))
+		}
+
+		e.pool.view(int(i), &s)
+		forig, sizes := sh.dominateSample(&s, blocked, e.domAlgo)
+		e.contribLen[i] = int32(len(forig) - 1)
+		for fl := 1; fl < len(forig); fl++ {
+			v, sz := forig[fl], sizes[fl]
+			e.contribVert[base+int64(fl-1)] = v
+			e.contribSize[base+int64(fl-1)] = sz
+			sh.add(v, int64(sz))
+		}
 	}
 }
 
@@ -270,7 +405,7 @@ func (e *IncrementalPooledEstimator) reprocess(st *incWorker, i int32, blocked [
 // and CSR rebuild are skipped and the dominator computation runs straight
 // off pool memory. Dominator trees are unique per flow graph, so both paths
 // return identical (vertex, size) contributions.
-func (st *incWorker) dominateSample(s *sampleView, blocked []bool, domAlgo DomAlgo) ([]graph.V, []int32) {
+func (st *filterScratch) dominateSample(s *sampleView, blocked []bool, domAlgo DomAlgo) ([]graph.V, []int32) {
 	if blocked != nil {
 		for _, v := range s.orig {
 			if blocked[v] {
@@ -280,14 +415,6 @@ func (st *incWorker) dominateSample(s *sampleView, blocked []bool, domAlgo DomAl
 	}
 	fg := dominator.FlowGraph{N: len(s.orig), OutStart: s.outStart, OutTo: s.outTo, InStart: s.inStart, InTo: s.inTo}
 	return s.orig, st.runDominators(&fg, domAlgo)
-}
-
-func (st *incWorker) addDelta(v graph.V, d int64) {
-	if !st.marked[v] {
-		st.marked[v] = true
-		st.touched = append(st.touched, v)
-	}
-	st.delta[v] += d
 }
 
 // IncrementalStats reports the estimator's lifetime work counters.
@@ -305,18 +432,22 @@ func (e *IncrementalPooledEstimator) Stats() IncrementalStats {
 }
 
 // MemoryBytes reports the pool plus the estimator's own resident footprint:
-// accumulator, cached value vector, contribution arena, previous-blocker
-// mask, and the per-worker scratch allocated so far (each worker holds an
-// O(n) delta array — on large graphs that dwarfs the arena itself).
+// cached value vector, contribution arena, previous-blocker mask, and the
+// per-shard state — the O(n) accumulator and mark arrays plus the filter
+// and dominator scratch grown during processing. On large graphs at high
+// worker counts the per-shard state dwarfs the arena itself, which is why
+// SetWorkers is worth calling downward too.
 func (e *IncrementalPooledEstimator) MemoryBytes() int64 {
 	total := e.pool.MemoryBytes() +
-		int64(len(e.acc))*8 + int64(len(e.vals))*8 +
+		int64(len(e.vals))*8 +
 		int64(len(e.contribVert))*4 + int64(len(e.contribSize))*4 +
-		int64(len(e.contribLen))*4 +
+		int64(len(e.contribLen))*4 + int64(len(e.ownerOf))*4 +
 		int64(len(e.prevBlocked)) + int64(len(e.dirtyMark)) +
-		int64(cap(e.dirty))*4
-	for _, st := range e.scratch {
-		total += int64(len(st.delta))*8 + int64(len(st.marked)) + int64(cap(st.touched))*4
+		int64(len(e.unionMark)) + int64(cap(e.union))*4
+	for _, sh := range e.shards {
+		total += int64(len(sh.acc))*8 + int64(len(sh.marked)) +
+			int64(cap(sh.touched))*4 + int64(cap(sh.dirty))*4 +
+			sh.memoryBytes()
 	}
 	return total
 }

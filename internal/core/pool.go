@@ -81,9 +81,12 @@ func poolWorkers(workers, theta int) int {
 
 // NewSamplePool draws theta live-edge samples from the sampler into a fresh
 // arena and builds the inverted index. workers <= 0 selects GOMAXPROCS. The
-// pool content is deterministic in (base, workers): worker w samples the
-// range [w·θ/W, (w+1)·θ/W) from the stream base.Split(w), matching the
-// historical PooledEstimator layout.
+// pool content is deterministic in base alone: sample i is always drawn
+// from the stream base.Split(i), regardless of the worker count, so pools
+// built at different parallelism are byte-identical — the property that
+// lets a warm session keep its cached pools when a request asks for a
+// different worker count, and that makes ReuseSamples solves reproducible
+// across machines with different core counts.
 func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int, base *rng.Source) *SamplePool {
 	workers = poolWorkers(workers, theta)
 
@@ -104,13 +107,14 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 	for w := 0; w < workers; w++ {
 		lo := w * theta / workers
 		hi := (w + 1) * theta / workers
-		r := base.Split(uint64(w))
 		wg.Add(1)
-		go func(sh *shard, lo, hi int, r *rng.Source) {
+		go func(sh *shard, lo, hi int) {
 			defer wg.Done()
 			ws := sampler.NewWorkspace()
 			for i := lo; i < hi; i++ {
-				sg := sampler.Sample(src, nil, r, ws)
+				// Split reads the parent state without mutating it, so
+				// concurrent per-sample derivation is race-free.
+				sg := sampler.Sample(src, nil, base.Split(uint64(i)), ws)
 				sh.orig = append(sh.orig, sg.Orig[:sg.K]...)
 				sh.csr = append(sh.csr, sg.OutStart[:sg.K+1]...)
 				sh.to = append(sh.to, sg.OutTo...)
@@ -119,7 +123,7 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 				sh.ks = append(sh.ks, int32(sg.K))
 				sh.es = append(sh.es, int32(len(sg.OutTo)))
 			}
-		}(&shards[w], lo, hi, r)
+		}(&shards[w], lo, hi)
 	}
 	wg.Wait()
 
@@ -163,32 +167,73 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 	}
 	wg.Wait()
 
-	p.buildIndex()
+	p.buildIndex(workers)
 	return p
 }
 
 // buildIndex fills the vertex → sample-ids CSR by counting sort over the
-// vertex arena. Sample ids come out ascending per vertex.
-func (p *SamplePool) buildIndex() {
+// vertex arena. Sample ids come out ascending per vertex. The sort runs on
+// the same worker ranges as sampling: worker w counts and fills the entries
+// of its own sample range, offset by the counts of earlier workers, so the
+// per-vertex ordering — ascending sample ids — is identical to the serial
+// sort for every worker count.
+func (p *SamplePool) buildIndex(workers int) {
 	n := p.g.N()
+	theta := p.Theta()
+	if workers > theta {
+		workers = theta
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Count per (worker, vertex): each worker scans only its sample range.
+	counts := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*theta/workers, (w+1)*theta/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := make([]int64, n)
+			for _, v := range p.vertOrig[p.vertStart[lo]:p.vertStart[hi]] {
+				c[v]++
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Prefix over vertices (and, inside each vertex, over workers): after
+	// this pass counts[w][v] is the absolute write offset of worker w's
+	// first entry for vertex v.
 	p.idxStart = make([]int64, n+1)
-	for _, v := range p.vertOrig {
-		p.idxStart[v+1]++
-	}
 	for v := 0; v < n; v++ {
-		p.idxStart[v+1] += p.idxStart[v]
-	}
-	p.idxSample = make([]int32, len(p.vertOrig))
-	next := make([]int64, n)
-	for v := 0; v < n; v++ {
-		next[v] = p.idxStart[v]
-	}
-	for i := 0; i < p.Theta(); i++ {
-		for _, v := range p.vertOrig[p.vertStart[i]:p.vertStart[i+1]] {
-			p.idxSample[next[v]] = int32(i)
-			next[v]++
+		at := p.idxStart[v]
+		for w := 0; w < workers; w++ {
+			c := counts[w][v]
+			counts[w][v] = at
+			at += c
 		}
+		p.idxStart[v+1] = at
 	}
+
+	p.idxSample = make([]int32, len(p.vertOrig))
+	for w := 0; w < workers; w++ {
+		lo, hi := w*theta/workers, (w+1)*theta/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			next := counts[w]
+			for i := lo; i < hi; i++ {
+				for _, v := range p.vertOrig[p.vertStart[i]:p.vertStart[i+1]] {
+					p.idxSample[next[v]] = int32(i)
+					next[v]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }
 
 // Theta returns the number of stored samples.

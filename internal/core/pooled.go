@@ -88,6 +88,18 @@ func newFilterScratch() filterScratch {
 	return filterScratch{dws: dominator.NewWorkspace(0)}
 }
 
+// memoryBytes reports the scratch's resident footprint: the filter/CSR
+// arrays (grown to the largest sample processed so far) plus the dominator
+// workspace. graph.V is int32, so every slice here is 4 bytes per entry.
+func (st *filterScratch) memoryBytes() int64 {
+	total := st.dws.MemoryBytes() + int64(cap(st.forig))*4
+	for _, s := range [][]int32{st.stamp, st.flocal, st.queue, st.eFrom, st.eTo,
+		st.outStart, st.outTo, st.inStart, st.inTo, st.fill, st.sizes} {
+		total += int64(cap(s)) * 4
+	}
+	return total
+}
+
 type pooledWorker struct {
 	filterScratch
 	acc []int64

@@ -22,7 +22,6 @@ import (
 func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt Options) Result {
 	n := in.g.N()
 	blocked := make([]bool, n)
-	delta := make([]float64, n)
 	var blockers []graph.V
 	round := uint64(0)
 
@@ -48,7 +47,7 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		if halt.stop() {
 			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
-		est.decreaseES(delta, in.src, blocked, round)
+		delta := est.decreaseES(in.src, blocked, round)
 		round++
 
 		best := graph.V(-1)
@@ -78,7 +77,7 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		u := blockers[i]
 		blocked[u] = false // B ← B \ {u}
 		est.noteFlip(u)
-		est.decreaseES(delta, in.src, blocked, round)
+		delta := est.decreaseES(in.src, blocked, round)
 		round++
 
 		best := pickMax(in, blocked, delta)

@@ -18,11 +18,17 @@ import (
 // arrays per worker). A cold Solve pays all of that on every call; a warm
 // Session call with the same seed set skips straight to the greedy rounds.
 //
-// A Session is bound to (graph, diffusion, dominator algorithm, workers) at
-// construction; Solve overrides those Options fields with the session's own
-// so cached scratch always matches the run. Solve serializes callers
-// internally — the estimator admits one DecreaseES stream at a time — so a
-// Session is safe for concurrent use, at the price of queueing (the wait is
+// A Session is bound to (graph, diffusion, dominator algorithm) at
+// construction, plus a default worker count: Solve overrides the diffusion
+// and dominator Options fields with the session's own so cached scratch
+// always matches the run, while Options.Workers is honored per call (zero
+// falls back to the session default). Cached estimators are re-fanned with
+// SetWorkers instead of being rebuilt — pool content is worker-independent
+// (see NewSamplePool), so a warm session serves requests at any worker
+// count from the same cached samples, and ReuseSamples results are
+// bit-identical at every worker count. Solve serializes callers internally
+// — the estimator admits one DecreaseES stream at a time — so a Session is
+// safe for concurrent use, at the price of queueing (the wait is
 // context-aware: a canceled caller stops queueing immediately); run
 // independent graphs on independent Sessions.
 //
@@ -181,21 +187,26 @@ func (s *Session) prepare(seeds []graph.V) (*sessionInstance, error) {
 // warmPool returns si's cached incremental estimator for (opt.Seed,
 // opt.Theta), building pool and estimator on a miss and evicting the least
 // recently used pool past the bound. The pool is drawn exactly as a cold
-// ReuseSamples run would draw it — same rng split chain, same worker
-// ranges — so warm and cold solves stay bit-identical. Caller holds the
-// session lock and has already applied opt.withDefaults.
+// ReuseSamples run would draw it — same rng split chain, per-sample
+// streams — so warm and cold solves stay bit-identical. The cache key
+// deliberately excludes the worker count: pool content does not depend on
+// it, so a hit at a different opt.Workers only re-fans the estimator's
+// shards (SetWorkers) and keeps every cached sample and contribution.
+// Caller holds the session lock and has already applied opt.withDefaults
+// and resolved opt.Workers.
 func (s *Session) warmPool(si *sessionInstance, opt Options) (sp *sessionPool, built bool) {
 	s.tick++
 	for _, c := range si.pools {
 		if c.seed == opt.Seed && c.theta == opt.Theta {
 			c.used = s.tick
+			c.est.SetWorkers(opt.Workers)
 			s.poolReuses.Add(1)
 			return c, false
 		}
 	}
 	base := rng.New(opt.Seed)
 	est := NewIncrementalPooledEstimator(
-		si.est.Sampler(), si.in.src, opt.Theta, s.workers, s.domAlgo, base.Split(^uint64(0)))
+		si.est.Sampler(), si.in.src, opt.Theta, opt.Workers, s.domAlgo, base.Split(^uint64(0)))
 	sp = &sessionPool{seed: opt.Seed, theta: opt.Theta, est: est, used: s.tick, bytes: est.MemoryBytes()}
 	if len(si.pools) < maxSessionPools {
 		si.pools = append(si.pools, sp)
@@ -260,7 +271,10 @@ func (h *LockedSession) Solve(ctx context.Context, seeds []graph.V, b int, alg A
 	opt = opt.withDefaults()
 	opt.Diffusion = s.diffusion
 	opt.DomAlgo = s.domAlgo
-	opt.Workers = s.workers
+	if opt.Workers == 0 {
+		opt.Workers = s.workers
+	}
+	si.est.SetWorkers(opt.Workers)
 	warm := warmState{fresh: si.est}
 	var sp *sessionPool
 	if opt.ReuseSamples && (alg == AdvancedGreedy || alg == GreedyReplace) {
@@ -293,16 +307,21 @@ func (h *LockedSession) EvaluateSpread(seeds []graph.V, blockers []graph.V, roun
 		}
 		blocked[v] = true
 	}
-	spread := cascade.EstimateSpreadParallel(si.est.Sampler(), in.src, blocked, rounds, s.workers, rng.New(opt.Seed^0x5eed))
+	workers := opt.Workers
+	if workers == 0 {
+		workers = s.workers
+	}
+	spread := cascade.EstimateSpreadParallel(si.est.Sampler(), in.src, blocked, rounds, workers, rng.New(opt.Seed^0x5eed))
 	return graph.SpreadFromUnified(spread, in.numSeeds), nil
 }
 
 // Solve is SolveContext through the session's cached state. The session's
-// diffusion model, dominator algorithm, and worker count override the
-// corresponding Options fields so cached scratch always matches the run;
-// with Options that agree on those fields it returns results identical to
-// SolveContext. Canceling ctx while queued for the session returns
-// ctx.Err() without solving.
+// diffusion model and dominator algorithm override the corresponding
+// Options fields so cached scratch always matches the run; Options.Workers
+// is honored (zero uses the session default) by re-fanning the cached
+// estimators. With Options that agree on those fields it returns results
+// identical to SolveContext. Canceling ctx while queued for the session
+// returns ctx.Err() without solving.
 func (s *Session) Solve(ctx context.Context, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {
 	h, err := s.Acquire(ctx)
 	if err != nil {

@@ -72,6 +72,18 @@ func NewWorkspace(n int) *Workspace {
 	return ws
 }
 
+// MemoryBytes reports the workspace's resident scratch footprint — twelve
+// int32 arrays grown to the largest graph seen — for the serving layer's
+// capacity gauges.
+func (ws *Workspace) MemoryBytes() int64 {
+	total := int64(0)
+	for _, s := range [][]int32{ws.dfn, ws.vertex, ws.parent, ws.semi, ws.ancestor, ws.label,
+		ws.idom, ws.bucketHead, ws.bucketNext, ws.size, ws.stack, ws.stackIdx} {
+		total += int64(cap(s)) * 4
+	}
+	return total
+}
+
 func (ws *Workspace) grow(n int) {
 	if len(ws.dfn) >= n+1 {
 		return

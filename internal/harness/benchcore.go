@@ -3,14 +3,21 @@
 // emit a committed JSON baseline (BENCH_core.json) that future changes are
 // regressed against. The workload mirrors internal/core's
 // BenchmarkDecreaseES_* benchmarks: a b-round AdvancedGreedy trajectory on
-// the ~100k-edge serving benchmark graph, replayed per estimator.
+// the ~100k-edge serving benchmark graph, replayed per estimator. On top of
+// the three modes it sweeps the incremental estimator across worker counts
+// (1, 2, 4, GOMAXPROCS) to record the sharded fast path's scaling curve —
+// and, because the shard reduction is deterministic, it asserts along the
+// way that every worker count selects bit-identical blockers.
 package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"github.com/imin-dev/imin/internal/cascade"
@@ -28,10 +35,17 @@ type BenchCoreOptions struct {
 	EdgesPerVertex float64
 	// Budget is the greedy round count b (default 10).
 	Budget int
-	// MinTime is the minimum measuring time per mode (default 2s).
+	// MinTime is the minimum measuring time per mode and per sweep point
+	// (default 2s).
 	MinTime time.Duration
 	// JSONPath, when non-empty, receives the report as indented JSON.
 	JSONPath string
+	// Force overwrites an existing JSONPath whose worker configuration
+	// (requested workers, GOMAXPROCS, sweep points) differs from this
+	// run's. Without it the run fails instead of silently replacing
+	// numbers measured under different parallelism — the provenance
+	// guard that keeps BENCH_core.json comparable across regenerations.
+	Force bool
 }
 
 // BenchCoreMode is one estimator's measurement.
@@ -43,6 +57,25 @@ type BenchCoreMode struct {
 	// re-processed (θ for the full-scan modes; the measured average for
 	// the incremental mode, including its priming scan).
 	DirtySamplesPerRound float64 `json:"dirty_samples_per_round"`
+	// Workers is the effective worker count this measurement ran with
+	// (the requested count resolved against GOMAXPROCS and clamped to θ)
+	// — per-measurement provenance, so a single-threaded number can never
+	// masquerade as a parallel one.
+	Workers int `json:"workers"`
+}
+
+// BenchCoreScalingPoint is one point of the incremental worker sweep.
+type BenchCoreScalingPoint struct {
+	// Workers is the estimator's shard count for this point; GoMaxProcs
+	// is the scheduler parallelism it actually ran under (points above
+	// GOMAXPROCS timeshare and are expected to flatline).
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NsPerRound float64 `json:"ns_per_round"`
+	// Speedup is workers=1 ns/round divided by this point's, Efficiency
+	// is Speedup/Workers (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup_vs_workers_1"`
+	Efficiency float64 `json:"scaling_efficiency"`
 }
 
 // BenchCoreReport is the BENCH_core.json schema.
@@ -54,24 +87,105 @@ type BenchCoreReport struct {
 		Edges          int     `json:"edges"`
 		NumSeeds       int     `json:"num_seeds"`
 	} `json:"graph"`
-	Theta                      int           `json:"theta"`
-	Budget                     int           `json:"budget"`
-	Workers                    int           `json:"workers"`
-	PoolBytes                  int64         `json:"pool_bytes"`
-	PoolBuildMS                float64       `json:"pool_build_ms"`
-	GoMaxProcs                 int           `json:"gomaxprocs"`
-	GoVersion                  string        `json:"go_version"`
-	GeneratedBy                string        `json:"generated_by"`
-	Fresh                      BenchCoreMode `json:"fresh"`
-	Pooled                     BenchCoreMode `json:"pooled"`
-	Incremental                BenchCoreMode `json:"incremental"`
-	SpeedupPooledVsFresh       float64       `json:"speedup_pooled_vs_fresh"`
-	SpeedupIncrementalVsPooled float64       `json:"speedup_incremental_vs_pooled"`
-	SpeedupIncrementalVsFresh  float64       `json:"speedup_incremental_vs_fresh"`
+	Theta  int `json:"theta"`
+	Budget int `json:"budget"`
+	// Workers is the requested configuration (0 = all cores); every
+	// measurement additionally records the effective count it used.
+	Workers     int           `json:"workers"`
+	PoolBytes   int64         `json:"pool_bytes"`
+	PoolBuildMS float64       `json:"pool_build_ms"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	GoVersion   string        `json:"go_version"`
+	GeneratedBy string        `json:"generated_by"`
+	Fresh       BenchCoreMode `json:"fresh"`
+	Pooled      BenchCoreMode `json:"pooled"`
+	Incremental BenchCoreMode `json:"incremental"`
+	// IncrementalScaling sweeps the incremental estimator's worker count;
+	// BlockersIdenticalAcrossWorkers records that every sweep point
+	// re-derived the same greedy blocker sequence (the sharded reduction's
+	// determinism guarantee, asserted here on the serving-size instance).
+	IncrementalScaling             []BenchCoreScalingPoint `json:"incremental_scaling"`
+	BlockersIdenticalAcrossWorkers bool                    `json:"blockers_identical_across_workers"`
+	SpeedupPooledVsFresh           float64                 `json:"speedup_pooled_vs_fresh"`
+	SpeedupIncrementalVsPooled     float64                 `json:"speedup_incremental_vs_pooled"`
+	SpeedupIncrementalVsFresh      float64                 `json:"speedup_incremental_vs_fresh"`
+	SpeedupIncremental4WVs1W       float64                 `json:"speedup_incremental_4w_vs_1w"`
 }
 
-// RunBenchCore builds the benchmark instance, measures the three modes, and
-// writes the report table to cfg.Out (and JSON to opt.JSONPath, if set).
+// sweepWorkers returns the deduplicated ascending worker counts to sweep:
+// 1, 2, 4, and GOMAXPROCS.
+func sweepWorkers() []int {
+	ws := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	slices.Sort(ws)
+	return slices.Compact(ws)
+}
+
+// workerConfigMatches reports whether an existing report was produced
+// under the same parallelism configuration as the pending one.
+func workerConfigMatches(old, cur *BenchCoreReport) bool {
+	if old.Workers != cur.Workers || old.GoMaxProcs != cur.GoMaxProcs {
+		return false
+	}
+	if len(old.IncrementalScaling) != len(cur.IncrementalScaling) {
+		return false
+	}
+	for i := range old.IncrementalScaling {
+		if old.IncrementalScaling[i].Workers != cur.IncrementalScaling[i].Workers {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOverwrite enforces the provenance guard on an existing JSON
+// baseline. A file that fails to parse (pre-sweep schema, manual edits) is
+// treated as a configuration mismatch: only -force may replace it.
+func checkOverwrite(path string, cur *BenchCoreReport, force bool) error {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if force {
+		return nil
+	}
+	var old BenchCoreReport
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("benchcore: %s exists but does not parse (%v); pass -force to replace it", path, err)
+	}
+	if !workerConfigMatches(&old, cur) {
+		return fmt.Errorf("benchcore: %s was measured with workers=%d gomaxprocs=%d sweep=%v, this run is workers=%d gomaxprocs=%d sweep=%v; pass -force to overwrite",
+			path, old.Workers, old.GoMaxProcs, scalingWorkers(old.IncrementalScaling),
+			cur.Workers, cur.GoMaxProcs, scalingWorkers(cur.IncrementalScaling))
+	}
+	return nil
+}
+
+func scalingWorkers(pts []BenchCoreScalingPoint) []int {
+	ws := make([]int, len(pts))
+	for i, p := range pts {
+		ws[i] = p.Workers
+	}
+	return ws
+}
+
+// effectiveWorkers resolves a requested worker count the way the
+// estimators do: 0 → GOMAXPROCS, then clamped to θ.
+func effectiveWorkers(workers, theta int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > theta {
+		workers = theta
+	}
+	return workers
+}
+
+// RunBenchCore builds the benchmark instance, measures the three modes and
+// the incremental worker sweep, and writes the report table to cfg.Out
+// (and JSON to opt.JSONPath, if set).
 func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	cfg = cfg.WithDefaults()
 	if opt.N <= 0 {
@@ -113,6 +227,19 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	rep.Graph.EdgesPerVertex = opt.EdgesPerVertex
 	rep.Graph.Edges = g.M()
 	rep.Graph.NumSeeds = cfg.NumSeeds
+	for _, w := range sweepWorkers() {
+		rep.IncrementalScaling = append(rep.IncrementalScaling,
+			BenchCoreScalingPoint{Workers: w, GoMaxProcs: rep.GoMaxProcs})
+	}
+
+	// Fail the provenance check before spending minutes measuring.
+	if opt.JSONPath != "" {
+		if err := checkOverwrite(opt.JSONPath, rep, opt.Force); err != nil {
+			return nil, err
+		}
+	}
+
+	mainWorkers := effectiveWorkers(cfg.Workers, cfg.Theta)
 
 	t0 := time.Now()
 	pool := core.NewSamplePool(sampler, super, cfg.Theta, cfg.Workers, rng.New(cfg.Seed).Split(^uint64(0)))
@@ -125,9 +252,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	blocked := make([]bool, n)
 	delta := make([]float64, n)
 	pooled := core.NewPooledEstimatorFromPool(pool, cfg.Workers, core.DomLengauerTarjan)
-	traj := make([]graph.V, 0, opt.Budget)
-	for round := 0; round < opt.Budget; round++ {
-		pooled.DecreaseES(delta, blocked)
+	pickBest := func(delta []float64) graph.V {
 		best := graph.V(-1)
 		for v := graph.V(0); int(v) < g.N(); v++ {
 			if isSeed[v] || blocked[v] {
@@ -137,6 +262,12 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 				best = v
 			}
 		}
+		return best
+	}
+	traj := make([]graph.V, 0, opt.Budget)
+	for round := 0; round < opt.Budget; round++ {
+		pooled.DecreaseES(delta, blocked)
+		best := pickBest(delta)
 		if best == -1 {
 			return nil, fmt.Errorf("benchcore: ran out of candidates at round %d", round)
 		}
@@ -172,7 +303,8 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		clear(blocked)
 	})
 	rep.Fresh = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
-		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta)}
+		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta),
+		Workers: mainWorkers}
 
 	// Pooled: full re-scan of the stored pool every round.
 	ns, by, _ = measure(func() {
@@ -183,49 +315,118 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		clear(blocked)
 	})
 	rep.Pooled = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
-		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta)}
+		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta),
+		Workers: mainWorkers}
 
-	// Incremental: persistent estimator, flips reported, priming included
-	// in the first run and amortized like a warm session would.
-	incr := core.NewIncrementalPooledEstimatorFromPool(pool, cfg.Workers, core.DomLengauerTarjan)
-	flips := make([]graph.V, 0, opt.Budget)
-	st0 := incr.Stats()
-	ns, by, rounds := measure(func() {
-		for _, v := range traj {
-			incr.DecreaseESFlips(delta, blocked, flips)
+	// Incremental: persistent estimator per sweep point, flips reported,
+	// priming included in the first run and amortized like a warm session
+	// would. The measurement goes through the zero-copy view API — the
+	// path the greedy loops run — so it excludes the O(n) dst fill that
+	// only the compatibility wrappers pay. Before timing a point, one
+	// greedy selection re-derives the trajectory at that worker count and
+	// is checked against the pooled trajectory — the
+	// bit-identical-blockers guarantee, exercised at serving size.
+	rep.BlockersIdenticalAcrossWorkers = true
+	measureIncremental := func(workers int) (BenchCoreMode, error) {
+		incr := core.NewIncrementalPooledEstimatorFromPool(pool, workers, core.DomLengauerTarjan)
+		reTraj := make([]graph.V, 0, opt.Budget)
+		flips := make([]graph.V, 0, opt.Budget)
+		for range traj {
+			vals := incr.DecreaseESFlipsView(blocked, flips)
 			flips = flips[:0]
-			blocked[v] = true
-			flips = append(flips, v)
+			best := pickBest(vals)
+			if best == -1 {
+				return BenchCoreMode{}, fmt.Errorf("benchcore: sweep at workers=%d ran out of candidates", workers)
+			}
+			blocked[best] = true
+			flips = append(flips, best)
+			reTraj = append(reTraj, best)
+		}
+		if !slices.Equal(reTraj, traj) {
+			rep.BlockersIdenticalAcrossWorkers = false
 		}
 		for _, v := range traj {
 			blocked[v] = false
 			flips = append(flips, v)
 		}
-	})
-	st1 := incr.Stats()
-	dirtyPerRound := float64(st1.SamplesReprocessed-st0.SamplesReprocessed) / float64(rounds)
-	rep.Incremental = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
-		SamplesPerSec: dirtyPerRound / ns * 1e9, DirtySamplesPerRound: dirtyPerRound}
+		st0 := incr.Stats()
+		ns, by, rounds := measure(func() {
+			for _, v := range traj {
+				incr.DecreaseESFlipsView(blocked, flips)
+				flips = flips[:0]
+				blocked[v] = true
+				flips = append(flips, v)
+			}
+			for _, v := range traj {
+				blocked[v] = false
+				flips = append(flips, v)
+			}
+		})
+		st1 := incr.Stats()
+		dirtyPerRound := float64(st1.SamplesReprocessed-st0.SamplesReprocessed) / float64(rounds)
+		return BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
+			SamplesPerSec: dirtyPerRound / ns * 1e9, DirtySamplesPerRound: dirtyPerRound,
+			Workers: effectiveWorkers(workers, cfg.Theta)}, nil
+	}
+
+	m, err := measureIncremental(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Incremental = m
+
+	var oneWorkerNs float64
+	for i := range rep.IncrementalScaling {
+		pt := &rep.IncrementalScaling[i]
+		m := rep.Incremental
+		if pt.Workers != rep.Incremental.Workers {
+			// The sweep point matching the headline configuration reuses
+			// that measurement instead of paying another priming pass and
+			// MinTime of timed rounds for identical numbers.
+			var err error
+			m, err = measureIncremental(pt.Workers)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pt.NsPerRound = m.NsPerRound
+		if pt.Workers == 1 {
+			oneWorkerNs = m.NsPerRound
+		}
+		if oneWorkerNs > 0 {
+			pt.Speedup = oneWorkerNs / m.NsPerRound
+			pt.Efficiency = pt.Speedup / float64(pt.Workers)
+		}
+		if pt.Workers == 4 {
+			rep.SpeedupIncremental4WVs1W = pt.Speedup
+		}
+	}
 
 	rep.SpeedupPooledVsFresh = rep.Fresh.NsPerRound / rep.Pooled.NsPerRound
 	rep.SpeedupIncrementalVsPooled = rep.Pooled.NsPerRound / rep.Incremental.NsPerRound
 	rep.SpeedupIncrementalVsFresh = rep.Fresh.NsPerRound / rep.Incremental.NsPerRound
 
 	if cfg.Out != nil {
-		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d\n",
-			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers)
+		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d)\n",
+			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs)
 		fmt.Fprintf(cfg.Out, "pool: %d samples, %.1f MB, built in %.0f ms\n",
 			cfg.Theta, float64(rep.PoolBytes)/(1<<20), rep.PoolBuildMS)
-		fmt.Fprintf(cfg.Out, "%-12s %14s %16s %14s %18s\n", "mode", "ns/round", "samples/sec", "bytes/round", "dirty samples/rnd")
+		fmt.Fprintf(cfg.Out, "%-12s %8s %14s %16s %14s %18s\n", "mode", "workers", "ns/round", "samples/sec", "bytes/round", "dirty samples/rnd")
 		for _, row := range []struct {
 			name string
 			m    BenchCoreMode
 		}{{"fresh", rep.Fresh}, {"pooled", rep.Pooled}, {"incremental", rep.Incremental}} {
-			fmt.Fprintf(cfg.Out, "%-12s %14.0f %16.0f %14.0f %18.1f\n",
-				row.name, row.m.NsPerRound, row.m.SamplesPerSec, row.m.BytesPerRound, row.m.DirtySamplesPerRound)
+			fmt.Fprintf(cfg.Out, "%-12s %8d %14.0f %16.0f %14.0f %18.1f\n",
+				row.name, row.m.Workers, row.m.NsPerRound, row.m.SamplesPerSec, row.m.BytesPerRound, row.m.DirtySamplesPerRound)
 		}
 		fmt.Fprintf(cfg.Out, "speedups: pooled/fresh %.2fx, incremental/pooled %.2fx, incremental/fresh %.2fx\n",
 			rep.SpeedupPooledVsFresh, rep.SpeedupIncrementalVsPooled, rep.SpeedupIncrementalVsFresh)
+		fmt.Fprintf(cfg.Out, "incremental worker sweep (blockers identical across counts: %v):\n",
+			rep.BlockersIdenticalAcrossWorkers)
+		for _, pt := range rep.IncrementalScaling {
+			fmt.Fprintf(cfg.Out, "  workers=%-3d %12.0f ns/round  speedup %.2fx  efficiency %.2f\n",
+				pt.Workers, pt.NsPerRound, pt.Speedup, pt.Efficiency)
+		}
 	}
 
 	if opt.JSONPath != "" {

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// postBatch posts a solve-batch request and decodes the NDJSON stream into
+// per-index results.
+func postBatch(t *testing.T, url string, req BatchSolveRequest) (map[int]BatchItemResult, int, string) {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var raw bytes.Buffer
+		_, _ = raw.ReadFrom(resp.Body)
+		return nil, resp.StatusCode, raw.String()
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	items := make(map[int]BatchItemResult)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var item BatchItemResult
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if _, dup := items[item.Index]; dup {
+			t.Fatalf("index %d reported twice", item.Index)
+		}
+		items[item.Index] = item
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return items, resp.StatusCode, ""
+}
+
+// TestSolveBatchMatchesSingleSolves runs a concurrent batch against one
+// graph — several items deliberately sharing (seeds, seed, theta,
+// reuse_samples) so they contend for the same warm session and pooled
+// estimator — and requires each item's blockers to equal the same request
+// solved alone. With -race this doubles as the concurrent-warm-session
+// exercise for the sharded estimator behind the HTTP layer.
+func TestSolveBatchMatchesSingleSolves(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	registerTestGraphs(t, ts)
+
+	shared := SolveRequest{
+		Seeds: []int{5, 9}, Budget: 4, Algorithm: "advanced-greedy",
+		Theta: 300, Seed: 11, ReuseSamples: true, EvalRounds: -1, Workers: 2,
+	}
+	grItem := SolveRequest{
+		Seeds: []int{5, 9}, Budget: 3, Algorithm: "greedy-replace",
+		Theta: 300, Seed: 11, ReuseSamples: true, EvalRounds: -1,
+	}
+	batch := BatchSolveRequest{Items: []SolveRequest{shared, shared, grItem, shared}}
+
+	var single SolveResponse
+	if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", shared, &single); code != http.StatusOK {
+		t.Fatalf("single solve: status %d, body %s", code, body)
+	}
+	var singleGR SolveResponse
+	if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", grItem, &singleGR); code != http.StatusOK {
+		t.Fatalf("single GR solve: status %d, body %s", code, body)
+	}
+
+	items, code, body := postBatch(t, ts.URL+"/graphs/g1/solve-batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", code, body)
+	}
+	if len(items) != len(batch.Items) {
+		t.Fatalf("got %d results, want %d", len(items), len(batch.Items))
+	}
+	for idx, item := range items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", idx, item.Error)
+		}
+		want := single.Blockers
+		if idx == 2 {
+			want = singleGR.Blockers
+		}
+		if !reflect.DeepEqual(item.Result.Blockers, want) {
+			t.Errorf("item %d blockers %v != single-solve blockers %v", idx, item.Result.Blockers, want)
+		}
+	}
+	if want := min(2, runtime.GOMAXPROCS(0)); items[0].Result.Workers != want {
+		t.Errorf("item 0 workers echo = %d, want %d (request clamped to GOMAXPROCS)", items[0].Result.Workers, want)
+	}
+}
+
+// TestSolveBatchPerItemErrors keeps one bad item from poisoning the batch:
+// the invalid item carries its error inline, the valid items still solve.
+func TestSolveBatchPerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	registerTestGraphs(t, ts)
+
+	batch := BatchSolveRequest{Items: []SolveRequest{
+		{Seeds: []int{1}, Budget: 2, EvalRounds: -1, Theta: 200},
+		{Seeds: []int{1}, Budget: 2, Algorithm: "no-such-algorithm"},
+		{Seeds: []int{1}, Budget: -3},
+		{Seeds: []int{1}, Budget: 1, Workers: -2},
+	}}
+	items, code, body := postBatch(t, ts.URL+"/graphs/g2/solve-batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", code, body)
+	}
+	if items[0].Error != "" || items[0].Result == nil {
+		t.Errorf("item 0 should succeed, got error %q", items[0].Error)
+	}
+	for idx, wantSub := range map[int]string{1: "unknown algorithm", 2: "negative budget", 3: "negative workers"} {
+		item := items[idx]
+		if item.Result != nil || item.Error == "" {
+			t.Errorf("item %d should fail, got result %+v", idx, item.Result)
+			continue
+		}
+		if !bytes.Contains([]byte(item.Error), []byte(wantSub)) {
+			t.Errorf("item %d error %q does not mention %q", idx, item.Error, wantSub)
+		}
+	}
+}
+
+// TestSolveBatchValidation covers the batch-level rejections: unknown
+// graph, empty batch, and the item-count cap.
+func TestSolveBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchItems: 2})
+	registerTestGraphs(t, ts)
+
+	if _, code, _ := postBatch(t, ts.URL+"/graphs/nope/solve-batch", BatchSolveRequest{Items: []SolveRequest{{Budget: 1}}}); code != http.StatusNotFound {
+		t.Errorf("unknown graph: status %d, want 404", code)
+	}
+	if _, code, _ := postBatch(t, ts.URL+"/graphs/g1/solve-batch", BatchSolveRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	over := BatchSolveRequest{Items: make([]SolveRequest, 3)}
+	if _, code, body := postBatch(t, ts.URL+"/graphs/g1/solve-batch", over); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d (body %s), want 400", code, body)
+	}
+}

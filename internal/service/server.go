@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,10 @@ type Config struct {
 	// (Files are bounded by DataDir contents, datasets by Scale <= 1.)
 	MaxGraphSize int
 	MaxGraphs    int
+	// MaxBatchItems caps the item count of one solve-batch request: items
+	// run through the same bounded solve pool as single requests, but each
+	// admitted batch holds its unfinished items queued in memory. Default 64.
+	MaxBatchItems int
 	// DataDir is the only directory path-based graph registration may read
 	// from; empty disables file loading entirely.
 	DataDir string
@@ -85,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxGraphs <= 0 {
 		c.MaxGraphs = 64
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
@@ -117,6 +125,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /graphs", s.handleList)
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /graphs/{id}/solve-batch", s.handleSolveBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -401,8 +410,20 @@ var validAlgorithms = map[core.Algorithm]bool{
 	core.GreedyReplace:  true,
 }
 
+// apiError carries an HTTP status code with its message through the solve
+// path, so the same validation and solve logic serves the single-solve
+// endpoint (status → response code) and the batch stream (status folded
+// into the per-item error line).
+type apiError struct {
+	code int
+	msg  string
+}
+
+func apiErrorf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
 	entry, ok := s.registry.Get(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
@@ -413,16 +434,103 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Budget < 0 {
-		writeErr(w, http.StatusBadRequest, "negative budget %d", req.Budget)
+	resp, aerr := s.solveOne(r.Context(), entry, &req)
+	if aerr != nil {
+		writeErr(w, aerr.code, "%s", aerr.msg)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSolveBatch answers POST /graphs/{id}/solve-batch: every item runs
+// through the same admission path as a single solve (session queue first,
+// then a slot in the bounded solve pool), sharing the graph's warm
+// sessions, and results stream back as NDJSON lines in completion order.
+// Streaming means the client sees item results while later items still
+// run, and the response cannot carry a late status code — per-item
+// failures travel in the item line's "error" field instead.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req BatchSolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: items is required")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeErr(w, http.StatusBadRequest, "batch of %d items exceeds the server cap of %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+
+	ctx := r.Context()
+	workers := min(len(req.Items), s.cfg.MaxConcurrent)
+	idxCh := make(chan int)
+	results := make(chan BatchItemResult)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				item := BatchItemResult{Index: idx}
+				resp, aerr := s.solveOne(ctx, entry, &req.Items[idx])
+				if aerr != nil {
+					item.Error = aerr.msg
+				} else {
+					item.Result = resp
+				}
+				results <- item
+			}
+		}()
+	}
+	go func() {
+		for i := range req.Items {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // no indent: one result per line
+	for item := range results {
+		// A dead client cannot stop the encoder; the workers notice the
+		// canceled context at their next admission wait and drain quickly.
+		_ = enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// solveOne validates one solve request and runs it against entry with
+// warm-session reuse: the shared core of the solve and solve-batch
+// endpoints. ctx queues and cancels exactly like a single request's.
+func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequest) (*SolveResponse, *apiError) {
+	t0 := time.Now()
+	if req.Budget < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, "negative budget %d", req.Budget)
+	}
+	if req.Workers < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, "negative workers %d", req.Workers)
 	}
 	alg := core.GreedyReplace
 	if req.Algorithm != "" {
 		alg = core.Algorithm(req.Algorithm)
 		if !validAlgorithms[alg] {
-			writeErr(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
-			return
+			return nil, apiErrorf(http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
 		}
 	}
 	var diffusion core.Diffusion
@@ -432,18 +540,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case "LT":
 		diffusion = core.DiffusionLT
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown model %q (want IC or LT)", req.Model)
-		return
+		return nil, apiErrorf(http.StatusBadRequest, "unknown model %q (want IC or LT)", req.Model)
 	}
 
 	g := entry.G
-	seeds, err := resolveSeeds(g, &req)
+	seeds, err := resolveSeeds(g, req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
 
-	ctx := r.Context()
 	key := SessionKey{Graph: entry.Name, Diffusion: diffusion}
 	sess, hit := s.sessions.Acquire(key, g)
 
@@ -453,8 +558,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// starve requests for all other graphs (head-of-line blocking).
 	lh, err := sess.Acquire(ctx)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for the graph session")
-		return
+		return nil, apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for the graph session")
 	}
 	defer lh.Release()
 
@@ -465,8 +569,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
-		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for a solve slot")
-		return
+		return nil, apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for a solve slot")
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -477,10 +580,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	theta := min(orDefault(req.Theta, s.cfg.DefaultTheta), s.cfg.MaxTheta)
 	mcs := min(orDefault(req.MCSRounds, s.cfg.DefaultMCSRounds), s.cfg.MaxEvalRounds)
+	workers := min(req.Workers, runtime.GOMAXPROCS(0))
 	opt := core.Options{
 		Theta:        theta,
 		MCSRounds:    mcs,
 		Seed:         req.Seed,
+		Workers:      workers,
 		Timeout:      timeout,
 		ReuseSamples: req.ReuseSamples,
 	}
@@ -493,13 +598,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		evalRounds = s.cfg.MaxEvalRounds
 	}
 
-	resp := SolveResponse{
+	resp := &SolveResponse{
 		Graph:           entry.Name,
 		Algorithm:       string(alg),
 		Model:           diffusionName(diffusion),
 		Seeds:           verticesToInts(seeds),
 		Theta:           theta,
 		MCSRounds:       mcs,
+		Workers:         workers,
 		SessionCacheHit: hit,
 	}
 
@@ -507,15 +613,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if evalRounds > 0 {
 		before, err = evaluateSpread(ctx, lh, seeds, nil, evalRounds, opt)
 		if err != nil {
-			writeErr(w, evalStatus(ctx), "spread evaluation: %v", err)
-			return
+			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}
 	}
 
 	res, err := lh.Solve(ctx, seeds, req.Budget, alg, opt)
 	if err != nil {
-		writeErr(w, evalStatus(ctx), "solve: %v", err)
-		return
+		return nil, apiErrorf(evalStatus(ctx), "solve: %v", err)
 	}
 	resp.Blockers = verticesToInts(res.Blockers)
 	resp.SampledGraphs = res.SampledGraphs
@@ -527,8 +631,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if evalRounds > 0 && !resp.Canceled {
 		after, err := evaluateSpread(ctx, lh, seeds, res.Blockers, evalRounds, opt)
 		if err != nil {
-			writeErr(w, evalStatus(ctx), "spread evaluation: %v", err)
-			return
+			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}
 		resp.SpreadBefore = &before
 		resp.SpreadAfter = &after
@@ -538,7 +641,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.TotalMS = float64(time.Since(t0)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // evalChunk is the largest number of Monte-Carlo rounds run between

@@ -88,6 +88,14 @@ type SolveRequest struct {
 	EvalRounds int `json:"eval_rounds,omitempty"`
 	// Seed makes the request reproducible.
 	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the solve's internal parallelism (estimator shards,
+	// spread evaluation). 0 uses the server's -workers default; values are
+	// clamped to GOMAXPROCS. For reuse_samples solves the blocker output is
+	// identical at every worker count (the estimator's sharded reduction is
+	// deterministic), so workers is purely a latency/parallelism knob there;
+	// fresh-sampling solves tie their rng streams to the worker count, so
+	// equal workers is part of their reproducibility key.
+	Workers int `json:"workers,omitempty"`
 	// ReuseSamples draws the θ live-edge samples once and reuses the pool
 	// across greedy rounds through the delta-maintained incremental
 	// estimator; the pool is cached in the warm session keyed by
@@ -113,10 +121,11 @@ type SolveResponse struct {
 	SpreadAfter  *float64 `json:"spread_after,omitempty"`
 	ReductionPct *float64 `json:"reduction_pct,omitempty"`
 	// Theta and MCSRounds echo the effective (defaulted, clamped) sample
-	// counts; SampledGraphs and MCSSimulations are the solver's cost
-	// counters.
+	// counts, Workers the effective worker count (0 = server default);
+	// SampledGraphs and MCSSimulations are the solver's cost counters.
 	Theta          int   `json:"theta"`
 	MCSRounds      int   `json:"mcs_rounds"`
+	Workers        int   `json:"workers,omitempty"`
 	SampledGraphs  int64 `json:"sampled_graphs,omitempty"`
 	MCSSimulations int64 `json:"mcs_simulations,omitempty"`
 	// SolveMS is the blocker-selection wall clock; TotalMS includes seed
@@ -131,6 +140,27 @@ type SolveResponse struct {
 	// hit skips all setup only when this seed set was solved recently; a
 	// new seed set still pays instance+estimator construction once.
 	SessionCacheHit bool `json:"session_cache_hit"`
+}
+
+// BatchSolveRequest is the body of POST /graphs/{id}/solve-batch: a list
+// of solve requests against one graph, answered through the same bounded
+// worker pool and warm sessions as single solves. Items that share a
+// diffusion model share one warm session, so a homogeneous batch pays
+// instance preparation and (with reuse_samples and equal seed/theta) pool
+// construction once, then streams b-round solves off the cached state.
+type BatchSolveRequest struct {
+	// Items are solved independently; item i is reported with index i.
+	// Length is capped by the server's MaxBatchItems.
+	Items []SolveRequest `json:"items"`
+}
+
+// BatchItemResult is one line of the solve-batch NDJSON response stream:
+// exactly one of Result or Error is set. Lines are written in completion
+// order — Index ties them back to the request's items array.
+type BatchItemResult struct {
+	Index  int            `json:"index"`
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
 }
 
 // StatsResponse is GET /stats: registry size, session-cache counters, and
