@@ -5,12 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /graphs            register a graph (file, dataset stand-in, or generator)
-//	GET  /graphs            list registered graphs
-//	GET  /graphs/{id}       one graph's info
-//	POST /graphs/{id}/solve select blockers: {seeds, budget, algorithm, model, theta, ...}
-//	GET  /healthz           liveness
-//	GET  /stats             registry size, session-cache hit/miss/eviction counters, load
+//	POST /graphs                  register a graph (file, dataset stand-in, or generator)
+//	GET  /graphs                  list registered graphs
+//	GET  /graphs/{id}             one graph's info (vertices, edges, epoch, overlay state)
+//	POST /graphs/{id}/solve       select blockers: {seeds, budget, algorithm, model, theta, ...}
+//	POST /graphs/{id}/solve-batch many solves against one graph, streamed as NDJSON
+//	POST /graphs/{id}/mutate      commit an NDJSON batch of topology mutations (new epoch)
+//	GET  /healthz                 liveness
+//	GET  /stats                   registry size, session-cache and mutation/repair counters, load
 //
 // Example:
 //
@@ -54,6 +56,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.02, "scale for -preload datasets")
 		rngSeed     = flag.Uint64("rng", 1, "seed for -preload generation")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
+		shutdownTO  = flag.Duration("shutdown-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight solves to drain before closing their connections")
 	)
 	flag.Parse()
 
@@ -115,11 +118,21 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Drain in-flight solves for up to -shutdown-timeout: Shutdown stops
+	// accepting work immediately but lets running requests finish; on
+	// expiry the remaining connections are closed and their solves unwind
+	// through context cancellation.
+	log.Printf("shutting down (draining in-flight solves for up to %v)", *shutdownTO)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fatal(err)
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+		log.Printf("shutdown timeout %v expired; closing remaining connections", *shutdownTO)
+		if err := httpSrv.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

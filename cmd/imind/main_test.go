@@ -50,7 +50,7 @@ func TestDaemonSmoke(t *testing.T) {
 	addr := l.Addr().String()
 	l.Close()
 
-	cmd := exec.Command(bin, "-addr", addr, "-preload", "EmailCore", "-scale", "0.05", "-theta", "300", "-eval", "300")
+	cmd := exec.Command(bin, "-addr", addr, "-preload", "EmailCore", "-scale", "0.05", "-theta", "300", "-eval", "300", "-shutdown-timeout", "5s")
 	var logs syncBuffer
 	cmd.Stdout, cmd.Stderr = &logs, &logs
 	if err := cmd.Start(); err != nil {
@@ -122,6 +122,24 @@ func TestDaemonSmoke(t *testing.T) {
 	// unlucky draw.
 	if sr.SpreadBefore == nil || sr.SpreadAfter == nil || *sr.SpreadAfter > *sr.SpreadBefore*1.1 {
 		t.Errorf("spread report broken: %+v", sr)
+	}
+
+	// Mutate the generator graph over the wire and confirm the epoch moved.
+	mut := "{\"op\":\"add-vertex\"}\n{\"op\":\"add-edge\",\"u\":0,\"v\":200,\"p\":0.5}\n"
+	resp, err = http.Post(base+"/graphs/toy/mutate", "application/x-ndjson", bytes.NewReader([]byte(mut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr struct {
+		Epoch    uint64 `json:"epoch"`
+		Vertices int    `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || mr.Epoch != 1 || mr.Vertices != 201 {
+		t.Fatalf("mutate: status %d, response %+v", resp.StatusCode, mr)
 	}
 
 	// Graceful shutdown on SIGTERM.

@@ -158,8 +158,17 @@ func (e *IncrementalPooledEstimator) SetWorkers(workers int) {
 
 // reshard builds the shard set for the clamped worker count and, if the
 // estimator is primed, re-aggregates the per-sample contribution cache into
-// the new owners' accumulators.
+// the new owners' accumulators. State parked in the shards between rounds —
+// dirty samples queued by RepairPool and the touched-vertex marks of their
+// retracted contributions — is carried over to the new owners, so a worker
+// change between a pool repair and the next DecreaseES loses nothing.
 func (e *IncrementalPooledEstimator) reshard(workers int) {
+	var pendingDirty []int32
+	var pendingTouched []graph.V
+	for _, sh := range e.shards {
+		pendingDirty = append(pendingDirty, sh.dirty...)
+		pendingTouched = append(pendingTouched, sh.touched...)
+	}
 	e.workers = workers
 	theta := e.pool.Theta()
 	n := e.pool.g.N()
@@ -176,6 +185,18 @@ func (e *IncrementalPooledEstimator) reshard(workers int) {
 		e.shards[s] = sh
 		for i := sh.lo; i < sh.hi; i++ {
 			e.ownerOf[i] = int32(s)
+		}
+	}
+	for _, i := range pendingDirty {
+		e.shards[e.ownerOf[i]].dirty = append(e.shards[e.ownerOf[i]].dirty, i)
+	}
+	// Touched marks exist only to drive the next round's Δ-vector refresh;
+	// any shard's list feeds the same union, so they all land on shard 0.
+	sh0 := e.shards[0]
+	for _, v := range pendingTouched {
+		if !sh0.marked[v] {
+			sh0.marked[v] = true
+			sh0.touched = append(sh0.touched, v)
 		}
 	}
 	if !e.primed {
@@ -415,6 +436,71 @@ func (st *filterScratch) dominateSample(s *sampleView, blocked []bool, domAlgo D
 	}
 	fg := dominator.FlowGraph{N: len(s.orig), OutStart: s.outStart, OutTo: s.outTo, InStart: s.inStart, InTo: s.inTo}
 	return s.orig, st.runDominators(&fg, domAlgo)
+}
+
+// RepairPool swaps in a repaired pool (SamplePool.Repair) while keeping the
+// estimator warm: the contribution cache of every clean sample is relocated
+// to its new arena offset, while each redrawn sample's cached contributions
+// are retracted from its shard accumulator and the sample is queued dirty,
+// so the next DecreaseES call recomputes exactly the redrawn samples under
+// the new topology. The maintained state then equals — bit for bit — that of
+// an estimator built fresh on the repaired pool and primed with the same
+// blocker history, which is what keeps warm solves warm across mutations.
+//
+// newPool must come from a Repair of the estimator's current pool (same θ,
+// same streams) with dirty as the returned redrawn-sample list; the vertex
+// count may only have grown. Must not be called concurrently with
+// DecreaseES; back-to-back repairs without an intervening DecreaseES
+// compose correctly.
+func (e *IncrementalPooledEstimator) RepairPool(newPool *SamplePool, dirty []int32) {
+	old := e.pool
+	if newPool.Theta() != old.Theta() {
+		panic("core: RepairPool with mismatched theta")
+	}
+	if n := newPool.g.N(); n > len(e.vals) {
+		grow := n - len(e.vals)
+		e.vals = append(e.vals, make([]float64, grow)...)
+		e.prevBlocked = append(e.prevBlocked, make([]bool, grow)...)
+		e.unionMark = append(e.unionMark, make([]bool, grow)...)
+		for _, sh := range e.shards {
+			sh.acc = append(sh.acc, make([]int64, grow)...)
+			sh.marked = append(sh.marked, make([]bool, grow)...)
+		}
+	}
+	if !e.primed {
+		// No cached contributions to relocate; the priming round draws
+		// everything from the new pool anyway.
+		e.pool = newPool
+		e.contribVert = make([]graph.V, len(newPool.vertOrig))
+		e.contribSize = make([]int32, len(newPool.vertOrig))
+		return
+	}
+	isDirty := make([]bool, old.Theta())
+	for _, i := range dirty {
+		isDirty[i] = true
+	}
+	nv := make([]graph.V, len(newPool.vertOrig))
+	ns := make([]int32, len(newPool.vertOrig))
+	for i := 0; i < old.Theta(); i++ {
+		if isDirty[i] {
+			sh := e.shards[e.ownerOf[i]]
+			base := old.vertStart[i]
+			for j := base; j < base+int64(e.contribLen[i]); j++ {
+				sh.add(e.contribVert[j], -int64(e.contribSize[j]))
+			}
+			// Zero length: processShard must not retract these again when it
+			// recomputes the sample next round.
+			e.contribLen[i] = 0
+			e.markDirty(int32(i))
+			continue
+		}
+		ob, nb := old.vertStart[i], newPool.vertStart[i]
+		l := int64(e.contribLen[i])
+		copy(nv[nb:nb+l], e.contribVert[ob:ob+l])
+		copy(ns[nb:nb+l], e.contribSize[ob:ob+l])
+	}
+	e.contribVert, e.contribSize = nv, ns
+	e.pool = newPool
 }
 
 // IncrementalStats reports the estimator's lifetime work counters.

@@ -30,6 +30,13 @@ type SamplePool struct {
 	g   *graph.Graph
 	src graph.V
 
+	// base is a copy of the rng source the pool was drawn from: sample i is
+	// the stream base.Split(i). Split never advances the parent, so the copy
+	// stays forever at the construction-time state — which is what lets
+	// Repair redraw any single sample bit-identically to a from-scratch pool
+	// at the same seed.
+	base rng.Source
+
 	// Arena layout: sample i's vertex list (local id 0 = source, values are
 	// original-graph ids) is vertOrig[vertStart[i]:vertStart[i+1]]; its
 	// out-CSR offsets (relative to the sample's own edge slice) are the
@@ -79,6 +86,32 @@ func poolWorkers(workers, theta int) int {
 	return workers
 }
 
+// drawShard is one worker's private contiguous buffer of drawn samples.
+// NewSamplePool and Repair both stitch their arenas out of these, through
+// the single appendSample body — the append order defines the arena byte
+// layout, so sharing it is what keeps the two construction paths
+// bit-identical by construction.
+type drawShard struct {
+	orig  []graph.V
+	csr   []int32
+	to    []int32
+	inCSR []int32
+	from  []int32
+	ks    []int32 // per-sample vertex counts
+	es    []int32 // per-sample edge counts
+}
+
+// appendSample copies one sampled graph into the shard buffers.
+func (sh *drawShard) appendSample(sg *cascade.SampledGraph) {
+	sh.orig = append(sh.orig, sg.Orig[:sg.K]...)
+	sh.csr = append(sh.csr, sg.OutStart[:sg.K+1]...)
+	sh.to = append(sh.to, sg.OutTo...)
+	sh.inCSR = append(sh.inCSR, sg.InStart[:sg.K+1]...)
+	sh.from = append(sh.from, sg.InTo...)
+	sh.ks = append(sh.ks, int32(sg.K))
+	sh.es = append(sh.es, int32(len(sg.OutTo)))
+}
+
 // NewSamplePool draws theta live-edge samples from the sampler into a fresh
 // arena and builds the inverted index. workers <= 0 selects GOMAXPROCS. The
 // pool content is deterministic in base alone: sample i is always drawn
@@ -93,35 +126,19 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 	// Each worker appends its range of samples into private contiguous
 	// shards; the shards are then stitched into the final arena with one
 	// parallel copy. Sampling dominates, the copy is one sequential pass.
-	type shard struct {
-		orig  []graph.V
-		csr   []int32
-		to    []int32
-		inCSR []int32
-		from  []int32
-		ks    []int32 // per-sample vertex counts
-		es    []int32 // per-sample edge counts
-	}
-	shards := make([]shard, workers)
+	shards := make([]drawShard, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * theta / workers
 		hi := (w + 1) * theta / workers
 		wg.Add(1)
-		go func(sh *shard, lo, hi int) {
+		go func(sh *drawShard, lo, hi int) {
 			defer wg.Done()
 			ws := sampler.NewWorkspace()
 			for i := lo; i < hi; i++ {
 				// Split reads the parent state without mutating it, so
 				// concurrent per-sample derivation is race-free.
-				sg := sampler.Sample(src, nil, base.Split(uint64(i)), ws)
-				sh.orig = append(sh.orig, sg.Orig[:sg.K]...)
-				sh.csr = append(sh.csr, sg.OutStart[:sg.K+1]...)
-				sh.to = append(sh.to, sg.OutTo...)
-				sh.inCSR = append(sh.inCSR, sg.InStart[:sg.K+1]...)
-				sh.from = append(sh.from, sg.InTo...)
-				sh.ks = append(sh.ks, int32(sg.K))
-				sh.es = append(sh.es, int32(len(sg.OutTo)))
+				sh.appendSample(sampler.Sample(src, nil, base.Split(uint64(i)), ws))
 			}
 		}(&shards[w], lo, hi)
 	}
@@ -130,6 +147,7 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 	p := &SamplePool{
 		g:         sampler.Graph(),
 		src:       src,
+		base:      *base,
 		vertStart: make([]int64, theta+1),
 		edgeStart: make([]int64, theta+1),
 	}
@@ -155,7 +173,7 @@ func NewSamplePool(sampler cascade.LiveSampler, src graph.V, theta, workers int,
 		lo := w * theta / workers
 		sh := &shards[w]
 		wg.Add(1)
-		go func(sh *shard, lo int) {
+		go func(sh *drawShard, lo int) {
 			defer wg.Done()
 			vs, es := p.vertStart[lo], p.edgeStart[lo]
 			copy(p.vertOrig[vs:], sh.orig)

@@ -41,6 +41,7 @@ type Session struct {
 	diffusion Diffusion
 	domAlgo   DomAlgo
 	workers   int
+	epoch     uint64 // graph epoch the cached state reflects; guarded by lk
 
 	lk    chan struct{} // cap-1 context-aware mutex over the fields below
 	insts []*sessionInstance
@@ -72,6 +73,7 @@ const maxSessionPools = 2
 // drawn for it so far.
 type sessionInstance struct {
 	key   string
+	seeds []graph.V // the exact seed sequence, for re-preparing after Advance
 	in    *instance
 	est   *Estimator
 	used  int64 // LRU tick, guarded by the session lock
@@ -109,13 +111,25 @@ type SessionStats struct {
 	PoolBuilds int64
 	PoolReuses int64
 	PoolBytes  int64
+	// Advances counts graph-epoch migrations (Advance calls) the session
+	// survived with its warm state repaired in place.
+	Advances int64
 }
 
 // NewSession returns an empty session for g under the given diffusion
 // model; state is built lazily on first use. workers <= 0 selects
-// GOMAXPROCS, matching Options.Workers semantics.
+// GOMAXPROCS, matching Options.Workers semantics. The session starts at
+// graph epoch 0; use NewSessionAtEpoch when g is a later snapshot of a
+// dynamic graph.
 func NewSession(g *graph.Graph, diffusion Diffusion, domAlgo DomAlgo, workers int) *Session {
-	return &Session{g: g, diffusion: diffusion, domAlgo: domAlgo, workers: workers, lk: make(chan struct{}, 1)}
+	return NewSessionAtEpoch(g, diffusion, domAlgo, workers, 0)
+}
+
+// NewSessionAtEpoch is NewSession for a graph snapshot at a known epoch of
+// an epoch-versioned (dynamic) graph, so the serving layer can later detect
+// staleness by comparing Epoch against the graph's current epoch.
+func NewSessionAtEpoch(g *graph.Graph, diffusion Diffusion, domAlgo DomAlgo, workers int, epoch uint64) *Session {
+	return &Session{g: g, diffusion: diffusion, domAlgo: domAlgo, workers: workers, epoch: epoch, lk: make(chan struct{}, 1)}
 }
 
 // lock acquires the session, giving up if ctx is canceled first: a caller
@@ -161,10 +175,11 @@ func (s *Session) prepare(seeds []graph.V) (*sessionInstance, error) {
 		return nil, err
 	}
 	si := &sessionInstance{
-		key:  key,
-		in:   in,
-		est:  NewEstimator(in.sampler(s.diffusion), s.workers, s.domAlgo),
-		used: s.tick,
+		key:   key,
+		seeds: append([]graph.V(nil), seeds...),
+		in:    in,
+		est:   NewEstimator(in.sampler(s.diffusion), s.workers, s.domAlgo),
+		used:  s.tick,
 	}
 	if len(s.insts) < maxSessionInstances {
 		s.insts = append(s.insts, si)
@@ -256,6 +271,134 @@ type LockedSession struct {
 
 // Release unlocks the session.
 func (h *LockedSession) Release() { h.s.unlock() }
+
+// Epoch returns the graph epoch the session's cached state reflects.
+func (h *LockedSession) Epoch() uint64 { return h.s.epoch }
+
+// AdvanceStats reports one session migration to a new graph epoch.
+type AdvanceStats struct {
+	// Instances is the number of prepared seed-set instances re-bound to
+	// the new graph.
+	Instances int
+	// PoolsRepaired counts cached sample pools migrated by incremental
+	// repair; PoolsDropped counts pools that had to be discarded (the
+	// vertex count changed under a multi-seed instance, which moves the
+	// super-seed id) — the next solve on those keys rebuilds cold.
+	PoolsRepaired, PoolsDropped int
+	// SamplesRedrawn and SamplesKept partition the repaired pools' θ
+	// samples into redrawn-dirty versus byte-copied-clean.
+	SamplesRedrawn, SamplesKept int64
+}
+
+// Advance migrates the session (and all its warm state) from its current
+// graph to a later epoch's snapshot g of the same evolving graph.
+// changedSources must list every vertex whose out-adjacency changed between
+// the session's epoch and the new one, changedTargets every vertex whose
+// in-adjacency changed (both from dynamic.Graph.ChangedSince); vertex ids
+// must be stable, and the vertex count may only have grown.
+//
+// Prepared instances are re-bound to the new graph; each cached ReuseSamples
+// pool is repaired in place — only samples whose rng replay could touch a
+// change are redrawn: under IC those containing a changed source, under LT
+// additionally those containing an old in-neighbor of a changed target
+// (RepairSetLT) — leaving estimator state bit-identical to a cold build at
+// the new epoch, so warm solves stay warm across mutations. For multi-seed
+// instances the changed vertices are mapped into the unified id space (a
+// changed seed row folds into the super-seed's combined row); a grown
+// vertex count moves the super-seed id, so those pools are dropped rather
+// than repaired.
+func (h *LockedSession) Advance(g *graph.Graph, epoch uint64, changedSources, changedTargets []graph.V) AdvanceStats {
+	s := h.s
+	var st AdvanceStats
+	nChanged := g.N() != s.g.N()
+	kept := s.insts[:0]
+	for _, si := range s.insts {
+		in, err := newInstance(g, si.seeds)
+		if err != nil {
+			// Cannot happen while ids are stable and n only grows, but a
+			// dropped instance (rebuilt on next use) beats a poisoned one.
+			for _, sp := range si.pools {
+				s.poolBytes.Add(-sp.bytes)
+			}
+			continue
+		}
+		sampler := in.sampler(s.diffusion)
+		repairable := true
+		mappedS, mappedT := changedSources, changedTargets
+		if in.numSeeds > 1 {
+			if nChanged {
+				repairable = false
+			} else {
+				mappedS = make([]graph.V, 0, len(changedSources)+1)
+				super := false
+				for _, v := range changedSources {
+					if si.in.isSeed[v] {
+						super = true // seed rows fold into the super-seed row
+					} else {
+						mappedS = append(mappedS, v)
+					}
+				}
+				if super {
+					mappedS = append(mappedS, in.src)
+				}
+				// Seeds are fully disconnected in the unified graph: their
+				// in-rows are empty there, so they drop out of the targets.
+				mappedT = make([]graph.V, 0, len(changedTargets))
+				for _, v := range changedTargets {
+					if !si.in.isSeed[v] {
+						mappedT = append(mappedT, v)
+					}
+				}
+			}
+		}
+		// The dirty criterion handed to Repair: under LT, widen with the
+		// old working graph's in-neighbors of every changed target.
+		criterion := mappedS
+		if repairable && s.diffusion == DiffusionLT {
+			criterion = RepairSetLT(si.in.g, mappedS, mappedT)
+		}
+		pools := si.pools[:0]
+		for _, sp := range si.pools {
+			if !repairable {
+				s.poolBytes.Add(-sp.bytes)
+				st.PoolsDropped++
+				continue
+			}
+			newPool, dirty := sp.est.Pool().Repair(sampler, criterion, sp.est.Workers())
+			sp.est.RepairPool(newPool, dirty)
+			st.PoolsRepaired++
+			st.SamplesRedrawn += int64(len(dirty))
+			st.SamplesKept += int64(newPool.Theta() - len(dirty))
+			s.refreshPoolBytes(sp)
+			pools = append(pools, sp)
+		}
+		si.pools = pools
+		si.in = in
+		si.est = NewEstimator(sampler, s.workers, s.domAlgo)
+		kept = append(kept, si)
+		st.Instances++
+	}
+	s.insts = kept
+	s.g = g
+	s.epoch = epoch
+	s.stats.Advances++
+	return st
+}
+
+// Reset discards all cached state and re-binds the session to g at epoch —
+// the fallback when the graph diverged too far for Advance (the changelog
+// no longer reaches the session's epoch).
+func (h *LockedSession) Reset(g *graph.Graph, epoch uint64) {
+	s := h.s
+	for _, si := range s.insts {
+		for _, sp := range si.pools {
+			s.poolBytes.Add(-sp.bytes)
+		}
+	}
+	s.insts = nil
+	s.g = g
+	s.epoch = epoch
+}
 
 // Solve is Session.Solve on an already-acquired session.
 func (h *LockedSession) Solve(ctx context.Context, seeds []graph.V, b int, alg Algorithm, opt Options) (Result, error) {

@@ -1,0 +1,613 @@
+// Package dynamic provides the mutable, epoch-versioned graph layer on top
+// of the immutable CSR substrate in internal/graph.
+//
+// A dynamic.Graph wraps a compacted base CSR with a delta overlay: a map
+// from vertex id to that vertex's complete current out-adjacency, populated
+// only for vertices whose rows differ from the base. Mutation batches are
+// committed atomically — the whole batch applies or none of it — and every
+// committed batch advances a monotonically increasing epoch. Readers obtain
+// an immutable *graph.Graph snapshot of the current epoch (memoized, so
+// repeated reads between commits are free), which keeps the entire solver
+// stack working unchanged on frozen CSRs while the service layer mutates
+// topology underneath it.
+//
+// Once the overlay grows past a threshold (a fraction of the base edge
+// count), a commit compacts: the current snapshot becomes the new base and
+// the overlay empties, bounding both overlay memory and the per-commit
+// merge cost at O(n + m + Δ) with Δ ≤ threshold.
+//
+// Each committed batch also records its changed sources (vertices whose
+// out-adjacency changed) and changed targets (in-adjacency changed) in a
+// bounded changelog. Those sets are what incremental sample-pool repair
+// needs: an IC live-edge sample's rng replay only diverges if its reachable
+// region contains a vertex whose out-row changed, and an LT replay
+// additionally reads the in-rows of inspected vertices (covered by old
+// in-neighbors of changed targets — core.RepairSetLT), so
+// core.SamplePool.Repair redraws only the affected samples and keeps every
+// other sample bit-identical. ChangedSince lets a warm session that is
+// several epochs behind fetch the unions since its epoch, or learn that the
+// changelog no longer reaches back that far (full rebuild required).
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Op names a mutation operation.
+type Op string
+
+const (
+	// OpAddEdge inserts the directed edge (U,V) with probability P.
+	// Fails if the edge already exists (use set-prob to update).
+	OpAddEdge Op = "add-edge"
+	// OpRemoveEdge deletes the directed edge (U,V). Fails if absent.
+	OpRemoveEdge Op = "remove-edge"
+	// OpSetProb updates the probability of the existing edge (U,V) to P.
+	// Fails if the edge is absent.
+	OpSetProb Op = "set-prob"
+	// OpAddVertex appends one vertex; its id is the vertex count before the
+	// operation. U, V and P are ignored.
+	OpAddVertex Op = "add-vertex"
+	// OpRemoveVertex deletes every in- and out-edge of U. The id itself is
+	// kept as an isolated tombstone so all other vertex ids stay stable —
+	// the invariant pool repair and warm sessions depend on.
+	OpRemoveVertex Op = "remove-vertex"
+)
+
+// Mutation is one operation of a batch. The JSON form is the wire format of
+// the service layer's NDJSON mutation stream.
+type Mutation struct {
+	Op Op      `json:"op"`
+	U  graph.V `json:"u,omitempty"`
+	V  graph.V `json:"v,omitempty"`
+	P  float64 `json:"p,omitempty"`
+}
+
+// Config tunes a dynamic Graph. The zero value is serviceable.
+type Config struct {
+	// CompactFraction triggers compaction once the mutations applied since
+	// the last compaction exceed this fraction of the base edge count.
+	// Default 0.25.
+	CompactFraction float64
+	// CompactMinDeltas is the floor below which compaction never triggers,
+	// so small graphs are not recompacted on every batch. Default 4096.
+	CompactMinDeltas int
+	// ChangelogLimit bounds how many committed batches keep their
+	// changed-source sets for ChangedSince. Sessions further behind than
+	// this must rebuild instead of repair. Default 256.
+	ChangelogLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CompactFraction <= 0 {
+		c.CompactFraction = 0.25
+	}
+	if c.CompactMinDeltas <= 0 {
+		c.CompactMinDeltas = 4096
+	}
+	if c.ChangelogLimit <= 0 {
+		c.ChangelogLimit = 256
+	}
+	return c
+}
+
+// Stats is a counter snapshot for monitoring endpoints.
+type Stats struct {
+	Epoch              uint64 `json:"epoch"`
+	Batches            int64  `json:"batches"`
+	Mutations          int64  `json:"mutations"`
+	Compactions        int64  `json:"compactions"`
+	OverlayRows        int    `json:"overlay_rows"`
+	DeltasSinceCompact int    `json:"deltas_since_compact"`
+}
+
+// CommitInfo reports one committed batch.
+type CommitInfo struct {
+	// Epoch is the graph's epoch after the batch.
+	Epoch   uint64
+	Applied int
+	// Per-operation counts. EdgesRemoved includes edges dropped by
+	// remove-vertex.
+	EdgesAdded, EdgesRemoved, ProbsChanged int
+	VerticesAdded, VerticesRemoved         int
+	// ChangedSources are the vertices whose out-adjacency changed and
+	// ChangedTargets those whose in-adjacency changed, both sorted
+	// ascending. Together they drive pool repair: IC samples replay coins
+	// only at reached vertices' out-rows (sources suffice), while LT
+	// trigger draws also read the in-rows of inspected vertices, so the LT
+	// criterion additionally covers in-neighbors of changed targets.
+	ChangedSources []graph.V
+	ChangedTargets []graph.V
+	// Compacted reports whether this commit folded the overlay into a fresh
+	// base CSR.
+	Compacted bool
+	// N and M are the vertex and edge counts after the batch.
+	N, M int
+}
+
+type logEntry struct {
+	epoch   uint64
+	sources []graph.V // out-row changes, sorted ascending
+	targets []graph.V // in-row changes, sorted ascending
+}
+
+// Graph is a mutable, epoch-versioned graph. Safe for concurrent use; reads
+// (Snapshot, ChangedSince, accessors) take a shared lock, Commit an
+// exclusive one.
+type Graph struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	base *graph.Graph // compacted CSR the overlay is relative to
+	n, m int          // current vertex and edge counts
+
+	// rows[u], when present, is u's complete current out-adjacency
+	// (target → probability), replacing u's base row entirely.
+	rows map[graph.V]map[graph.V]float64
+
+	epoch              uint64
+	deltasSinceCompact int
+
+	snap      *graph.Graph // memoized Snapshot() result
+	snapEpoch uint64
+
+	log      []logEntry // changed sources of batches (logFloor, epoch]
+	logFloor uint64
+
+	batches, mutations, compactions int64
+}
+
+// New wraps g (shared, never modified) as a dynamic graph at epoch 0.
+func New(g *graph.Graph, cfg Config) *Graph {
+	return &Graph{
+		cfg:  cfg.withDefaults(),
+		base: g,
+		n:    g.N(),
+		m:    g.M(),
+		rows: make(map[graph.V]map[graph.V]float64),
+	}
+}
+
+// Epoch returns the current epoch (0 until the first commit).
+func (d *Graph) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
+}
+
+// N returns the current vertex count.
+func (d *Graph) N() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n
+}
+
+// M returns the current edge count.
+func (d *Graph) M() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.m
+}
+
+// Stats returns a monitoring snapshot.
+func (d *Graph) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return Stats{
+		Epoch:              d.epoch,
+		Batches:            d.batches,
+		Mutations:          d.mutations,
+		Compactions:        d.compactions,
+		OverlayRows:        len(d.rows),
+		DeltasSinceCompact: d.deltasSinceCompact,
+	}
+}
+
+// Snapshot returns an immutable CSR of the current state together with its
+// epoch. The snapshot is memoized per epoch: between commits every caller
+// gets the same *graph.Graph, so solver sessions can key their warm state on
+// the epoch and share the graph. When the overlay is empty the base itself
+// is returned, with zero materialization cost.
+func (d *Graph) Snapshot() (*graph.Graph, uint64) {
+	d.mu.RLock()
+	if d.snap != nil && d.snapEpoch == d.epoch {
+		// Capture both under the lock: a concurrent Commit may replace
+		// snap/snapEpoch the moment it is released.
+		g, epoch := d.snap, d.snapEpoch
+		d.mu.RUnlock()
+		return g, epoch
+	}
+	d.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.materializeLocked(), d.epoch
+}
+
+// materializeLocked merges base + overlay into a CSR, memoizing the result.
+// Caller holds the exclusive lock.
+func (d *Graph) materializeLocked() *graph.Graph {
+	if d.snap != nil && d.snapEpoch == d.epoch {
+		return d.snap
+	}
+	if len(d.rows) == 0 && d.n == d.base.N() {
+		d.snap, d.snapEpoch = d.base, d.epoch
+		return d.snap
+	}
+
+	baseN := d.base.N()
+	outStart := make([]int32, d.n+1)
+	for u := 0; u < d.n; u++ {
+		if r, ok := d.rows[graph.V(u)]; ok {
+			outStart[u+1] = outStart[u] + int32(len(r))
+		} else if u < baseN {
+			outStart[u+1] = outStart[u] + int32(d.base.OutDegree(graph.V(u)))
+		} else {
+			outStart[u+1] = outStart[u]
+		}
+	}
+	m := int(outStart[d.n])
+	if m != d.m {
+		panic(fmt.Sprintf("dynamic: edge count drifted (rows say %d, counter says %d)", m, d.m))
+	}
+	outTo := make([]graph.V, m)
+	outP := make([]float64, m)
+	var targets []graph.V
+	for u := 0; u < d.n; u++ {
+		at := outStart[u]
+		if r, ok := d.rows[graph.V(u)]; ok {
+			targets = targets[:0]
+			for v := range r {
+				targets = append(targets, v)
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, v := range targets {
+				outTo[at] = v
+				outP[at] = r[v]
+				at++
+			}
+		} else if u < baseN {
+			at += int32(copy(outTo[at:], d.base.OutNeighbors(graph.V(u))))
+			copy(outP[outStart[u]:], d.base.OutProbs(graph.V(u)))
+		}
+	}
+	d.snap = graph.NewFromCSR(d.n, outStart, outTo, outP)
+	d.snapEpoch = d.epoch
+	return d.snap
+}
+
+// ChangedSince returns the sorted unions of changed sources (out-row) and
+// changed targets (in-row) of every batch committed after the given epoch,
+// and whether the changelog still reaches back that far. ok=false means the
+// caller's state is too old to repair incrementally and must be rebuilt
+// from a fresh snapshot. An up-to-date epoch returns (nil, nil, true).
+func (d *Graph) ChangedSince(epoch uint64) (sources, targets []graph.V, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if epoch >= d.epoch {
+		return nil, nil, epoch == d.epoch
+	}
+	if epoch < d.logFloor {
+		return nil, nil, false
+	}
+	seenS := make(map[graph.V]struct{})
+	seenT := make(map[graph.V]struct{})
+	for _, e := range d.log {
+		if e.epoch <= epoch {
+			continue
+		}
+		for _, v := range e.sources {
+			seenS[v] = struct{}{}
+		}
+		for _, v := range e.targets {
+			seenT[v] = struct{}{}
+		}
+	}
+	return sortedKeys(seenS), sortedKeys(seenT), true
+}
+
+func sortedKeys(set map[graph.V]struct{}) []graph.V {
+	out := make([]graph.V, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// txn is the tentative state of one batch: copy-on-write rows over the
+// committed overlay, so a failing mutation aborts with no effect.
+type txn struct {
+	d    *Graph
+	rows map[graph.V]map[graph.V]float64
+	n, m int
+	info CommitInfo
+	srcs map[graph.V]struct{} // out-row changed
+	tgts map[graph.V]struct{} // in-row changed
+
+	// rev is the full current in-adjacency (target → sources), built
+	// lazily on the batch's first remove-vertex and maintained by every
+	// later edge operation. One O(n + m + overlay) build amortizes over
+	// the batch, so removal-heavy batches stay linear instead of
+	// re-scanning every overlay row per removal.
+	rev map[graph.V]map[graph.V]struct{}
+}
+
+// prob returns the current probability of edge (u,v) under the transaction.
+func (t *txn) prob(u, v graph.V) (float64, bool) {
+	if r, ok := t.rows[u]; ok {
+		p, ok := r[v]
+		return p, ok
+	}
+	if r, ok := t.d.rows[u]; ok {
+		p, ok := r[v]
+		return p, ok
+	}
+	if int(u) < t.d.base.N() {
+		if i := t.d.base.OutEdgeIndex(u, v); i >= 0 {
+			return t.d.base.EdgeAt(i).P, true
+		}
+	}
+	return 0, false
+}
+
+// row returns u's writable out-row, materializing a copy on first touch.
+func (t *txn) row(u graph.V) map[graph.V]float64 {
+	if r, ok := t.rows[u]; ok {
+		return r
+	}
+	var r map[graph.V]float64
+	if com, ok := t.d.rows[u]; ok {
+		r = make(map[graph.V]float64, len(com))
+		for v, p := range com {
+			r[v] = p
+		}
+	} else {
+		r = make(map[graph.V]float64)
+		if int(u) < t.d.base.N() {
+			to := t.d.base.OutNeighbors(u)
+			ps := t.d.base.OutProbs(u)
+			for i, v := range to {
+				r[v] = ps[i]
+			}
+		}
+	}
+	t.rows[u] = r
+	return r
+}
+
+// revAdd and revDel keep the lazy reverse index consistent with edge
+// mutations applied after it was built; no-ops while it does not exist.
+func (t *txn) revAdd(u, v graph.V) {
+	if t.rev == nil {
+		return
+	}
+	m := t.rev[v]
+	if m == nil {
+		m = make(map[graph.V]struct{})
+		t.rev[v] = m
+	}
+	m[u] = struct{}{}
+}
+
+func (t *txn) revDel(u, v graph.V) {
+	if t.rev == nil {
+		return
+	}
+	delete(t.rev[v], u)
+}
+
+// ensureRev builds the reverse index from the three layers — base rows not
+// overlaid, committed overlay rows not shadowed by the transaction, and the
+// transaction's own copy-on-write rows.
+func (t *txn) ensureRev() {
+	if t.rev != nil {
+		return
+	}
+	t.rev = make(map[graph.V]map[graph.V]struct{})
+	base := t.d.base
+	for u := graph.V(0); int(u) < base.N(); u++ {
+		if _, ok := t.rows[u]; ok {
+			continue
+		}
+		if _, ok := t.d.rows[u]; ok {
+			continue
+		}
+		for _, v := range base.OutNeighbors(u) {
+			t.revAdd(u, v)
+		}
+	}
+	for u, r := range t.d.rows {
+		if _, shadowed := t.rows[u]; shadowed {
+			continue
+		}
+		for v := range r {
+			t.revAdd(u, v)
+		}
+	}
+	for u, r := range t.rows {
+		for v := range r {
+			t.revAdd(u, v)
+		}
+	}
+}
+
+// inNeighbors collects u's current in-neighbors under the transaction,
+// sorted ascending, through the lazily-built reverse index.
+func (t *txn) inNeighbors(u graph.V) []graph.V {
+	t.ensureRev()
+	out := make([]graph.V, 0, len(t.rev[u]))
+	for w := range t.rev[u] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *txn) checkVertex(u graph.V) error {
+	if u < 0 || int(u) >= t.n {
+		return fmt.Errorf("vertex %d out of range [0,%d)", u, t.n)
+	}
+	return nil
+}
+
+func (t *txn) apply(mu Mutation) error {
+	switch mu.Op {
+	case OpAddEdge:
+		if err := t.checkVertex(mu.U); err != nil {
+			return err
+		}
+		if err := t.checkVertex(mu.V); err != nil {
+			return err
+		}
+		if mu.U == mu.V {
+			return fmt.Errorf("self-loop (%d,%d)", mu.U, mu.V)
+		}
+		if !(mu.P >= 0 && mu.P <= 1) { // rejects NaN too
+			return fmt.Errorf("probability %v out of [0,1]", mu.P)
+		}
+		if _, exists := t.prob(mu.U, mu.V); exists {
+			return fmt.Errorf("edge (%d,%d) already exists (use %s)", mu.U, mu.V, OpSetProb)
+		}
+		t.row(mu.U)[mu.V] = mu.P
+		t.revAdd(mu.U, mu.V)
+		t.m++
+		t.info.EdgesAdded++
+		t.srcs[mu.U] = struct{}{}
+		t.tgts[mu.V] = struct{}{}
+	case OpRemoveEdge:
+		if err := t.checkVertex(mu.U); err != nil {
+			return err
+		}
+		if err := t.checkVertex(mu.V); err != nil {
+			return err
+		}
+		if _, exists := t.prob(mu.U, mu.V); !exists {
+			return fmt.Errorf("edge (%d,%d) does not exist", mu.U, mu.V)
+		}
+		delete(t.row(mu.U), mu.V)
+		t.revDel(mu.U, mu.V)
+		t.m--
+		t.info.EdgesRemoved++
+		t.srcs[mu.U] = struct{}{}
+		t.tgts[mu.V] = struct{}{}
+	case OpSetProb:
+		if err := t.checkVertex(mu.U); err != nil {
+			return err
+		}
+		if err := t.checkVertex(mu.V); err != nil {
+			return err
+		}
+		if !(mu.P >= 0 && mu.P <= 1) {
+			return fmt.Errorf("probability %v out of [0,1]", mu.P)
+		}
+		if _, exists := t.prob(mu.U, mu.V); !exists {
+			return fmt.Errorf("edge (%d,%d) does not exist (use %s)", mu.U, mu.V, OpAddEdge)
+		}
+		t.row(mu.U)[mu.V] = mu.P
+		t.info.ProbsChanged++
+		t.srcs[mu.U] = struct{}{}
+		t.tgts[mu.V] = struct{}{}
+	case OpAddVertex:
+		t.n++
+		t.info.VerticesAdded++
+	case OpRemoveVertex:
+		if err := t.checkVertex(mu.U); err != nil {
+			return err
+		}
+		for _, w := range t.inNeighbors(mu.U) {
+			delete(t.row(w), mu.U)
+			t.revDel(w, mu.U)
+			t.m--
+			t.info.EdgesRemoved++
+			t.srcs[w] = struct{}{}
+			t.tgts[mu.U] = struct{}{}
+		}
+		if out := t.row(mu.U); len(out) > 0 {
+			t.m -= len(out)
+			t.info.EdgesRemoved += len(out)
+			t.srcs[mu.U] = struct{}{}
+			for v := range out {
+				t.tgts[v] = struct{}{}
+				t.revDel(mu.U, v)
+			}
+			clear(out)
+		}
+		t.info.VerticesRemoved++
+	default:
+		return fmt.Errorf("unknown op %q", mu.Op)
+	}
+	return nil
+}
+
+// Commit applies the batch atomically. On any error the graph is unchanged
+// and the error identifies the failing mutation by index. On success the
+// epoch advances by one and the batch's changed sources are appended to the
+// changelog; the commit compacts the overlay into a fresh base CSR when the
+// mutations accumulated since the last compaction exceed
+// max(CompactMinDeltas, CompactFraction × base edges).
+func (d *Graph) Commit(muts []Mutation) (CommitInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// A pure no-op must not advance the epoch: that would invalidate the
+	// memoized snapshot and stale-mark every warm session for nothing.
+	if len(muts) == 0 {
+		return CommitInfo{Epoch: d.epoch, N: d.n, M: d.m}, nil
+	}
+
+	t := &txn{
+		d:    d,
+		rows: make(map[graph.V]map[graph.V]float64),
+		n:    d.n,
+		m:    d.m,
+		srcs: make(map[graph.V]struct{}),
+		tgts: make(map[graph.V]struct{}),
+	}
+	for i, mu := range muts {
+		if err := t.apply(mu); err != nil {
+			return CommitInfo{}, fmt.Errorf("mutation %d (%s): %w", i, mu.Op, err)
+		}
+	}
+
+	for u, r := range t.rows {
+		d.rows[u] = r
+	}
+	d.n, d.m = t.n, t.m
+	d.epoch++
+	d.deltasSinceCompact += len(muts)
+	d.batches++
+	d.mutations += int64(len(muts))
+	d.snap, d.snapEpoch = nil, 0
+
+	sources := sortedKeys(t.srcs)
+	targets := sortedKeys(t.tgts)
+	d.log = append(d.log, logEntry{epoch: d.epoch, sources: sources, targets: targets})
+	for len(d.log) > d.cfg.ChangelogLimit {
+		d.logFloor = d.log[0].epoch
+		d.log = d.log[1:]
+	}
+
+	t.info.Epoch = d.epoch
+	t.info.Applied = len(muts)
+	t.info.ChangedSources = sources
+	t.info.ChangedTargets = targets
+	t.info.N, t.info.M = d.n, d.m
+
+	limit := d.cfg.CompactMinDeltas
+	if f := int(d.cfg.CompactFraction * float64(d.base.M())); f > limit {
+		limit = f
+	}
+	if d.deltasSinceCompact >= limit {
+		d.base = d.materializeLocked()
+		d.rows = make(map[graph.V]map[graph.V]float64)
+		d.deltasSinceCompact = 0
+		d.compactions++
+		t.info.Compacted = true
+	}
+	return t.info, nil
+}

@@ -1,0 +1,456 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+func edgeSet(g *graph.Graph) map[graph.Edge]bool {
+	m := make(map[graph.Edge]bool, g.M())
+	for _, e := range g.Edges() {
+		m[e] = true
+	}
+	return m
+}
+
+// applyNaive replays a mutation sequence through the Builder, the slow
+// reference the overlay is checked against.
+func applyNaive(t *testing.T, g *graph.Graph, muts []Mutation) *graph.Graph {
+	t.Helper()
+	type key struct{ u, v graph.V }
+	edges := make(map[key]float64)
+	n := g.N()
+	for _, e := range g.Edges() {
+		edges[key{e.From, e.To}] = e.P
+	}
+	for _, mu := range muts {
+		switch mu.Op {
+		case OpAddEdge, OpSetProb:
+			edges[key{mu.U, mu.V}] = mu.P
+		case OpRemoveEdge:
+			delete(edges, key{mu.U, mu.V})
+		case OpAddVertex:
+			n++
+		case OpRemoveVertex:
+			for k := range edges {
+				if k.u == mu.U || k.v == mu.U {
+					delete(edges, k)
+				}
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for k, p := range edges {
+		b.AddEdge(k.u, k.v, p)
+	}
+	b.EnsureVertices(n)
+	return b.Build()
+}
+
+func TestCommitSemanticsAndSnapshot(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	b.AddEdge(2, 3, 0.75)
+	g := b.Build()
+	d := New(g, Config{})
+
+	muts := []Mutation{
+		{Op: OpAddEdge, U: 0, V: 2, P: 0.1},
+		{Op: OpSetProb, U: 1, V: 2, P: 0.9},
+		{Op: OpRemoveEdge, U: 2, V: 3},
+		{Op: OpAddVertex},
+		{Op: OpAddEdge, U: 3, V: 4, P: 1},
+	}
+	info, err := d.Commit(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.Applied != 5 {
+		t.Fatalf("info = %+v, want epoch 1 applied 5", info)
+	}
+	if info.EdgesAdded != 2 || info.EdgesRemoved != 1 || info.ProbsChanged != 1 || info.VerticesAdded != 1 {
+		t.Fatalf("counts wrong: %+v", info)
+	}
+	if !reflect.DeepEqual(info.ChangedSources, []graph.V{0, 1, 2, 3}) {
+		t.Fatalf("ChangedSources = %v, want [0 1 2 3]", info.ChangedSources)
+	}
+	snap, epoch := d.Snapshot()
+	if epoch != 1 {
+		t.Fatalf("snapshot epoch = %d, want 1", epoch)
+	}
+	want := applyNaive(t, g, muts)
+	if snap.N() != want.N() || !reflect.DeepEqual(edgeSet(snap), edgeSet(want)) {
+		t.Fatalf("snapshot mismatch:\n got %v %v\nwant %v %v", snap, snap.Edges(), want, want.Edges())
+	}
+	// Memoized: same pointer until the next commit.
+	snap2, _ := d.Snapshot()
+	if snap2 != snap {
+		t.Error("snapshot not memoized within an epoch")
+	}
+	if d.N() != 5 || d.M() != want.M() {
+		t.Fatalf("N/M = %d/%d, want %d/%d", d.N(), d.M(), want.N(), want.M())
+	}
+}
+
+func TestCommitAtomicOnError(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	g := b.Build()
+	d := New(g, Config{})
+
+	_, err := d.Commit([]Mutation{
+		{Op: OpAddEdge, U: 1, V: 2, P: 0.5}, // fine
+		{Op: OpAddEdge, U: 0, V: 1, P: 0.5}, // duplicate → whole batch must fail
+	})
+	if err == nil {
+		t.Fatal("duplicate add-edge must fail")
+	}
+	if d.Epoch() != 0 || d.M() != 1 {
+		t.Fatalf("failed batch mutated the graph: epoch=%d m=%d", d.Epoch(), d.M())
+	}
+	snap, _ := d.Snapshot()
+	if snap != g {
+		t.Error("unmutated graph must snapshot to the base itself")
+	}
+
+	for _, bad := range []Mutation{
+		{Op: OpAddEdge, U: 0, V: 3, P: 0.5},   // target out of range
+		{Op: OpAddEdge, U: 0, V: 0, P: 0.5},   // self-loop
+		{Op: OpAddEdge, U: 0, V: 2, P: 1.5},   // probability out of range
+		{Op: OpSetProb, U: 0, V: 2, P: 0.5},   // absent edge
+		{Op: OpRemoveEdge, U: 2, V: 0},        // absent edge
+		{Op: OpRemoveVertex, U: -1},           // bad id
+		{Op: Op("rename-vertex"), U: 0, V: 1}, // unknown op
+	} {
+		if _, err := d.Commit([]Mutation{bad}); err == nil {
+			t.Errorf("mutation %+v must fail", bad)
+		}
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("failed batches advanced the epoch to %d", d.Epoch())
+	}
+}
+
+func TestCommitEmptyBatchIsNoOp(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	g := b.Build()
+	d := New(g, Config{})
+	snap0, _ := d.Snapshot()
+
+	info, err := d.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 0 || info.N != 3 || info.M != 1 {
+		t.Fatalf("empty commit info = %+v, want current state at epoch 0", info)
+	}
+	if d.Epoch() != 0 || d.Stats().Batches != 0 {
+		t.Fatalf("empty commit advanced state: epoch=%d stats=%+v", d.Epoch(), d.Stats())
+	}
+	if snap1, _ := d.Snapshot(); snap1 != snap0 {
+		t.Fatal("empty commit invalidated the memoized snapshot")
+	}
+}
+
+// TestRemoveVertexChainUsesReverseIndex drives a removal-heavy batch mixed
+// with edge ops — the pattern the lazy reverse index exists for — and
+// checks the result against the naive replay.
+func TestRemoveVertexChainUsesReverseIndex(t *testing.T) {
+	r := rng.New(5)
+	b := graph.NewBuilder(30)
+	for i := 0; i < 120; i++ {
+		b.AddEdge(graph.V(r.Intn(30)), graph.V(r.Intn(30)), r.Float64())
+	}
+	g := b.Build()
+	d := New(g, Config{})
+
+	muts := []Mutation{
+		{Op: OpRemoveVertex, U: 3},
+		{Op: OpRemoveVertex, U: 7},
+		{Op: OpAddEdge, U: 3, V: 7, P: 0.5}, // re-attach a tombstone mid-batch
+		{Op: OpRemoveVertex, U: 11},
+		{Op: OpRemoveVertex, U: 3}, // and remove it again
+		{Op: OpRemoveVertex, U: 19},
+	}
+	if _, err := d.Commit(muts); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := d.Snapshot()
+	want := applyNaive(t, g, muts)
+	if snap.N() != want.N() || !reflect.DeepEqual(edgeSet(snap), edgeSet(want)) {
+		t.Fatalf("removal chain diverged from naive replay:\n got %v\nwant %v", snap.Edges(), want.Edges())
+	}
+	for _, u := range []graph.V{3, 7, 11, 19} {
+		if snap.OutDegree(u) != 0 || snap.InDegree(u) != 0 {
+			t.Fatalf("vertex %d not fully isolated", u)
+		}
+	}
+}
+
+func TestRemoveVertexIsolatesTombstone(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 1, 0.5)
+	b.AddEdge(3, 1, 0.5)
+	g := b.Build()
+	d := New(g, Config{})
+
+	info, err := d.Commit([]Mutation{{Op: OpRemoveVertex, U: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.EdgesRemoved != 4 || info.VerticesRemoved != 1 {
+		t.Fatalf("info = %+v, want 4 edges removed", info)
+	}
+	// Changed sources: every vertex whose out-row changed — 0, 2, 3 lose an
+	// out-edge and 1 loses its whole row.
+	if !reflect.DeepEqual(info.ChangedSources, []graph.V{0, 1, 2, 3}) {
+		t.Fatalf("ChangedSources = %v", info.ChangedSources)
+	}
+	snap, _ := d.Snapshot()
+	if snap.N() != 4 || snap.M() != 0 {
+		t.Fatalf("snapshot = %v, want 4 isolated vertices", snap)
+	}
+	// The id space is stable: a later batch can re-attach the tombstone.
+	if _, err := d.Commit([]Mutation{{Op: OpAddEdge, U: 1, V: 3, P: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangedSinceUnionAndTrim(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for u := graph.V(0); u < 9; u++ {
+		b.AddEdge(u, u+1, 0.5)
+	}
+	g := b.Build()
+	d := New(g, Config{ChangelogLimit: 3})
+
+	for i := 0; i < 5; i++ {
+		if _, err := d.Commit([]Mutation{{Op: OpSetProb, U: graph.V(i), V: graph.V(i + 1), P: 0.25}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epochs 1..5 committed, changelog keeps 3..5 (floor = 2). Batch i
+	// set-probs edge (i, i+1): source i, target i+1.
+	if src, tgt, ok := d.ChangedSince(2); !ok ||
+		!reflect.DeepEqual(src, []graph.V{2, 3, 4}) || !reflect.DeepEqual(tgt, []graph.V{3, 4, 5}) {
+		t.Fatalf("ChangedSince(2) = %v, %v, %v", src, tgt, ok)
+	}
+	if src, tgt, ok := d.ChangedSince(4); !ok ||
+		!reflect.DeepEqual(src, []graph.V{4}) || !reflect.DeepEqual(tgt, []graph.V{5}) {
+		t.Fatalf("ChangedSince(4) = %v, %v, %v", src, tgt, ok)
+	}
+	if src, tgt, ok := d.ChangedSince(5); !ok || src != nil || tgt != nil {
+		t.Fatalf("ChangedSince(current) = %v, %v, %v, want nil, nil, true", src, tgt, ok)
+	}
+	if _, _, ok := d.ChangedSince(1); ok {
+		t.Fatal("ChangedSince below the floor must report not-ok")
+	}
+	if _, _, ok := d.ChangedSince(7); ok {
+		t.Fatal("ChangedSince of a future epoch must report not-ok")
+	}
+}
+
+func TestCompactionTriggersAndPreservesState(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for u := graph.V(0); u < 5; u++ {
+		b.AddEdge(u, u+1, 0.5)
+	}
+	g := b.Build()
+	d := New(g, Config{CompactMinDeltas: 3, CompactFraction: 1e-9})
+
+	info1, err := d.Commit([]Mutation{{Op: OpSetProb, U: 0, V: 1, P: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Compacted {
+		t.Fatal("one delta must not compact at threshold 3")
+	}
+	info2, err := d.Commit([]Mutation{
+		{Op: OpSetProb, U: 1, V: 2, P: 0.2},
+		{Op: OpAddEdge, U: 0, V: 3, P: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Compacted {
+		t.Fatal("three deltas must compact at threshold 3")
+	}
+	st := d.Stats()
+	if st.Compactions != 1 || st.OverlayRows != 0 || st.DeltasSinceCompact != 0 {
+		t.Fatalf("stats after compaction = %+v", st)
+	}
+	// Post-compaction state must be intact and further mutations must work.
+	snap, epoch := d.Snapshot()
+	if epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", epoch)
+	}
+	if p := snap.Prob(0, 3); p != 0.3 {
+		t.Fatalf("Prob(0,3) = %v after compaction", p)
+	}
+	if _, err := d.Commit([]Mutation{{Op: OpRemoveEdge, U: 0, V: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := d.Snapshot()
+	if snap2.HasEdge(0, 3) {
+		t.Fatal("remove after compaction not applied")
+	}
+	// Repair info survives compaction: the changelog is epoch-based.
+	if src, _, ok := d.ChangedSince(0); !ok || !reflect.DeepEqual(src, []graph.V{0, 1}) {
+		t.Fatalf("ChangedSince(0) after compaction = %v, %v", src, ok)
+	}
+}
+
+// TestRandomizedAgainstNaive drives random mutation batches and checks every
+// epoch's snapshot against the Builder-based reference replay.
+func TestRandomizedAgainstNaive(t *testing.T) {
+	r := rng.New(7)
+	base := graph.NewBuilder(12)
+	for i := 0; i < 30; i++ {
+		base.AddEdge(graph.V(r.Intn(12)), graph.V(r.Intn(12)), r.Float64())
+	}
+	g := base.Build()
+	d := New(g, Config{CompactMinDeltas: 10, CompactFraction: 1e-9})
+
+	var all []Mutation
+	for batch := 0; batch < 15; batch++ {
+		var muts []Mutation
+		snap, _ := d.Snapshot()
+		for len(muts) < 4 {
+			u := graph.V(r.Intn(snap.N()))
+			v := graph.V(r.Intn(snap.N()))
+			switch r.Intn(5) {
+			case 0:
+				if u != v && !snap.HasEdge(u, v) && !hasPending(muts, u, v) {
+					muts = append(muts, Mutation{Op: OpAddEdge, U: u, V: v, P: r.Float64()})
+				}
+			case 1:
+				if snap.HasEdge(u, v) && !touchesPending(muts, u, v) {
+					muts = append(muts, Mutation{Op: OpRemoveEdge, U: u, V: v})
+				}
+			case 2:
+				if snap.HasEdge(u, v) && !touchesPending(muts, u, v) {
+					muts = append(muts, Mutation{Op: OpSetProb, U: u, V: v, P: r.Float64()})
+				}
+			case 3:
+				muts = append(muts, Mutation{Op: OpAddVertex})
+			case 4:
+				if r.Intn(4) == 0 && !touchesVertexPending(muts, u) {
+					muts = append(muts, Mutation{Op: OpRemoveVertex, U: u})
+				}
+			}
+		}
+		if _, err := d.Commit(muts); err != nil {
+			t.Fatalf("batch %d (%v): %v", batch, muts, err)
+		}
+		all = append(all, muts...)
+		snap, epoch := d.Snapshot()
+		if epoch != uint64(batch+1) {
+			t.Fatalf("epoch = %d, want %d", epoch, batch+1)
+		}
+		want := applyNaive(t, g, all)
+		if snap.N() != want.N() || !reflect.DeepEqual(edgeSet(snap), edgeSet(want)) {
+			t.Fatalf("batch %d snapshot diverged from naive replay", batch)
+		}
+	}
+	if d.Stats().Compactions == 0 {
+		t.Error("randomized run at threshold 10 never compacted")
+	}
+}
+
+// The pending-mutation guards keep the random batches valid: batches are
+// validated against the graph at batch start plus earlier ops in the batch,
+// and the naive replay applies ops with upsert semantics, so ops touching
+// the same edge or vertex within one batch are skipped.
+func hasPending(muts []Mutation, u, v graph.V) bool {
+	for _, m := range muts {
+		if (m.Op == OpAddEdge && m.U == u && m.V == v) || (m.Op == OpRemoveVertex && (m.U == u || m.U == v)) {
+			return true
+		}
+	}
+	return false
+}
+
+func touchesPending(muts []Mutation, u, v graph.V) bool {
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddEdge, OpRemoveEdge, OpSetProb:
+			if m.U == u && m.V == v {
+				return true
+			}
+		case OpRemoveVertex:
+			if m.U == u || m.U == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func touchesVertexPending(muts []Mutation, u graph.V) bool {
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddEdge, OpRemoveEdge, OpSetProb:
+			if m.U == u || m.V == u {
+				return true
+			}
+		case OpRemoveVertex:
+			if m.U == u {
+				return true
+			}
+		case OpAddVertex:
+			return true // vertex count drift would desync ids
+		}
+	}
+	return false
+}
+
+// TestSnapshotCommitConcurrent hammers Snapshot against a committing
+// goroutine: under -race this pins down the memo fast path (snap and
+// snapEpoch must be captured under the read lock), and the epoch sequence
+// observed by readers must be monotone.
+func TestSnapshotCommitConcurrent(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+	d := New(g, Config{})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			p := float64(i%9+1) / 10
+			if _, err := d.Commit([]Mutation{{Op: OpSetProb, U: 0, V: 1, P: p}}); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	var last uint64
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		snap, epoch := d.Snapshot()
+		if snap == nil {
+			t.Fatal("nil snapshot")
+		}
+		if epoch < last {
+			t.Fatalf("epoch went backwards: %d after %d", epoch, last)
+		}
+		last = epoch
+	}
+	snap, epoch := d.Snapshot()
+	if epoch != 300 || snap.Prob(0, 1) != float64(300%9)/10 {
+		t.Fatalf("final state: epoch=%d p=%v", epoch, snap.Prob(0, 1))
+	}
+}

@@ -64,6 +64,81 @@ func assertGraphsEqual(t *testing.T, a, b *Graph) {
 	}
 }
 
+// roundTrip encodes and decodes g, failing the test on any error.
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+// TestBinaryRoundTripComposedWithReverse checks the binary codec composed
+// with graph reversal in both orders: serialization must commute with the
+// transform, and a double reversal through the codec must reproduce the
+// original — including the rebuilt in-CSR the dominator algorithms consume.
+func TestBinaryRoundTripComposedWithReverse(t *testing.T) {
+	r := rng.New(17)
+	b := NewBuilder(40)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(V(r.Intn(40)), V(r.Intn(40)), r.Float64())
+	}
+	g := b.Build()
+
+	// encode∘Reverse == Reverse (decoded).
+	rev := g.Reverse()
+	assertGraphsEqual(t, rev, roundTrip(t, rev))
+	// Reverse∘decode∘encode == Reverse.
+	assertGraphsEqual(t, rev, roundTrip(t, g).Reverse())
+	// Reverse∘decode∘encode∘Reverse == identity.
+	assertGraphsEqual(t, g, roundTrip(t, rev).Reverse())
+}
+
+// TestBinaryRoundTripComposedWithSubgraph runs induced-subgraph extraction
+// through the codec: the decoded subgraph must match the direct extraction
+// edge-for-edge, and extraction must commute with the round trip.
+func TestBinaryRoundTripComposedWithSubgraph(t *testing.T) {
+	r := rng.New(23)
+	b := NewBuilder(50)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(V(r.Intn(50)), V(r.Intn(50)), r.Float64())
+	}
+	g := b.Build()
+
+	// A shuffled half of the vertices, so the renumbering is non-trivial.
+	perm := r.Perm(50)
+	keep := make([]V, 25)
+	for i := range keep {
+		keep[i] = V(perm[i])
+	}
+	sub, old := g.InducedSubgraph(keep)
+	if len(old) != len(keep) {
+		t.Fatalf("id mapping has %d entries, want %d", len(old), len(keep))
+	}
+
+	assertGraphsEqual(t, sub, roundTrip(t, sub))
+	sub2, old2 := roundTrip(t, g).InducedSubgraph(keep)
+	assertGraphsEqual(t, sub, sub2)
+	for i := range old {
+		if old[i] != old2[i] {
+			t.Fatalf("id mapping diverged at %d: %d vs %d", i, old[i], old2[i])
+		}
+	}
+	// Spot-check the extraction against the original through the mapping.
+	for i, u := range old {
+		for j, v := range old {
+			if got, want := sub2.Prob(V(i), V(j)), g.Prob(u, v); got != want {
+				t.Fatalf("edge (%d,%d)→(%d,%d): prob %v, want %v", u, v, i, j, got, want)
+			}
+		}
+	}
+}
+
 func TestBinaryRejectsCorruptInput(t *testing.T) {
 	g := toy()
 	var buf bytes.Buffer

@@ -23,6 +23,7 @@ import (
 	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/core"
 	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
 )
@@ -62,6 +63,32 @@ type BenchCoreMode struct {
 	// — per-measurement provenance, so a single-threaded number can never
 	// masquerade as a parallel one.
 	Workers int `json:"workers"`
+}
+
+// BenchCoreMutatePoint is one mutate-then-solve measurement: a batch of
+// edge-probability mutations lands on the serving graph, then one
+// estimation round runs — either through incremental repair of the warm
+// pool (SamplePool.Repair + RepairPool + a dirty-only round) or through a
+// full rebuild (fresh pool draw + priming scan). The repair path is what a
+// warm session pays per mutation batch; the rebuild path is what it paid
+// before the dynamic subsystem existed.
+type BenchCoreMutatePoint struct {
+	// BatchEdges is the number of mutated edges, FracOfEdges that count
+	// relative to the serving graph's edge count.
+	BatchEdges  int     `json:"batch_edges"`
+	FracOfEdges float64 `json:"frac_of_edges"`
+	// DirtySamples is how many of the θ stored samples the batch touched
+	// (and repair redrew).
+	DirtySamples int     `json:"dirty_samples"`
+	RepairNs     float64 `json:"repair_ns"`
+	RebuildNs    float64 `json:"rebuild_ns"`
+	// Speedup is RebuildNs / RepairNs.
+	Speedup float64 `json:"speedup_repair_vs_rebuild"`
+	// RepairBitIdentical records that the repaired estimator's Δ vector
+	// exactly equals the rebuilt one's — the correctness contract, asserted
+	// on the serving-size instance.
+	RepairBitIdentical bool `json:"repair_bit_identical"`
+	Workers            int  `json:"workers"`
 }
 
 // BenchCoreScalingPoint is one point of the incremental worker sweep.
@@ -106,10 +133,13 @@ type BenchCoreReport struct {
 	// determinism guarantee, asserted here on the serving-size instance).
 	IncrementalScaling             []BenchCoreScalingPoint `json:"incremental_scaling"`
 	BlockersIdenticalAcrossWorkers bool                    `json:"blockers_identical_across_workers"`
-	SpeedupPooledVsFresh           float64                 `json:"speedup_pooled_vs_fresh"`
-	SpeedupIncrementalVsPooled     float64                 `json:"speedup_incremental_vs_pooled"`
-	SpeedupIncrementalVsFresh      float64                 `json:"speedup_incremental_vs_fresh"`
-	SpeedupIncremental4WVs1W       float64                 `json:"speedup_incremental_4w_vs_1w"`
+	// MutateRepair measures pool repair against full rebuild after mutation
+	// batches of increasing size on the serving graph.
+	MutateRepair               []BenchCoreMutatePoint `json:"mutate_repair"`
+	SpeedupPooledVsFresh       float64                `json:"speedup_pooled_vs_fresh"`
+	SpeedupIncrementalVsPooled float64                `json:"speedup_incremental_vs_pooled"`
+	SpeedupIncrementalVsFresh  float64                `json:"speedup_incremental_vs_fresh"`
+	SpeedupIncremental4WVs1W   float64                `json:"speedup_incremental_4w_vs_1w"`
 }
 
 // sweepWorkers returns the deduplicated ascending worker counts to sweep:
@@ -406,6 +436,80 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	rep.SpeedupIncrementalVsPooled = rep.Pooled.NsPerRound / rep.Incremental.NsPerRound
 	rep.SpeedupIncrementalVsFresh = rep.Fresh.NsPerRound / rep.Incremental.NsPerRound
 
+	// Mutate-then-solve: per batch size, perturb that many random edges of
+	// the serving instance through the dynamic overlay, then answer one
+	// estimation round via warm-pool repair versus full rebuild. Priming the
+	// warm estimator happens outside the timed section — a session carries
+	// it from before the mutation.
+	edges := unified.Edges()
+	candidates := make([]int, 0, len(edges))
+	for i, e := range edges {
+		if e.From != super { // a super-seed edge would dirty every sample
+			candidates = append(candidates, i)
+		}
+	}
+	for _, frac := range []float64{0.001, 0.01} {
+		k := int(frac * float64(g.M()))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(candidates) {
+			k = len(candidates)
+		}
+		// Deterministic distinct edge choice per fraction.
+		sel := rng.New(cfg.Seed ^ uint64(k))
+		perm := sel.Perm(len(candidates))
+		muts := make([]dynamic.Mutation, k)
+		for j := 0; j < k; j++ {
+			e := edges[candidates[perm[j]]]
+			muts[j] = dynamic.Mutation{Op: dynamic.OpSetProb, U: e.From, V: e.To, P: sel.Float64()}
+		}
+		dyn := dynamic.New(unified, dynamic.Config{})
+		info, err := dyn.Commit(muts)
+		if err != nil {
+			return nil, fmt.Errorf("benchcore: mutate batch k=%d: %v", k, err)
+		}
+		snap, _ := dyn.Snapshot()
+		newSampler := cascade.NewIC(snap)
+		poolBase := func() *rng.Source { return rng.New(cfg.Seed).Split(^uint64(0)) }
+
+		pt := BenchCoreMutatePoint{
+			BatchEdges: k, FracOfEdges: float64(k) / float64(g.M()),
+			Workers: mainWorkers,
+		}
+
+		var repairVals, rebuildVals []float64
+		var elapsed time.Duration
+		var iters int64
+		for elapsed < opt.MinTime {
+			warm := core.NewIncrementalPooledEstimatorFromPool(pool, cfg.Workers, core.DomLengauerTarjan)
+			warm.DecreaseESView(nil) // priming, untimed: the session did this pre-mutation
+			t0 := time.Now()
+			repaired, dirtyIDs := pool.Repair(newSampler, info.ChangedSources, cfg.Workers)
+			warm.RepairPool(repaired, dirtyIDs)
+			repairVals = append(repairVals[:0], warm.DecreaseESView(nil)...)
+			elapsed += time.Since(t0)
+			iters++
+			pt.DirtySamples = len(dirtyIDs)
+		}
+		pt.RepairNs = float64(elapsed.Nanoseconds()) / float64(iters)
+
+		elapsed, iters = 0, 0
+		for elapsed < opt.MinTime {
+			t0 := time.Now()
+			rebuilt := core.NewSamplePool(newSampler, super, cfg.Theta, cfg.Workers, poolBase())
+			cold := core.NewIncrementalPooledEstimatorFromPool(rebuilt, cfg.Workers, core.DomLengauerTarjan)
+			rebuildVals = append(rebuildVals[:0], cold.DecreaseESView(nil)...)
+			elapsed += time.Since(t0)
+			iters++
+		}
+		pt.RebuildNs = float64(elapsed.Nanoseconds()) / float64(iters)
+
+		pt.Speedup = pt.RebuildNs / pt.RepairNs
+		pt.RepairBitIdentical = slices.Equal(repairVals, rebuildVals)
+		rep.MutateRepair = append(rep.MutateRepair, pt)
+	}
+
 	if cfg.Out != nil {
 		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d)\n",
 			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs)
@@ -426,6 +530,11 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		for _, pt := range rep.IncrementalScaling {
 			fmt.Fprintf(cfg.Out, "  workers=%-3d %12.0f ns/round  speedup %.2fx  efficiency %.2f\n",
 				pt.Workers, pt.NsPerRound, pt.Speedup, pt.Efficiency)
+		}
+		fmt.Fprintf(cfg.Out, "mutate-then-solve (repair vs rebuild, θ=%d):\n", cfg.Theta)
+		for _, pt := range rep.MutateRepair {
+			fmt.Fprintf(cfg.Out, "  batch=%-6d (%.2f%% of edges) dirty=%-5d repair %11.0f ns, rebuild %11.0f ns, speedup %.2fx, bit-identical %v\n",
+				pt.BatchEdges, 100*pt.FracOfEdges, pt.DirtySamples, pt.RepairNs, pt.RebuildNs, pt.Speedup, pt.RepairBitIdentical)
 		}
 	}
 

@@ -3,11 +3,13 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // postBatch posts a solve-batch request and decodes the NDJSON stream into
@@ -149,5 +151,57 @@ func TestSolveBatchValidation(t *testing.T) {
 	over := BatchSolveRequest{Items: make([]SolveRequest, 3)}
 	if _, code, body := postBatch(t, ts.URL+"/graphs/g1/solve-batch", over); code != http.StatusBadRequest {
 		t.Errorf("oversized batch: status %d (body %s), want 400", code, body)
+	}
+}
+
+// TestSolveBatchStopsOnClientDisconnect: once the client goes away
+// mid-stream, the server must stop running the remaining batch instead of
+// solving it to completion for nobody. The batch is sized so that finishing
+// it would take far longer than the post-disconnect drain we allow.
+func TestSolveBatchStopsOnClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	registerTestGraphs(t, ts)
+
+	// Serial, deliberately heavy items (fresh sampling, no reuse) behind a
+	// single solve slot.
+	items := make([]SolveRequest, 16)
+	for i := range items {
+		items[i] = SolveRequest{Seeds: []int{1}, Budget: 6, Theta: 8000,
+			Seed: uint64(i), EvalRounds: -1, Algorithm: "advanced-greedy"}
+	}
+	buf, err := json.Marshal(BatchSolveRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/graphs/g1/solve-batch", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read exactly one result line, then vanish.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The in-flight gauge must drain almost immediately: the worker notices
+	// the dead context at its next admission or round boundary, and the
+	// feeder stops handing out the ~14 untouched items. Running the batch
+	// to completion here would take tens of seconds.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.inFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d solves in flight long after the client disconnected", srv.inFlight.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

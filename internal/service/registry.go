@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 )
 
@@ -19,10 +20,11 @@ var (
 	ErrFull      = errors.New("graph registry full")
 )
 
-// Registry is the concurrent store of named, immutable graphs. Graphs are
-// registered once and shared by reference afterwards: graph.Graph is
-// read-only after construction, so any number of solves may read one
-// concurrently while the registry lock only guards the name table.
+// Registry is the concurrent store of named graphs. Names are registered
+// once and never reassigned; the graph behind a name is an epoch-versioned
+// dynamic.Graph, so topology evolves through atomic mutation batches while
+// every reader works on an immutable per-epoch CSR snapshot. The registry
+// lock only guards the name table; dynamic.Graph has its own locking.
 type Registry struct {
 	mu      sync.RWMutex
 	limit   int // max entries; <= 0 means unbounded
@@ -32,19 +34,30 @@ type Registry struct {
 // GraphEntry is one registered graph.
 type GraphEntry struct {
 	Name         string
-	G            *graph.Graph
+	Dyn          *dynamic.Graph
 	Source       string // human-readable provenance ("dataset Wiki-Vote @ 0.02", "file edges.txt", ...)
 	RegisteredAt time.Time
 }
 
+// Current returns the immutable snapshot of the entry's present epoch,
+// together with that epoch — the pair every solve binds to.
+func (e *GraphEntry) Current() (*graph.Graph, uint64) {
+	return e.Dyn.Snapshot()
+}
+
 // Info summarizes the entry for the listing API.
 func (e *GraphEntry) Info() GraphInfo {
+	g, epoch := e.Dyn.Snapshot()
+	st := e.Dyn.Stats()
 	return GraphInfo{
-		Name:         e.Name,
-		Vertices:     e.G.N(),
-		Edges:        e.G.M(),
-		Source:       e.Source,
-		RegisteredAt: e.RegisteredAt,
+		Name:          e.Name,
+		Vertices:      g.N(),
+		Edges:         g.M(),
+		Epoch:         epoch,
+		PendingDeltas: st.DeltasSinceCompact,
+		Compactions:   st.Compactions,
+		Source:        e.Source,
+		RegisteredAt:  e.RegisteredAt,
 	}
 }
 
@@ -68,8 +81,9 @@ func ValidateName(name string) error {
 	return nil
 }
 
-// Register adds a graph under name. Registering an existing name fails:
-// entries are immutable so cached sessions can never go stale.
+// Register adds a graph under name at epoch 0. Registering an existing
+// name fails: names are never reassigned, so a graph evolves only through
+// its own mutation batches and sessions can always catch up by epoch.
 func (r *Registry) Register(name string, g *graph.Graph, source string) (*GraphEntry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
@@ -82,9 +96,22 @@ func (r *Registry) Register(name string, g *graph.Graph, source string) (*GraphE
 	if r.limit > 0 && len(r.entries) >= r.limit {
 		return nil, fmt.Errorf("%w (limit %d)", ErrFull, r.limit)
 	}
-	e := &GraphEntry{Name: name, G: g, Source: source, RegisteredAt: time.Now()}
+	e := &GraphEntry{Name: name, Dyn: dynamic.New(g, dynamic.Config{}), Source: source, RegisteredAt: time.Now()}
 	r.entries[name] = e
 	return e, nil
+}
+
+// MutationTotals sums every entry's dynamic-graph counters, for /stats.
+func (r *Registry) MutationTotals() (batches, mutations, compactions int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		st := e.Dyn.Stats()
+		batches += st.Batches
+		mutations += st.Mutations
+		compactions += st.Compactions
+	}
+	return batches, mutations, compactions
 }
 
 // Get looks up a graph by name.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 
 	"github.com/imin-dev/imin/internal/core"
 	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
 )
@@ -57,6 +59,10 @@ type Config struct {
 	// run through the same bounded solve pool as single requests, but each
 	// admitted batch holds its unfinished items queued in memory. Default 64.
 	MaxBatchItems int
+	// MaxMutations caps the operations of one mutation batch; a batch is
+	// committed atomically, so its tentative state is held in memory in
+	// full. Default 100000.
+	MaxMutations int
 	// DataDir is the only directory path-based graph registration may read
 	// from; empty disables file loading entirely.
 	DataDir string
@@ -93,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
 	}
+	if c.MaxMutations <= 0 {
+		c.MaxMutations = 100_000
+	}
 	return c
 }
 
@@ -107,6 +116,12 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	inFlight atomic.Int64
+
+	// Epoch-migration counters for /stats: how warm sessions crossed graph
+	// mutations — repaired in place (advanced) versus rebuilt from scratch.
+	sessionsAdvanced, sessionsReset atomic.Int64
+	poolsRepaired, poolsDropped     atomic.Int64
+	samplesRedrawn, samplesKept     atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -126,6 +141,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /graphs/{id}/solve-batch", s.handleSolveBatch)
+	s.mux.HandleFunc("POST /graphs/{id}/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -157,12 +173,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	batches, mutations, compactions := s.registry.MutationTotals()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Graphs:        s.registry.Len(),
 		Sessions:      s.sessions.Stats(),
 		InFlight:      s.inFlight.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Mutations: MutationStats{
+			Batches:          batches,
+			Mutations:        mutations,
+			Compactions:      compactions,
+			SessionsAdvanced: s.sessionsAdvanced.Load(),
+			SessionsReset:    s.sessionsReset.Load(),
+			PoolsRepaired:    s.poolsRepaired.Load(),
+			PoolsDropped:     s.poolsDropped.Load(),
+			SamplesRedrawn:   s.samplesRedrawn.Load(),
+			SamplesKept:      s.samplesKept.Load(),
+		},
 	})
 }
 
@@ -402,6 +430,123 @@ func generateGraph(req RegisterGraphRequest, maxSize int) (*graph.Graph, string,
 	return build(rng.New(req.Seed)), source, nil
 }
 
+// handleMutate answers POST /graphs/{id}/mutate: an NDJSON stream of
+// mutation operations committed as one atomic batch. On success the graph's
+// epoch advances and any warm sessions for the graph are eagerly migrated —
+// their cached sample pools repaired in place rather than rebuilt — so the
+// next solve after a mutation is as warm as the one before it. The response
+// reports the new epoch, per-operation counts, and the repair statistics.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var muts []dynamic.Mutation
+	for {
+		var m dynamic.Mutation
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			writeErr(w, http.StatusBadRequest, "mutation %d: %v", len(muts), err)
+			return
+		}
+		muts = append(muts, m)
+		if len(muts) > s.cfg.MaxMutations {
+			writeErr(w, http.StatusBadRequest, "batch exceeds the server cap of %d mutations", s.cfg.MaxMutations)
+			return
+		}
+	}
+	if len(muts) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: at least one mutation line is required")
+		return
+	}
+	info, err := entry.Dyn.Commit(muts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Eagerly migrate the graph's warm sessions so the repair cost is paid
+	// here, once, instead of on the first solve of every session. Repair is
+	// CPU work (parallel redraw of dirty samples), so it holds a slot of
+	// the bounded solve pool like any other heavy operation — concurrent
+	// mutate requests cannot multiply CPU past MaxConcurrent. Sessions busy
+	// past the client's patience are skipped — the solve path migrates
+	// lazily on its next request.
+	// Lock order matches the solve path — session first, then solve slot —
+	// so a mutate migration can never hold the slot a session-holding solve
+	// is waiting for.
+	var rep RepairStats
+	for _, diffusion := range []core.Diffusion{core.DiffusionIC, core.DiffusionLT} {
+		sess, ok := s.sessions.Lookup(SessionKey{Graph: entry.Name, Diffusion: diffusion})
+		if !ok {
+			continue
+		}
+		lh, err := sess.Acquire(r.Context())
+		if err != nil {
+			break
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.migrateSession(lh, entry, &rep)
+			<-s.sem
+		case <-r.Context().Done():
+		}
+		lh.Release()
+	}
+
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Graph:           entry.Name,
+		Epoch:           info.Epoch,
+		Applied:         info.Applied,
+		EdgesAdded:      info.EdgesAdded,
+		EdgesRemoved:    info.EdgesRemoved,
+		ProbsChanged:    info.ProbsChanged,
+		VerticesAdded:   info.VerticesAdded,
+		VerticesRemoved: info.VerticesRemoved,
+		ChangedSources:  len(info.ChangedSources),
+		Compacted:       info.Compacted,
+		Vertices:        info.N,
+		Edges:           info.M,
+		Repair:          rep,
+	})
+}
+
+// migrateSession moves an acquired session to the entry's current epoch:
+// incremental Advance when the changelog still reaches the session's epoch,
+// full Reset otherwise. The current snapshot is re-read under the session
+// lock — epochs are monotone and sessions only ever migrate forward, so a
+// request that raced past a concurrent commit cannot drag a session back to
+// the older snapshot it started from. Folds the outcome into rep and the
+// server's cumulative counters.
+func (s *Server) migrateSession(lh *core.LockedSession, entry *GraphEntry, rep *RepairStats) {
+	g, epoch := entry.Current()
+	if lh.Epoch() >= epoch {
+		return
+	}
+	sources, targets, ok := entry.Dyn.ChangedSince(lh.Epoch())
+	if !ok {
+		lh.Reset(g, epoch)
+		rep.SessionsReset++
+		s.sessionsReset.Add(1)
+		return
+	}
+	st := lh.Advance(g, epoch, sources, targets)
+	rep.SessionsAdvanced++
+	rep.PoolsRepaired += st.PoolsRepaired
+	rep.PoolsDropped += st.PoolsDropped
+	rep.SamplesRedrawn += st.SamplesRedrawn
+	rep.SamplesKept += st.SamplesKept
+	s.sessionsAdvanced.Add(1)
+	s.poolsRepaired.Add(int64(st.PoolsRepaired))
+	s.poolsDropped.Add(int64(st.PoolsDropped))
+	s.samplesRedrawn.Add(st.SamplesRedrawn)
+	s.samplesKept.Add(st.SamplesKept)
+}
+
 var validAlgorithms = map[core.Algorithm]bool{
 	core.Rand:           true,
 	core.OutDegree:      true,
@@ -491,10 +636,15 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	go func() {
+		defer close(idxCh)
 		for i := range req.Items {
-			idxCh <- i
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				// Client gone: stop feeding unstarted items entirely.
+				return
+			}
 		}
-		close(idxCh)
 	}()
 	go func() {
 		wg.Wait()
@@ -506,8 +656,13 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // no indent: one result per line
 	for item := range results {
-		// A dead client cannot stop the encoder; the workers notice the
-		// canceled context at their next admission wait and drain quickly.
+		// Check the request context between items: once the client
+		// disconnects, nothing more is written — the channel is only
+		// drained so the workers (whose in-flight solves are already being
+		// canceled through ctx) can exit instead of blocking on send.
+		if ctx.Err() != nil {
+			continue
+		}
 		_ = enc.Encode(item)
 		if flusher != nil {
 			flusher.Flush()
@@ -543,14 +698,14 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		return nil, apiErrorf(http.StatusBadRequest, "unknown model %q (want IC or LT)", req.Model)
 	}
 
-	g := entry.G
+	g, epoch := entry.Current()
 	seeds, err := resolveSeeds(g, req)
 	if err != nil {
 		return nil, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
 
 	key := SessionKey{Graph: entry.Name, Diffusion: diffusion}
-	sess, hit := s.sessions.Acquire(key, g)
+	sess, hit := s.sessions.Acquire(key, g, epoch)
 
 	// Queue for the (graph, model) session first: sessions serialize their
 	// callers, and the wait costs no CPU, so it must not occupy a solve
@@ -573,6 +728,16 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+
+	// A session behind the graph's epoch migrates before solving — inside
+	// the admission slot, since pool repair is CPU work like the solve
+	// itself. Warm pools are repaired against the mutation changelog, so
+	// the epochs a cache key spans never mix: every solve runs on exactly
+	// the snapshot it reports.
+	if lh.Epoch() != epoch {
+		var rep RepairStats
+		s.migrateSession(lh, entry, &rep)
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {

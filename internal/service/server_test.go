@@ -146,7 +146,8 @@ func TestConcurrentSolvesMatchDirect(t *testing.T) {
 		for j, s := range tc.req.Seeds {
 			seeds[j] = graph.V(s)
 		}
-		res, err := core.Solve(entry.G, seeds, tc.req.Budget, core.Algorithm(tc.req.Algorithm),
+		entryG, _ := entry.Current()
+		res, err := core.Solve(entryG, seeds, tc.req.Budget, core.Algorithm(tc.req.Algorithm),
 			core.Options{Theta: tc.req.Theta, Seed: tc.req.Seed, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
@@ -389,7 +390,8 @@ func TestReuseSamplesWarmPool(t *testing.T) {
 	}
 
 	entry, _ := srv.Registry().Get("g1")
-	direct, err := core.Solve(entry.G, []graph.V{2, 5}, 4, core.AdvancedGreedy,
+	entryG, _ := entry.Current()
+	direct, err := core.Solve(entryG, []graph.V{2, 5}, 4, core.AdvancedGreedy,
 		core.Options{Theta: 200, Seed: 9, Workers: 2, ReuseSamples: true})
 	if err != nil {
 		t.Fatal(err)

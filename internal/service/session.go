@@ -73,11 +73,14 @@ func NewSessionCache(capacity, workers int, domAlgo core.DomAlgo) *SessionCache 
 	}
 }
 
-// Acquire returns the warm session for key, building one over g on a miss,
-// and reports whether it was a cache hit. The caller uses the session
-// outside the cache lock; session-internal locking serializes concurrent
-// solves on the same key.
-func (c *SessionCache) Acquire(key SessionKey, g *graph.Graph) (*core.Session, bool) {
+// Acquire returns the warm session for key, building one over g (a snapshot
+// at the given graph epoch) on a miss, and reports whether it was a cache
+// hit. A hit may return a session at an older epoch than the graph's
+// current one — the caller detects that through LockedSession.Epoch and
+// migrates with Advance/Reset. The caller uses the session outside the
+// cache lock; session-internal locking serializes concurrent solves on the
+// same key.
+func (c *SessionCache) Acquire(key SessionKey, g *graph.Graph, epoch uint64) (*core.Session, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -100,9 +103,23 @@ func (c *SessionCache) Acquire(key SessionKey, g *graph.Graph) (*core.Session, b
 		c.stats.PoolReuses += reuses
 		c.stats.Evictions++
 	}
-	sess := core.NewSession(g, key.Diffusion, c.domAlgo, c.workers)
+	sess := core.NewSessionAtEpoch(g, key.Diffusion, c.domAlgo, c.workers, epoch)
 	c.entries[key] = c.order.PushFront(&cacheItem{key: key, sess: sess})
 	return sess, false
+}
+
+// Lookup returns the cached session for key without building one on a miss
+// and without touching the hit/miss counters. The mutation endpoint uses it
+// to eagerly migrate already-warm sessions to a freshly committed epoch.
+func (c *SessionCache) Lookup(key SessionKey) (*core.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).sess, true
 }
 
 // Contains reports whether key is currently cached, without touching LRU

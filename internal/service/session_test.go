@@ -18,19 +18,19 @@ func TestSessionCacheEviction(t *testing.T) {
 	keyB := SessionKey{Graph: "b", Diffusion: core.DiffusionIC}
 	keyC := SessionKey{Graph: "c", Diffusion: core.DiffusionIC}
 
-	sessA, hit := c.Acquire(keyA, g)
+	sessA, hit := c.Acquire(keyA, g, 0)
 	if hit {
 		t.Error("first acquire reported a hit")
 	}
-	if _, hit := c.Acquire(keyB, g); hit {
+	if _, hit := c.Acquire(keyB, g, 0); hit {
 		t.Error("acquire of b reported a hit")
 	}
 	// Touch a so b becomes the LRU victim.
-	if got, hit := c.Acquire(keyA, g); !hit || got != sessA {
+	if got, hit := c.Acquire(keyA, g, 0); !hit || got != sessA {
 		t.Error("re-acquire of a did not return the cached session")
 	}
 	// c overflows the capacity of 2: b must go.
-	if _, hit := c.Acquire(keyC, g); hit {
+	if _, hit := c.Acquire(keyC, g, 0); hit {
 		t.Error("acquire of c reported a hit")
 	}
 
@@ -46,7 +46,7 @@ func TestSessionCacheEviction(t *testing.T) {
 	}
 
 	// The evicted key rebuilds a fresh session on re-acquire.
-	if _, hit := c.Acquire(keyB, g); hit {
+	if _, hit := c.Acquire(keyB, g, 0); hit {
 		t.Error("evicted b reported a hit on re-acquire")
 	}
 	if c.Contains(keyA) {
@@ -58,8 +58,8 @@ func TestSessionCacheEviction(t *testing.T) {
 func TestSessionCacheKeyedByModel(t *testing.T) {
 	g := datasets.ErdosRenyi(50, 200, true, rng.New(1))
 	c := NewSessionCache(4, 1, core.DomLengauerTarjan)
-	ic, _ := c.Acquire(SessionKey{Graph: "a", Diffusion: core.DiffusionIC}, g)
-	lt, hit := c.Acquire(SessionKey{Graph: "a", Diffusion: core.DiffusionLT}, g)
+	ic, _ := c.Acquire(SessionKey{Graph: "a", Diffusion: core.DiffusionIC}, g, 0)
+	lt, hit := c.Acquire(SessionKey{Graph: "a", Diffusion: core.DiffusionLT}, g, 0)
 	if hit {
 		t.Error("LT acquire hit the IC session")
 	}

@@ -5,9 +5,10 @@
 //
 // It is built from three parts:
 //
-//   - Registry: named, immutable graphs registered once (from an edge-list
-//     file, a Table IV stand-in dataset, or a random-graph generator) and
-//     shared by every request that names them.
+//   - Registry: named, epoch-versioned graphs registered once (from an
+//     edge-list file, a Table IV stand-in dataset, or a random-graph
+//     generator), mutated through atomic NDJSON batches, and shared by
+//     every request that names them as immutable per-epoch snapshots.
 //   - SessionCache: an LRU of warm core.Session values keyed by
 //     (graph, diffusion model), each serializing its callers to honor the
 //     estimator's single-caller constraint.
@@ -55,11 +56,77 @@ type RegisterGraphRequest struct {
 
 // GraphInfo describes one registered graph (GET /graphs).
 type GraphInfo struct {
-	Name         string    `json:"name"`
-	Vertices     int       `json:"vertices"`
-	Edges        int       `json:"edges"`
-	Source       string    `json:"source"`
-	RegisteredAt time.Time `json:"registered_at"`
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Epoch counts committed mutation batches (0 = as registered);
+	// PendingDeltas is the mutations applied since the overlay was last
+	// compacted into a fresh CSR, Compactions how often that happened.
+	Epoch         uint64    `json:"epoch"`
+	PendingDeltas int       `json:"pending_deltas"`
+	Compactions   int64     `json:"compactions"`
+	Source        string    `json:"source"`
+	RegisteredAt  time.Time `json:"registered_at"`
+}
+
+// MutateResponse reports one committed mutation batch
+// (POST /graphs/{id}/mutate). The request body is NDJSON: one mutation
+// object per line, {"op": "add-edge"|"remove-edge"|"set-prob"|"add-vertex"|
+// "remove-vertex", "u": ..., "v": ..., "p": ...}, applied atomically — any
+// invalid line rejects the whole batch with 400 and the graph unchanged.
+type MutateResponse struct {
+	Graph string `json:"graph"`
+	// Epoch is the graph's epoch after this batch.
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+	// Per-operation counts; EdgesRemoved includes edges dropped by
+	// remove-vertex.
+	EdgesAdded      int `json:"edges_added,omitempty"`
+	EdgesRemoved    int `json:"edges_removed,omitempty"`
+	ProbsChanged    int `json:"probs_changed,omitempty"`
+	VerticesAdded   int `json:"vertices_added,omitempty"`
+	VerticesRemoved int `json:"vertices_removed,omitempty"`
+	// ChangedSources is how many vertices had their out-adjacency changed —
+	// the dirty-sample criterion driving pool repair.
+	ChangedSources int `json:"changed_sources"`
+	// Compacted reports that this batch folded the delta overlay into a
+	// fresh base CSR.
+	Compacted bool `json:"compacted,omitempty"`
+	// Vertices and Edges are the graph's new totals.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Repair reports the eager migration of the graph's warm sessions to
+	// the new epoch.
+	Repair RepairStats `json:"repair"`
+}
+
+// RepairStats reports how warm solver state crossed a mutation batch.
+type RepairStats struct {
+	// SessionsAdvanced migrated incrementally (pools repaired in place);
+	// SessionsReset were too far behind the changelog and start cold.
+	SessionsAdvanced int `json:"sessions_advanced"`
+	SessionsReset    int `json:"sessions_reset"`
+	// PoolsRepaired kept their sample arenas with only dirty samples
+	// redrawn; PoolsDropped had to be discarded (vertex-count change under
+	// a multi-seed instance).
+	PoolsRepaired int `json:"pools_repaired"`
+	PoolsDropped  int `json:"pools_dropped"`
+	// SamplesRedrawn and SamplesKept partition the repaired pools' samples.
+	SamplesRedrawn int64 `json:"samples_redrawn"`
+	SamplesKept    int64 `json:"samples_kept"`
+}
+
+// MutationStats aggregates mutation activity across all graphs (GET /stats).
+type MutationStats struct {
+	Batches          int64 `json:"batches"`
+	Mutations        int64 `json:"mutations"`
+	Compactions      int64 `json:"compactions"`
+	SessionsAdvanced int64 `json:"sessions_advanced"`
+	SessionsReset    int64 `json:"sessions_reset"`
+	PoolsRepaired    int64 `json:"pools_repaired"`
+	PoolsDropped     int64 `json:"pools_dropped"`
+	SamplesRedrawn   int64 `json:"samples_redrawn"`
+	SamplesKept      int64 `json:"samples_kept"`
 }
 
 // SolveRequest is the body of POST /graphs/{id}/solve.
@@ -163,14 +230,15 @@ type BatchItemResult struct {
 	Error  string         `json:"error,omitempty"`
 }
 
-// StatsResponse is GET /stats: registry size, session-cache counters, and
-// server load.
+// StatsResponse is GET /stats: registry size, session-cache counters,
+// mutation/repair activity, and server load.
 type StatsResponse struct {
-	Graphs        int        `json:"graphs"`
-	Sessions      CacheStats `json:"sessions"`
-	InFlight      int64      `json:"in_flight"`
-	MaxConcurrent int        `json:"max_concurrent"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
+	Graphs        int           `json:"graphs"`
+	Sessions      CacheStats    `json:"sessions"`
+	Mutations     MutationStats `json:"mutations"`
+	InFlight      int64         `json:"in_flight"`
+	MaxConcurrent int           `json:"max_concurrent"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
 }
 
 // ErrorResponse is the JSON error envelope for every non-2xx response.
