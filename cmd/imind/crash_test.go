@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/dynamic"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+	"github.com/imin-dev/imin/internal/store"
+)
+
+// crashGraph mirrors the registration the crash test sends over HTTP, so
+// the test can rebuild the exact same graph in-process for its control.
+// Must stay in lockstep with the server's buildGraph: erdos-renyi uses
+// rng.New(seed), TR assignment rng.New(seed^0x7112).
+const (
+	crashN    = 400
+	crashM    = 2000
+	crashSeed = 3
+)
+
+func crashControlGraph() *graph.Graph {
+	g := datasets.ErdosRenyi(crashN, crashM, true, rng.New(crashSeed))
+	return graph.Trivalency.Assign(g, rng.New(crashSeed^0x7112))
+}
+
+// crashBatch is the deterministic mutation batch with the given index: the
+// client knows every batch's content up front, so after the kill it can
+// replay exactly the prefix the victim durably applied onto a control.
+// All batches are set-prob mutations against the registration-time edge
+// list, so any prefix of them is applicable in order.
+func crashBatch(edges []graph.Edge, i int) []dynamic.Mutation {
+	muts := make([]dynamic.Mutation, 3)
+	for j := range muts {
+		e := edges[(i*37+j*11)%len(edges)]
+		muts[j] = dynamic.Mutation{Op: dynamic.OpSetProb, U: e.From, V: e.To,
+			P: float64((i*7+j*3)%97)/100 + 0.01}
+	}
+	return muts
+}
+
+func batchNDJSON(muts []dynamic.Mutation) string {
+	var sb strings.Builder
+	for _, mu := range muts {
+		line, _ := json.Marshal(mu)
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// startDaemon builds (once) and starts an imind process, waiting for
+// healthy, and returns its base URL and process handle.
+func startDaemon(t *testing.T, bin string, args ...string) (string, *exec.Cmd, *syncBuffer) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, append([]string{"-addr", addr, "-theta", "300", "-eval", "300"}, args...)...)
+	var logs syncBuffer
+	cmd.Stdout, cmd.Stderr = &logs, &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	base := "http://" + addr
+	for i := 0; i < 200; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base, cmd, &logs
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+	return "", nil, nil
+}
+
+func registerCrashGraph(t *testing.T, base string) {
+	t.Helper()
+	reg := fmt.Sprintf(`{"name": "g", "generator": "erdos-renyi", "n": %d, "m": %d, "directed": true, "seed": %d}`,
+		crashN, crashM, crashSeed)
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+}
+
+func solveOn(t *testing.T, base, model string) map[string]any {
+	t.Helper()
+	req := fmt.Sprintf(`{"seeds": [2, 5, 9], "budget": 4, "algorithm": "greedy-replace", "model": %q,
+		"theta": 300, "seed": 11, "workers": 2, "reuse_samples": true, "eval_rounds": 300}`, model)
+	resp, err := http.Post(base+"/graphs/g/solve", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve (%s) status %d: %v", model, resp.StatusCode, out)
+	}
+	return out
+}
+
+// TestCrashRecoveryKill9 is the durability acceptance test: an imind
+// process is SIGKILLed in the middle of a mutation stream, and the
+// recovered daemon must match an unkilled control that applied the same
+// acknowledged batches — same epoch, bit-identical CSR, and bit-identical
+// ReuseSamples solves under both IC and LT.
+func TestCrashRecoveryKill9(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "imind")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	// ---- Victim: durable daemon, fsync always (acked == on disk). ----
+	base, cmd, _ := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
+	registerCrashGraph(t, base)
+	control := crashControlGraph()
+	edges := control.Edges()
+
+	// Stream batches sequentially; SIGKILL fires concurrently after the
+	// 8th ack lands, so the kill hits with a request in flight.
+	const killAfter = 8
+	acked := 0
+	killed := make(chan struct{})
+	for i := 0; ; i++ {
+		if acked == killAfter {
+			go func() {
+				cmd.Process.Kill() // SIGKILL: no drain, no final checkpoint
+				close(killed)
+			}()
+		}
+		resp, err := http.Post(base+"/graphs/g/mutate", "application/x-ndjson",
+			strings.NewReader(batchNDJSON(crashBatch(edges, i))))
+		if err != nil {
+			break // connection died mid-request: the kill landed
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != http.StatusOK {
+			break
+		}
+		acked++
+		if acked > killAfter+200 {
+			t.Fatal("daemon survived the kill for 200 batches")
+		}
+	}
+	<-killed
+	cmd.Wait()
+	if acked < killAfter {
+		t.Fatalf("only %d batches acknowledged before the daemon died", acked)
+	}
+
+	// ---- In-process recovery: epoch and CSR vs the replayed control. ----
+	st, err := store.Open(dataDir, store.Config{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "g" {
+		t.Fatalf("recovered %d graphs", len(recs))
+	}
+	epoch := recs[0].Epoch()
+	// Every acknowledged batch must have survived; the killed in-flight
+	// request may have been appended before its 200 could go out.
+	if epoch < uint64(acked) || epoch > uint64(acked)+1 {
+		t.Fatalf("recovered epoch %d, %d batches were acknowledged", epoch, acked)
+	}
+
+	ctrlDyn := dynamic.New(control, dynamic.Config{})
+	for i := 0; uint64(i) < epoch; i++ {
+		if _, err := ctrlDyn.Commit(crashBatch(edges, i)); err != nil {
+			t.Fatalf("control replay batch %d: %v", i, err)
+		}
+	}
+	wantSnap, _ := ctrlDyn.Snapshot()
+	gotSnap, _ := recs[0].Dyn.Snapshot()
+	if wantSnap.N() != gotSnap.N() || wantSnap.M() != gotSnap.M() ||
+		!reflect.DeepEqual(wantSnap.Edges(), gotSnap.Edges()) {
+		t.Fatal("recovered CSR is not bit-identical to the unkilled control's")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Full-stack: restart the daemon on the same state and compare
+	// ReuseSamples solves against an unkilled control daemon. ----
+	base2, _, logs2 := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
+	resp, err := http.Get(base2 + "/graphs/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Epoch     uint64 `json:"epoch"`
+		Durable   bool   `json:"durable"`
+		Recovered bool   `json:"recovered"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Epoch != epoch || !info.Durable || !info.Recovered {
+		t.Fatalf("restarted daemon reports %+v, want recovered epoch %d; logs:\n%s", info, epoch, logs2.String())
+	}
+
+	ctrlBase, _, _ := startDaemon(t, bin) // in-memory control daemon
+	registerCrashGraph(t, ctrlBase)
+	for i := 0; uint64(i) < epoch; i++ {
+		resp, err := http.Post(ctrlBase+"/graphs/g/mutate", "application/x-ndjson",
+			strings.NewReader(batchNDJSON(crashBatch(edges, i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("control daemon rejected batch %d: %d", i, resp.StatusCode)
+		}
+	}
+	for _, model := range []string{"IC", "LT"} {
+		got := solveOn(t, base2, model)
+		want := solveOn(t, ctrlBase, model)
+		for _, field := range []string{"blockers", "spread_before", "spread_after", "theta", "model"} {
+			if !reflect.DeepEqual(got[field], want[field]) {
+				t.Errorf("%s solve field %q: recovered %v != control %v", model, field, got[field], want[field])
+			}
+		}
+	}
+}
+
+// TestGracefulShutdownCheckpoints covers the shutdown-ordering fix: after
+// a SIGTERM drain, the final checkpoint must cover every acknowledged
+// batch, so the next start replays zero WAL records.
+func TestGracefulShutdownCheckpoints(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "imind")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	base, cmd, logs := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "interval", "-shutdown-timeout", "5s")
+	registerCrashGraph(t, base)
+	edges := crashControlGraph().Edges()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(base+"/graphs/g/mutate", "application/x-ndjson",
+			strings.NewReader(batchNDJSON(crashBatch(edges, i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d: %d", i, resp.StatusCode)
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down; logs:\n%s", logs.String())
+	}
+
+	// A graceful shutdown checkpointed: recovery replays nothing.
+	st, err := store.Open(dataDir, store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 5 || recs[0].ReplayedBatches != 0 {
+		t.Fatalf("after graceful shutdown: epoch %d, %d replayed (want 5, 0); logs:\n%s",
+			recs[0].Epoch(), recs[0].ReplayedBatches, logs.String())
+	}
+}

@@ -3,20 +3,26 @@
 // over HTTP/JSON, so repeated solves on a hot graph skip all setup cost
 // (graph load, multi-seed unification, sampler and estimator scratch).
 //
+// With -data-dir it is also durable: registrations and mutation batches
+// are write-ahead logged (fsync policy per -fsync) and periodically
+// checkpointed, so a restarted daemon recovers every graph to its exact
+// pre-crash epoch instead of starting empty.
+//
 // Endpoints:
 //
-//	POST /graphs                  register a graph (file, dataset stand-in, or generator)
-//	GET  /graphs                  list registered graphs
-//	GET  /graphs/{id}             one graph's info (vertices, edges, epoch, overlay state)
-//	POST /graphs/{id}/solve       select blockers: {seeds, budget, algorithm, model, theta, ...}
-//	POST /graphs/{id}/solve-batch many solves against one graph, streamed as NDJSON
-//	POST /graphs/{id}/mutate      commit an NDJSON batch of topology mutations (new epoch)
-//	GET  /healthz                 liveness
-//	GET  /stats                   registry size, session-cache and mutation/repair counters, load
+//	POST   /graphs                  register a graph (file, dataset stand-in, or generator)
+//	GET    /graphs                  list registered graphs
+//	GET    /graphs/{id}             one graph's info (vertices, edges, epoch, durability)
+//	DELETE /graphs/{id}             unregister a graph and delete its durable state
+//	POST   /graphs/{id}/solve       select blockers: {seeds, budget, algorithm, model, theta, ...}
+//	POST   /graphs/{id}/solve-batch many solves against one graph, streamed as NDJSON
+//	POST   /graphs/{id}/mutate      commit an NDJSON batch of topology mutations (new epoch)
+//	GET    /healthz                 liveness
+//	GET    /stats                   registry size, session-cache, mutation/repair and durability counters
 //
 // Example:
 //
-//	imind -addr :8080 -data ./graphs -preload Wiki-Vote,Facebook -scale 0.05
+//	imind -addr :8080 -data ./graphs -data-dir ./state -preload Wiki-Vote,Facebook -scale 0.05
 //	curl -s localhost:8080/graphs
 //	curl -s -X POST localhost:8080/graphs/Wiki-Vote/solve \
 //	     -d '{"num_seeds": 10, "budget": 20, "algorithm": "greedy-replace", "seed": 1}'
@@ -40,12 +46,17 @@ import (
 
 	imin "github.com/imin-dev/imin"
 	"github.com/imin-dev/imin/internal/service"
+	"github.com/imin-dev/imin/internal/store"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		dataDir     = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
+		stateDir    = flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty runs in-memory only")
+		fsyncMode   = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval or none")
+		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+		ckptWALMB   = flag.Int("checkpoint-wal-mb", 16, "WAL megabytes per graph that trigger a background checkpoint")
 		maxConc     = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
 		maxSessions = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
 		workers     = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
@@ -60,6 +71,23 @@ func main() {
 	)
 	flag.Parse()
 
+	var st *store.Store
+	if *stateDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		st, err = store.Open(*stateDir, store.Config{
+			Fsync:              policy,
+			FsyncInterval:      *fsyncEvery,
+			CheckpointWALBytes: int64(*ckptWALMB) << 20,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("durable store at %s (fsync %s)", *stateDir, policy)
+	}
+
 	srv := service.New(service.Config{
 		MaxConcurrent:     *maxConc,
 		MaxSessions:       *maxSessions,
@@ -68,7 +96,26 @@ func main() {
 		DefaultTheta:      *theta,
 		DefaultEvalRounds: *evalRounds,
 		DataDir:           *dataDir,
+		Store:             st,
 	})
+
+	// Recovery runs before preloading: a preload name that already exists
+	// durably is simply skipped (its recovered state wins — it may carry
+	// mutations the generator cannot reproduce).
+	if st != nil {
+		recs, err := srv.Recover()
+		if err != nil {
+			fatal(fmt.Errorf("recovering durable graphs: %w", err))
+		}
+		for _, rec := range recs {
+			extra := ""
+			if rec.TruncatedTail {
+				extra = " (torn WAL tail truncated)"
+			}
+			log.Printf("recovered %s: epoch %d (snapshot @ %d, %d batches replayed)%s",
+				rec.Name, rec.Epoch(), rec.SnapshotEpoch, rec.ReplayedBatches, extra)
+		}
+	}
 
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {
@@ -76,12 +123,16 @@ func main() {
 			if name == "" {
 				continue
 			}
+			if _, ok := srv.Registry().Get(name); ok {
+				log.Printf("preload %s: already recovered, skipping", name)
+				continue
+			}
 			g, err := imin.GenerateDataset(name, *scale, *rngSeed)
 			if err != nil {
 				fatal(err)
 			}
 			g = imin.AssignProbabilities(g, imin.Trivalency, *rngSeed^0x7112)
-			if _, err := srv.Registry().Register(name, g, fmt.Sprintf("preload %s @ %g, TR", name, *scale)); err != nil {
+			if _, err := srv.Registry().Register(name, g, fmt.Sprintf("preload %s @ %g, TR", name, *scale), "TR"); err != nil {
 				fatal(err)
 			}
 			log.Printf("preloaded %s: %d vertices, %d edges", name, g.N(), g.M())
@@ -121,19 +172,40 @@ func main() {
 	// Drain in-flight solves for up to -shutdown-timeout: Shutdown stops
 	// accepting work immediately but lets running requests finish; on
 	// expiry the remaining connections are closed and their solves unwind
-	// through context cancellation.
+	// through context cancellation. The durable store is flushed strictly
+	// AFTER the drain completes (or its survivors are cut off): every
+	// handler that acknowledged a mutation has appended it by then, so the
+	// final WAL fsync and checkpoint below cover all acknowledged batches —
+	// -shutdown-timeout can expire without losing any of them.
 	log.Printf("shutting down (draining in-flight solves for up to %v)", *shutdownTO)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) {
+			flushStore(srv, st)
 			fatal(err)
 		}
 		log.Printf("shutdown timeout %v expired; closing remaining connections", *shutdownTO)
 		if err := httpSrv.Close(); err != nil {
+			flushStore(srv, st)
 			fatal(err)
 		}
 	}
+	flushStore(srv, st)
+}
+
+// flushStore fsyncs WALs and takes final checkpoints after the HTTP drain.
+// Failures are logged, not fatal'd: at this point exiting is the only
+// remaining action either way, and recovery replays the WAL regardless.
+func flushStore(srv *service.Server, st *store.Store) {
+	if st == nil {
+		return
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("flushing durable store: %v", err)
+		return
+	}
+	log.Printf("durable store flushed (final checkpoints written)")
 }
 
 func fatal(err error) {

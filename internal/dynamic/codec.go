@@ -1,0 +1,162 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Compact binary encoding of a mutation batch — the payload the durable
+// store's write-ahead log frames. The format is deliberately minimal:
+//
+//	uvarint count
+//	per mutation: op byte | operands
+//
+// where the operands depend on the op: add-edge and set-prob carry
+// uvarint(u) uvarint(v) f64bits(p); remove-edge carries uvarint(u)
+// uvarint(v); remove-vertex carries uvarint(u); add-vertex carries nothing.
+// Vertex ids are non-negative by Commit's validation, so uvarints are safe
+// and small ids (the common case) take one byte.
+//
+// DecodeBatch is hardened against hostile input: truncated, bit-flipped and
+// oversized payloads return errors — they never panic, never over-read, and
+// never allocate proportionally to a length claim the data cannot back.
+
+// op wire codes. Stable: they are on disk.
+const (
+	opCodeAddEdge      = 1
+	opCodeRemoveEdge   = 2
+	opCodeSetProb      = 3
+	opCodeAddVertex    = 4
+	opCodeRemoveVertex = 5
+)
+
+func opCode(op Op) (byte, error) {
+	switch op {
+	case OpAddEdge:
+		return opCodeAddEdge, nil
+	case OpRemoveEdge:
+		return opCodeRemoveEdge, nil
+	case OpSetProb:
+		return opCodeSetProb, nil
+	case OpAddVertex:
+		return opCodeAddVertex, nil
+	case OpRemoveVertex:
+		return opCodeRemoveVertex, nil
+	default:
+		return 0, fmt.Errorf("dynamic: unknown op %q", op)
+	}
+}
+
+// EncodeBatch appends the batch's binary encoding to dst and returns the
+// extended slice. Mutations with negative vertex ids or an unknown op fail
+// (Commit would reject them anyway; the WAL must never contain them).
+func EncodeBatch(dst []byte, muts []Mutation) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(muts)))
+	for i, mu := range muts {
+		code, err := opCode(mu.Op)
+		if err != nil {
+			return nil, fmt.Errorf("mutation %d: %w", i, err)
+		}
+		if mu.U < 0 || mu.V < 0 {
+			return nil, fmt.Errorf("dynamic: mutation %d (%s): negative vertex id", i, mu.Op)
+		}
+		dst = append(dst, code)
+		switch mu.Op {
+		case OpAddEdge, OpSetProb:
+			dst = binary.AppendUvarint(dst, uint64(mu.U))
+			dst = binary.AppendUvarint(dst, uint64(mu.V))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(mu.P))
+		case OpRemoveEdge:
+			dst = binary.AppendUvarint(dst, uint64(mu.U))
+			dst = binary.AppendUvarint(dst, uint64(mu.V))
+		case OpRemoveVertex:
+			dst = binary.AppendUvarint(dst, uint64(mu.U))
+		}
+	}
+	return dst, nil
+}
+
+// maxVertexID bounds decoded vertex ids: graph.V is an int32-sized id in a
+// CSR whose offsets are int32, so anything beyond this is corruption.
+const maxVertexID = 1<<31 - 1
+
+// DecodeBatch parses an EncodeBatch payload. Trailing bytes, truncation,
+// unknown ops and implausible values are all errors; the claimed mutation
+// count is validated against the payload size before any allocation.
+func DecodeBatch(data []byte) ([]Mutation, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("dynamic: batch count truncated or overflows")
+	}
+	data = data[n:]
+	// Every mutation costs at least one byte (its op code), so a count
+	// beyond the remaining payload cannot be honest — reject it before
+	// allocating count slots.
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("dynamic: batch claims %d mutations in %d bytes", count, len(data))
+	}
+	readV := func() (graph.V, error) {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("dynamic: vertex id truncated or overflows")
+		}
+		if x > maxVertexID {
+			return 0, fmt.Errorf("dynamic: vertex id %d out of range", x)
+		}
+		data = data[n:]
+		return graph.V(x), nil
+	}
+	muts := make([]Mutation, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("dynamic: batch truncated at mutation %d/%d", i, count)
+		}
+		code := data[0]
+		data = data[1:]
+		var mu Mutation
+		var err error
+		switch code {
+		case opCodeAddEdge, opCodeSetProb:
+			mu.Op = OpAddEdge
+			if code == opCodeSetProb {
+				mu.Op = OpSetProb
+			}
+			if mu.U, err = readV(); err != nil {
+				return nil, err
+			}
+			if mu.V, err = readV(); err != nil {
+				return nil, err
+			}
+			if len(data) < 8 {
+				return nil, fmt.Errorf("dynamic: probability truncated at mutation %d", i)
+			}
+			mu.P = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		case opCodeRemoveEdge:
+			mu.Op = OpRemoveEdge
+			if mu.U, err = readV(); err != nil {
+				return nil, err
+			}
+			if mu.V, err = readV(); err != nil {
+				return nil, err
+			}
+		case opCodeAddVertex:
+			mu.Op = OpAddVertex
+		case opCodeRemoveVertex:
+			mu.Op = OpRemoveVertex
+			if mu.U, err = readV(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("dynamic: unknown op code %d at mutation %d", code, i)
+		}
+		muts = append(muts, mu)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("dynamic: %d trailing bytes after batch", len(data))
+	}
+	return muts, nil
+}

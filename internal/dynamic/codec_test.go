@@ -1,0 +1,137 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	batches := [][]Mutation{
+		{{Op: OpAddVertex}},
+		{{Op: OpAddEdge, U: 0, V: 1, P: 0.5}},
+		{{Op: OpSetProb, U: 1<<20 + 3, V: 7, P: 1}},
+		{{Op: OpRemoveEdge, U: 3, V: 4}},
+		{{Op: OpRemoveVertex, U: 9}},
+		{
+			{Op: OpAddVertex},
+			{Op: OpAddEdge, U: 0, V: 128, P: 0.25},
+			{Op: OpSetProb, U: 0, V: 128, P: 0},
+			{Op: OpRemoveEdge, U: 0, V: 128},
+			{Op: OpRemoveVertex, U: 128},
+		},
+	}
+	for i, muts := range batches {
+		enc, err := EncodeBatch(nil, muts)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", i, err)
+		}
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(dec, muts) {
+			t.Errorf("batch %d: round trip %v != %v", i, dec, muts)
+		}
+	}
+	// The empty batch round-trips too (the store rejects it, the codec
+	// need not).
+	enc, err := EncodeBatch(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := DecodeBatch(enc); err != nil || len(dec) != 0 {
+		t.Errorf("empty batch: %v, %v", dec, err)
+	}
+}
+
+func TestBatchCodecRejectsBadInput(t *testing.T) {
+	good, err := EncodeBatch(nil, []Mutation{
+		{Op: OpAddEdge, U: 5, V: 6, P: 0.75},
+		{Op: OpRemoveVertex, U: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeBatch(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeBatch(append(append([]byte(nil), good...), 0x07)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A count far beyond the payload must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, err := DecodeBatch(huge); err == nil {
+		t.Error("oversized count accepted")
+	}
+	// Unknown op code.
+	bad := append([]byte(nil), good...)
+	bad[1] = 99
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Error("unknown op code accepted")
+	}
+	// Encoding rejects what Commit would reject.
+	if _, err := EncodeBatch(nil, []Mutation{{Op: Op("frobnicate")}}); err == nil {
+		t.Error("unknown op encoded")
+	}
+	if _, err := EncodeBatch(nil, []Mutation{{Op: OpRemoveVertex, U: -1}}); err == nil {
+		t.Error("negative vertex id encoded")
+	}
+}
+
+func TestNewAtEpochAndReplay(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g := b.Build()
+
+	d := NewAtEpoch(g, Config{}, 10)
+	if d.Epoch() != 10 {
+		t.Fatalf("epoch = %d, want 10", d.Epoch())
+	}
+	// Replay must demand exact continuity.
+	muts := []Mutation{{Op: OpAddEdge, U: 2, V: 3, P: 0.9}}
+	if _, err := d.Replay(muts, 10); err == nil {
+		t.Error("replay at the current epoch accepted")
+	}
+	if _, err := d.Replay(muts, 12); err == nil {
+		t.Error("replay with an epoch gap accepted")
+	}
+	if _, err := d.Replay(nil, 11); err == nil {
+		t.Error("replay of an empty batch accepted")
+	}
+	info, err := d.Replay(muts, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 11 || d.Epoch() != 11 || d.M() != 3 {
+		t.Fatalf("after replay: info=%+v epoch=%d m=%d", info, d.Epoch(), d.M())
+	}
+	// The changelog floor starts at the initial epoch: a session at epoch
+	// 10 can repair incrementally, one before it cannot.
+	if _, _, ok := d.ChangedSince(10); !ok {
+		t.Error("ChangedSince(10) should reach the changelog")
+	}
+	if _, _, ok := d.ChangedSince(9); ok {
+		t.Error("ChangedSince(9) reaches past the recovery floor")
+	}
+
+	// A recovered graph replaying the same batches as a live one must be
+	// bit-identical snapshot-for-snapshot.
+	live := New(g, Config{})
+	if _, err := live.Commit(muts); err != nil {
+		t.Fatal(err)
+	}
+	sLive, _ := live.Snapshot()
+	sRec, _ := d.Snapshot()
+	if sLive.M() != sRec.M() || !reflect.DeepEqual(sLive.Edges(), sRec.Edges()) {
+		t.Error("recovered snapshot diverges from live snapshot")
+	}
+}

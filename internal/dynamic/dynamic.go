@@ -163,13 +163,39 @@ type Graph struct {
 
 // New wraps g (shared, never modified) as a dynamic graph at epoch 0.
 func New(g *graph.Graph, cfg Config) *Graph {
+	return NewAtEpoch(g, cfg, 0)
+}
+
+// NewAtEpoch wraps g as a dynamic graph whose epoch counter starts at
+// epoch — the recovery constructor: a durable snapshot taken at epoch E
+// resumes here and the write-ahead-log tail is replayed on top through
+// Replay. The changelog floor starts at the same epoch, so ChangedSince
+// answers exactly as if the process had lived through every batch.
+func NewAtEpoch(g *graph.Graph, cfg Config, epoch uint64) *Graph {
 	return &Graph{
-		cfg:  cfg.withDefaults(),
-		base: g,
-		n:    g.N(),
-		m:    g.M(),
-		rows: make(map[graph.V]map[graph.V]float64),
+		cfg:      cfg.withDefaults(),
+		base:     g,
+		n:        g.N(),
+		m:        g.M(),
+		rows:     make(map[graph.V]map[graph.V]float64),
+		epoch:    epoch,
+		logFloor: epoch,
 	}
+}
+
+// Replay commits a recovered batch and verifies epoch continuity: the batch
+// must carry exactly the next epoch (each commit advances by one), so a gap
+// or reorder in a replayed log surfaces as an error instead of silently
+// producing a graph that diverges from the pre-crash state. Empty batches
+// are rejected — a commit only logs a record when it advances the epoch.
+func (d *Graph) Replay(muts []Mutation, wantEpoch uint64) (CommitInfo, error) {
+	if len(muts) == 0 {
+		return CommitInfo{}, fmt.Errorf("dynamic: replay of empty batch at epoch %d", wantEpoch)
+	}
+	if cur := d.Epoch(); cur+1 != wantEpoch {
+		return CommitInfo{}, fmt.Errorf("dynamic: replay epoch %d does not follow current epoch %d", wantEpoch, cur)
+	}
+	return d.Commit(muts)
 }
 
 // Epoch returns the current epoch (0 until the first commit).

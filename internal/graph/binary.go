@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -15,58 +16,101 @@ import (
 //
 //	magic "IMGB" | version u32 | n u64 | m u64
 //	outStart [n+1]u32 | outTo [m]u32 | outP [m]f64
+//	crc32 u32        (version >= 2 only)
+//
+// The v2 footer is the IEEE CRC32 of every preceding byte (magic, header
+// and arrays), so a snapshot truncated or bit-flipped at rest is detected
+// at load instead of silently producing a wrong graph — the contract the
+// durable store's crash recovery depends on. v1 files (no footer) are
+// still read.
 //
 // The in-CSR is rebuilt on load (cheaper than storing it).
 const (
 	binaryMagic   = "IMGB"
-	binaryVersion = 1
+	binaryVersion = 2
 )
 
-// WriteBinary serializes the graph to w.
+// crcWriter tees every written byte into a running IEEE CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader tees every consumed byte into a running IEEE CRC32. It sits
+// between the buffered reader and the parser, so read-ahead buffering never
+// pollutes the checksum.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// WriteBinary serializes the graph to w in the current (v2) format.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(binaryMagic)); err != nil {
 		return err
 	}
 	hdr := make([]byte, 4+8+8)
 	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.n))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.M()))
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := cw.Write(hdr); err != nil {
 		return err
 	}
-	if err := writeU32s(bw, g.outStart); err != nil {
+	if err := writeU32s(cw, g.outStart); err != nil {
 		return err
 	}
-	if err := writeU32s(bw, g.outTo); err != nil {
+	if err := writeU32s(cw, g.outTo); err != nil {
 		return err
 	}
 	buf := make([]byte, 8)
 	for _, p := range g.outP {
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(p))
-		if _, err := bw.Write(buf); err != nil {
+		if _, err := cw.Write(buf); err != nil {
 			return err
 		}
+	}
+	// Footer: CRC of everything above, written outside the hashing tee.
+	binary.LittleEndian.PutUint32(buf[:4], cw.crc)
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary. Both the current
+// v2 format (CRC32 footer) and legacy v1 files (no footer) are accepted;
+// for v2 a checksum mismatch fails the load before the graph is trusted.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	cr := &crcReader{r: br}
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
 	hdr := make([]byte, 4+8+8)
-	if _, err := io.ReadFull(br, hdr); err != nil {
+	if _, err := io.ReadFull(cr, hdr); err != nil {
 		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	version := binary.LittleEndian.Uint32(hdr[0:])
+	if version != 1 && version != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
 	m := binary.LittleEndian.Uint64(hdr[12:])
@@ -76,19 +120,30 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	g := &Graph{n: int(n)}
 	var err error
-	if g.outStart, err = readU32s(br, int(n)+1); err != nil {
+	if g.outStart, err = readU32s(cr, int(n)+1); err != nil {
 		return nil, err
 	}
-	if g.outTo, err = readU32s(br, int(m)); err != nil {
+	if g.outTo, err = readU32s(cr, int(m)); err != nil {
 		return nil, err
 	}
 	g.outP = make([]float64, m)
 	buf := make([]byte, 8)
 	for i := range g.outP {
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(cr, buf); err != nil {
 			return nil, fmt.Errorf("graph: reading probabilities: %w", err)
 		}
 		g.outP[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	if version >= 2 {
+		// The footer is read outside the hashing tee: cr.crc now covers
+		// exactly the bytes the writer hashed.
+		want := cr.crc
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading checksum footer: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(buf[:4]); got != want {
+			return nil, fmt.Errorf("graph: checksum mismatch (file %08x, computed %08x)", got, want)
+		}
 	}
 	// Validate the CSR before trusting it.
 	if g.outStart[0] != 0 || uint64(g.outStart[n]) != m {

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestVersion is the current on-disk manifest schema version.
+const ManifestVersion = 1
+
+// Manifest describes one durable graph snapshot: which binary CSR file
+// holds the graph, the mutation epoch that snapshot reflects, and the WAL
+// generation whose records continue past it. It is the recovery root the
+// durable store reads first — everything else in a graph's directory is
+// located through it.
+type Manifest struct {
+	// Version is the manifest schema version (ManifestVersion).
+	Version int `json:"version"`
+	// Name is the graph's registry name (doubles as its directory name).
+	Name string `json:"name"`
+	// Source is the human-readable provenance the serving layer displays
+	// ("dataset Wiki-Vote @ 0.02, TR", "file edges.txt", ...).
+	Source string `json:"source,omitempty"`
+	// ProbModel records how edge probabilities were assigned ("TR", "WC",
+	// "keep"); informational — the probabilities themselves live in the
+	// snapshot.
+	ProbModel string `json:"prob_model,omitempty"`
+	// Epoch is the mutation epoch the snapshot file reflects. WAL records
+	// with epochs beyond it are replayed on recovery.
+	Epoch uint64 `json:"epoch"`
+	// WALGen is the first write-ahead-log generation not covered by the
+	// snapshot: recovery replays wal-<WALGen>.log and any later generation,
+	// in order. Generations below WALGen are garbage.
+	WALGen uint64 `json:"wal_gen"`
+	// Snapshot is the snapshot file's name within the graph directory.
+	Snapshot string `json:"snapshot"`
+	// N and M are the snapshot's vertex and edge counts (a cheap sanity
+	// check against the loaded CSR).
+	N int `json:"n"`
+	M int `json:"m"`
+	// UpdatedAt is when this manifest was written.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Validate checks the structural invariants a recovery can rely on.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("graph: unsupported manifest version %d", m.Version)
+	}
+	if m.Name == "" {
+		return fmt.Errorf("graph: manifest has no graph name")
+	}
+	if m.Snapshot == "" || m.Snapshot != filepath.Base(m.Snapshot) {
+		return fmt.Errorf("graph: manifest snapshot %q is not a bare file name", m.Snapshot)
+	}
+	if m.N < 0 || m.M < 0 {
+		return fmt.Errorf("graph: manifest has negative sizes n=%d m=%d", m.N, m.M)
+	}
+	return nil
+}
+
+// WriteManifestFile atomically replaces path with m: the JSON is written to
+// a temporary file in the same directory, fsynced, renamed over path, and
+// the directory is fsynced — so a crash at any point leaves either the old
+// manifest or the new one, never a torn file.
+func WriteManifestFile(path string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// ReadManifestFile loads and validates a manifest written by
+// WriteManifestFile.
+func ReadManifestFile(path string) (*Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("graph: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// SyncDir fsyncs a directory, making recently created or renamed entries
+// durable. Filesystems that reject directory fsync (some network mounts)
+// are tolerated: the rename itself is still atomic there.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

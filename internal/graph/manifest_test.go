@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := &Manifest{
+		Version: ManifestVersion, Name: "g1", Source: "dataset X @ 0.02, TR",
+		ProbModel: "TR", Epoch: 42, WALGen: 3, Snapshot: "snap-3.bin",
+		N: 100, M: 500, UpdatedAt: time.Now().UTC(),
+	}
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Epoch != m.Epoch || got.WALGen != m.WALGen ||
+		got.Snapshot != m.Snapshot || got.N != m.N || got.M != m.M || got.ProbModel != m.ProbModel {
+		t.Fatalf("round trip mutated manifest: %+v vs %+v", got, m)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary manifest file left behind: %v", err)
+	}
+}
+
+func TestManifestAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := &Manifest{Version: ManifestVersion, Name: "g", Epoch: 1, WALGen: 0, Snapshot: "snap-0.bin"}
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Epoch, m.WALGen, m.Snapshot = 9, 2, "snap-2.bin"
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 9 || got.WALGen != 2 || got.Snapshot != "snap-2.bin" {
+		t.Fatalf("replace did not take: %+v", got)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]*Manifest{
+		"bad version":   {Version: 99, Name: "g", Snapshot: "s.bin"},
+		"no name":       {Version: ManifestVersion, Snapshot: "s.bin"},
+		"no snapshot":   {Version: ManifestVersion, Name: "g"},
+		"path snapshot": {Version: ManifestVersion, Name: "g", Snapshot: "../escape.bin"},
+		"negative size": {Version: ManifestVersion, Name: "g", Snapshot: "s.bin", N: -1},
+	}
+	for name, m := range cases {
+		if err := WriteManifestFile(filepath.Join(dir, "m.json"), m); err == nil {
+			t.Errorf("%s: write accepted invalid manifest", name)
+		}
+	}
+	// Corrupt JSON on disk is rejected at read.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestFile(bad); err == nil {
+		t.Error("corrupt manifest JSON accepted")
+	}
+}
+
+// writeBinaryV1 re-creates the legacy v1 layout (no CRC footer) so the
+// back-compat path stays covered even though the writer now emits v2.
+func writeBinaryV1(g *Graph) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("IMGB")
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], 1)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.M()))
+	buf.Write(hdr)
+	w4 := make([]byte, 4)
+	for _, x := range g.outStart {
+		binary.LittleEndian.PutUint32(w4, uint32(x))
+		buf.Write(w4)
+	}
+	for _, x := range g.outTo {
+		binary.LittleEndian.PutUint32(w4, uint32(x))
+		buf.Write(w4)
+	}
+	w8 := make([]byte, 8)
+	for _, p := range g.outP {
+		binary.LittleEndian.PutUint64(w8, math.Float64bits(p))
+		buf.Write(w8)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryReadsLegacyV1(t *testing.T) {
+	g := toy()
+	g2, err := ReadBinary(bytes.NewReader(writeBinaryV1(g)))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+// TestBinaryChecksumDetectsCorruption flips one bit in every byte position
+// of a v2 file in turn: each corruption must be rejected — by the CRC
+// footer if nothing structural catches it first — and never load silently.
+func TestBinaryChecksumDetectsCorruption(t *testing.T) {
+	g := toy()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x10
+		if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d loaded without error", i)
+		}
+	}
+	// A truncated footer is detected too.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-2])); err == nil {
+		t.Error("truncated checksum footer accepted")
+	}
+	// The pristine file still loads.
+	if _, err := ReadBinary(bytes.NewReader(good)); err != nil {
+		t.Errorf("pristine v2 file rejected: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
+	"github.com/imin-dev/imin/internal/store"
 )
 
 // BenchCoreOptions parameterizes the estimator benchmark.
@@ -105,6 +106,43 @@ type BenchCoreScalingPoint struct {
 	Efficiency float64 `json:"scaling_efficiency"`
 }
 
+// BenchCorePersistPolicy is the WAL write-through cost of one fsync policy:
+// what a durable mutate pays per batch (in-memory commit + WAL append +
+// policy-dependent fsync), against the bare in-memory commit baseline.
+type BenchCorePersistPolicy struct {
+	Policy string `json:"policy"`
+	// CommitAppendNs is commit + WAL append per batch under this policy.
+	CommitAppendNs float64 `json:"commit_append_ns"`
+	// AppendNs is the WAL's share (CommitAppendNs − bare commit).
+	AppendNs float64 `json:"append_ns"`
+	// OverheadPct is AppendNs as a percentage of the bare commit cost —
+	// the "WAL append overhead per mutate" headline number.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// BenchCoreRecoveryPoint is one recovery-time measurement: open the store,
+// load the snapshot, replay a WAL of the given length.
+type BenchCoreRecoveryPoint struct {
+	WALBatches      int     `json:"wal_batches"`
+	WALMutations    int     `json:"wal_mutations"`
+	WALBytes        int64   `json:"wal_bytes"`
+	RecoverMS       float64 `json:"recover_ms"`
+	ReplayedBatches int     `json:"replayed_batches"`
+}
+
+// BenchCorePersist is the durable-store section of BENCH_core.json: WAL
+// append overhead per mutate batch at each fsync policy, and recovery time
+// as a function of WAL length, both on the serving benchmark graph.
+type BenchCorePersist struct {
+	// BatchMutations is the set-prob mutations per measured batch.
+	BatchMutations int `json:"batch_mutations"`
+	// CommitNs is the bare in-memory commit per batch — the mutate latency
+	// the WAL overhead is relative to.
+	CommitNs float64                  `json:"commit_ns"`
+	Policies []BenchCorePersistPolicy `json:"wal_append"`
+	Recovery []BenchCoreRecoveryPoint `json:"recovery"`
+}
+
 // BenchCoreReport is the BENCH_core.json schema.
 type BenchCoreReport struct {
 	Graph struct {
@@ -135,11 +173,14 @@ type BenchCoreReport struct {
 	BlockersIdenticalAcrossWorkers bool                    `json:"blockers_identical_across_workers"`
 	// MutateRepair measures pool repair against full rebuild after mutation
 	// batches of increasing size on the serving graph.
-	MutateRepair               []BenchCoreMutatePoint `json:"mutate_repair"`
-	SpeedupPooledVsFresh       float64                `json:"speedup_pooled_vs_fresh"`
-	SpeedupIncrementalVsPooled float64                `json:"speedup_incremental_vs_pooled"`
-	SpeedupIncrementalVsFresh  float64                `json:"speedup_incremental_vs_fresh"`
-	SpeedupIncremental4WVs1W   float64                `json:"speedup_incremental_4w_vs_1w"`
+	MutateRepair []BenchCoreMutatePoint `json:"mutate_repair"`
+	// Persist measures the durable store: WAL append overhead per mutate at
+	// each fsync policy, and recovery time vs WAL length.
+	Persist                    *BenchCorePersist `json:"persist,omitempty"`
+	SpeedupPooledVsFresh       float64           `json:"speedup_pooled_vs_fresh"`
+	SpeedupIncrementalVsPooled float64           `json:"speedup_incremental_vs_pooled"`
+	SpeedupIncrementalVsFresh  float64           `json:"speedup_incremental_vs_fresh"`
+	SpeedupIncremental4WVs1W   float64           `json:"speedup_incremental_4w_vs_1w"`
 }
 
 // sweepWorkers returns the deduplicated ascending worker counts to sweep:
@@ -510,6 +551,12 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		rep.MutateRepair = append(rep.MutateRepair, pt)
 	}
 
+	persist, err := measureBenchPersist(g, cfg.Seed, opt.MinTime)
+	if err != nil {
+		return nil, fmt.Errorf("benchcore: persist measurements: %v", err)
+	}
+	rep.Persist = persist
+
 	if cfg.Out != nil {
 		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d)\n",
 			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs)
@@ -536,6 +583,17 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 			fmt.Fprintf(cfg.Out, "  batch=%-6d (%.2f%% of edges) dirty=%-5d repair %11.0f ns, rebuild %11.0f ns, speedup %.2fx, bit-identical %v\n",
 				pt.BatchEdges, 100*pt.FracOfEdges, pt.DirtySamples, pt.RepairNs, pt.RebuildNs, pt.Speedup, pt.RepairBitIdentical)
 		}
+		fmt.Fprintf(cfg.Out, "persist: WAL write-through per %d-mutation batch (bare commit %0.f ns):\n",
+			rep.Persist.BatchMutations, rep.Persist.CommitNs)
+		for _, p := range rep.Persist.Policies {
+			fmt.Fprintf(cfg.Out, "  fsync=%-9s %11.0f ns/batch (WAL share %8.0f ns, overhead %5.1f%%)\n",
+				p.Policy, p.CommitAppendNs, p.AppendNs, p.OverheadPct)
+		}
+		fmt.Fprintf(cfg.Out, "persist: recovery time vs WAL length:\n")
+		for _, p := range rep.Persist.Recovery {
+			fmt.Fprintf(cfg.Out, "  wal=%-5d batches (%8d bytes) recover %8.1f ms (replayed %d)\n",
+				p.WALBatches, p.WALBytes, p.RecoverMS, p.ReplayedBatches)
+		}
 	}
 
 	if opt.JSONPath != "" {
@@ -549,4 +607,186 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// persistBatchMutations is the mutate-batch size the persist measurements
+// use, and persistMaxBatches caps how many batches a timed loop writes so
+// a fast disk cannot balloon the scratch WAL past tens of megabytes.
+const (
+	persistBatchMutations = 100
+	persistMaxBatches     = 16384
+)
+
+// measureBenchPersist times the durable store against the serving graph:
+// per fsync policy, the cost of one durable mutate (in-memory commit + WAL
+// append) relative to the bare commit; then recovery time as the WAL tail
+// grows. Everything runs in throwaway temp directories.
+func measureBenchPersist(g *graph.Graph, seed uint64, minTime time.Duration) (*BenchCorePersist, error) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("serving graph has no edges")
+	}
+	// A fixed cycle of deterministic set-prob batches, reused by every
+	// measurement so baseline and policies replay identical work.
+	const cycle = 256
+	batches := make([][]dynamic.Mutation, cycle)
+	sel := rng.New(seed ^ 0x9e15)
+	for i := range batches {
+		muts := make([]dynamic.Mutation, persistBatchMutations)
+		for j := range muts {
+			e := edges[sel.Intn(len(edges))]
+			muts[j] = dynamic.Mutation{Op: dynamic.OpSetProb, U: e.From, V: e.To, P: sel.Float64()}
+		}
+		batches[i] = muts
+	}
+
+	out := &BenchCorePersist{BatchMutations: persistBatchMutations}
+
+	// Baseline: bare in-memory commit latency, the denominator the WAL
+	// overhead is expressed against. Min of interleavable rounds would
+	// change nothing here (the loop is self-contained), so one pass.
+	{
+		d := dynamic.New(g, dynamic.Config{})
+		var iters int64
+		start := time.Now()
+		for time.Since(start) < minTime && iters < persistMaxBatches {
+			if _, err := d.Commit(batches[iters%cycle]); err != nil {
+				return nil, err
+			}
+			iters++
+		}
+		out.CommitNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+
+	// Per policy, the WAL append is measured in isolation — encode, frame,
+	// write, and the policy's fsync behavior — rather than as the
+	// difference of two commit-dominated totals, whose machine noise (the
+	// commit is ~30x the append) would swamp the quantity under test.
+	// Epochs just count up; the WAL does not care that no graph is
+	// attached.
+	for _, policy := range []store.FsyncPolicy{store.FsyncNone, store.FsyncInterval, store.FsyncAlways} {
+		dir, err := os.MkdirTemp("", "imind-bench-persist-*")
+		if err != nil {
+			return nil, err
+		}
+		measure := func() (float64, error) {
+			st, err := store.Open(dir, store.Config{Fsync: policy})
+			if err != nil {
+				return 0, err
+			}
+			defer st.Close()
+			gs, err := st.Create("bench", g, 0, "benchcore", "TR")
+			if err != nil {
+				return 0, err
+			}
+			epoch := uint64(0)
+			var iters int64
+			var enc []byte
+			start := time.Now()
+			for time.Since(start) < minTime && iters < persistMaxBatches {
+				epoch++
+				// Encode inside the timed loop: it is part of what a
+				// durable mutate pays per batch.
+				enc, err = dynamic.EncodeBatch(enc[:0], batches[iters%cycle])
+				if err != nil {
+					return 0, err
+				}
+				if err := gs.Append(epoch, enc); err != nil {
+					return 0, err
+				}
+				iters++
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+		}
+		ns, err := measure()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		out.Policies = append(out.Policies, BenchCorePersistPolicy{
+			Policy:         string(policy),
+			CommitAppendNs: out.CommitNs + ns,
+			AppendNs:       ns,
+			OverheadPct:    100 * ns / out.CommitNs,
+		})
+	}
+
+	// Recovery time vs WAL length: write k batches under fsync none (the
+	// content, not the write path, is under test), then time Open+Recover.
+	for _, k := range []int{0, 64, 512} {
+		dir, err := os.MkdirTemp("", "imind-bench-recover-*")
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Open(dir, store.Config{Fsync: store.FsyncNone})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		gs, err := st.Create("bench", g, 0, "benchcore", "TR")
+		if err != nil {
+			st.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		d := dynamic.New(g, dynamic.Config{})
+		for i := 0; i < k; i++ {
+			info, err := d.Commit(batches[i%cycle])
+			if err == nil {
+				var enc []byte
+				if enc, err = dynamic.EncodeBatch(nil, batches[i%cycle]); err == nil {
+					err = gs.Append(info.Epoch, enc)
+				}
+			}
+			if err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		walBytes := gs.WALSize()
+		if err := st.Close(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+
+		pt := BenchCoreRecoveryPoint{WALBatches: k, WALMutations: k * persistBatchMutations, WALBytes: walBytes}
+		var elapsed time.Duration
+		var iters int64
+		for elapsed < minTime/2 && iters < 16 {
+			t0 := time.Now()
+			st2, err := store.Open(dir, store.Config{Fsync: store.FsyncNone})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			recs, err := st2.Recover()
+			if err != nil {
+				st2.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if len(recs) != 1 {
+				st2.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("recovery sanity: %d graphs, want 1", len(recs))
+			}
+			if recs[0].Epoch() != uint64(k) {
+				st2.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("recovery sanity: epoch %d, want %d", recs[0].Epoch(), k)
+			}
+			pt.ReplayedBatches = recs[0].ReplayedBatches
+			elapsed += time.Since(t0)
+			iters++
+			if err := st2.Close(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		pt.RecoverMS = float64(elapsed) / float64(time.Millisecond) / float64(iters)
+		os.RemoveAll(dir)
+		out.Recovery = append(out.Recovery, pt)
+	}
+	return out, nil
 }

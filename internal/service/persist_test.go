@@ -1,0 +1,320 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/core"
+	"github.com/imin-dev/imin/internal/store"
+)
+
+// newDurableServer builds a service over a durable store rooted at dir.
+func newDurableServer(t *testing.T, dir string, scfg store.Config) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Store: st})
+	return srv, ts, st
+}
+
+func httpDelete(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp.StatusCode, string(buf[:n])
+}
+
+// TestDurableRegisterMutateRecover is the service-level restart loop:
+// register + mutate through HTTP, tear the server down, stand a fresh one
+// over the same directory, and expect the same graph at the same epoch —
+// with warm solves agreeing bit-for-bit.
+func TestDurableRegisterMutateRecover(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+
+	reg := RegisterGraphRequest{Name: "g", Generator: "erdos-renyi", N: 200, M: 900, Directed: true, Seed: 5}
+	var info GraphInfo
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, &info); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	if !info.Durable || info.Recovered {
+		t.Fatalf("fresh durable registration info = %+v", info)
+	}
+
+	entry, _ := srv.Registry().Get("g")
+	g0, _ := entry.Current()
+	for i := 0; i < 3; i++ {
+		e := g0.Edges()[i*11]
+		line := fmt.Sprintf("{\"op\":\"set-prob\",\"u\":%d,\"v\":%d,\"p\":%g}\n", e.From, e.To, 0.1+0.2*float64(i))
+		var mut MutateResponse
+		if code, body := postNDJSON(t, ts.URL+"/graphs/g/mutate", line, &mut); code != http.StatusOK {
+			t.Fatalf("mutate %d: %d %s", i, code, body)
+		}
+	}
+
+	solveReq := SolveRequest{Seeds: []int{2, 5}, Budget: 3, Theta: 300, Seed: 9,
+		Workers: 2, ReuseSamples: true, EvalRounds: -1, Algorithm: "greedy-replace"}
+	var before SolveResponse
+	if code, body := postJSON(t, ts.URL+"/graphs/g/solve", solveReq, &before); code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+
+	// Graceful teardown: final checkpoint + store close.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process over the same state.
+	srv2, ts2, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	recs, err := srv2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 3 {
+		t.Fatalf("recovered %d graphs, epoch %d; want 1 graph at epoch 3", len(recs), recs[0].Epoch())
+	}
+	// The graceful close checkpointed, so nothing replays.
+	if recs[0].ReplayedBatches != 0 {
+		t.Errorf("graceful restart replayed %d batches, want 0 (final checkpoint covers them)", recs[0].ReplayedBatches)
+	}
+
+	resp, err := http.Get(ts2.URL + "/graphs/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info2 GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !info2.Durable || !info2.Recovered || info2.Epoch != 3 {
+		t.Fatalf("recovered info = %+v", info2)
+	}
+
+	var after SolveResponse
+	if code, body := postJSON(t, ts2.URL+"/graphs/g/solve", solveReq, &after); code != http.StatusOK {
+		t.Fatalf("post-recovery solve: %d %s", code, body)
+	}
+	if !reflect.DeepEqual(before.Blockers, after.Blockers) {
+		t.Fatalf("recovered solve %v != pre-restart solve %v", after.Blockers, before.Blockers)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableUngracefulRestartReplaysWAL skips the graceful Close: the
+// second server must rebuild the epochs from the WAL tail alone.
+func TestDurableUngracefulRestartReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, st := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+
+	reg := RegisterGraphRequest{Name: "g", Generator: "erdos-renyi", N: 150, M: 600, Directed: true, Seed: 6}
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	entry, _ := srv.Registry().Get("g")
+	g0, _ := entry.Current()
+	for i := 0; i < 4; i++ {
+		e := g0.Edges()[i*7]
+		line := fmt.Sprintf("{\"op\":\"set-prob\",\"u\":%d,\"v\":%d,\"p\":0.33}\n", e.From, e.To)
+		if code, body := postNDJSON(t, ts.URL+"/graphs/g/mutate", line, nil); code != http.StatusOK {
+			t.Fatalf("mutate %d: %d %s", i, code, body)
+		}
+	}
+	// Simulate a crash: close only the file handles, no checkpoint.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	recs, err := srv2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 4 || recs[0].ReplayedBatches != 4 {
+		t.Fatalf("recovered %+v; want epoch 4 from 4 replayed batches", recs[0])
+	}
+	want, _ := entry.Current()
+	got, _ := recs[0].Dyn.Snapshot()
+	if want.M() != got.M() || !reflect.DeepEqual(want.Edges(), got.Edges()) {
+		t.Fatal("recovered CSR differs from the survivor's")
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnencodableBatchRejectedBeforeCommit is the epoch-gap regression: a
+// batch the WAL cannot represent (negative id on an op whose apply ignores
+// it) must be rejected wholesale — never committed in memory without a WAL
+// record, which recovery would read as a corrupt tail and use to discard
+// every LATER acknowledged batch.
+func TestUnencodableBatchRejectedBeforeCommit(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	reg := RegisterGraphRequest{Name: "g", Generator: "erdos-renyi", N: 50, M: 200, Directed: true, Seed: 9}
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	// dynamic.Commit would apply this (add-vertex ignores u); the WAL
+	// codec cannot encode it. The whole batch must 400 with no epoch moved.
+	if code, _ := postNDJSON(t, ts.URL+"/graphs/g/mutate", `{"op":"add-vertex","u":-1}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("unencodable batch: status %d, want 400", code)
+	}
+	entry, _ := srv.Registry().Get("g")
+	if entry.Dyn.Epoch() != 0 {
+		t.Fatalf("epoch advanced to %d without a WAL record", entry.Dyn.Epoch())
+	}
+	// The log is not poisoned: a clean batch still commits durably and a
+	// restart recovers it.
+	var mut MutateResponse
+	if code, body := postNDJSON(t, ts.URL+"/graphs/g/mutate", `{"op":"add-vertex"}`, &mut); code != http.StatusOK {
+		t.Fatalf("clean batch after rejected one: %d %s", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, _, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	recs, err := srv2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 1 {
+		t.Fatalf("recovery after rejected batch: %d graphs, epoch %d", len(recs), recs[0].Epoch())
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRemovesGraphSessionsAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	reg := RegisterGraphRequest{Name: "doomed", Generator: "erdos-renyi", N: 100, M: 400, Directed: true, Seed: 7}
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	// Warm a session so Drop has something to evict.
+	solveReq := SolveRequest{Seeds: []int{1}, Budget: 2, Theta: 200, Seed: 1, Workers: 2, EvalRounds: -1}
+	if code, body := postJSON(t, ts.URL+"/graphs/doomed/solve", solveReq, nil); code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	if !srv.Sessions().Contains(SessionKey{Graph: "doomed", Diffusion: core.DiffusionIC}) {
+		t.Fatal("no warm session to test Drop against")
+	}
+
+	code, body := httpDelete(t, ts.URL+"/graphs/doomed")
+	if code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if _, ok := srv.Registry().Get("doomed"); ok {
+		t.Error("graph still registered after DELETE")
+	}
+	if srv.Sessions().Contains(SessionKey{Graph: "doomed", Diffusion: core.DiffusionIC}) {
+		t.Error("warm session survived DELETE")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "doomed")); !os.IsNotExist(err) {
+		t.Error("on-disk state survived DELETE")
+	}
+	// Idempotence-ish: a second delete is a 404.
+	if code, _ := httpDelete(t, ts.URL+"/graphs/doomed"); code != http.StatusNotFound {
+		t.Errorf("second delete: %d, want 404", code)
+	}
+	// The name is reusable.
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, nil); code != http.StatusCreated {
+		t.Errorf("re-register freed name: %d %s", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteWorksWithoutStore covers the in-memory server's DELETE.
+func TestDeleteWorksWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerTestGraphs(t, ts)
+	if code, body := httpDelete(t, ts.URL+"/graphs/g1"); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "g2" {
+		t.Fatalf("list after delete = %+v", list)
+	}
+}
+
+func TestStatsReportPersistCounters(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newDurableServer(t, dir, store.Config{Fsync: store.FsyncAlways})
+	reg := RegisterGraphRequest{Name: "g", Generator: "erdos-renyi", N: 100, M: 400, Directed: true, Seed: 8}
+	if code, body := postJSON(t, ts.URL+"/graphs", reg, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	entry, _ := srv.Registry().Get("g")
+	g0, _ := entry.Current()
+	e := g0.Edges()[0]
+	line := fmt.Sprintf("{\"op\":\"set-prob\",\"u\":%d,\"v\":%d,\"p\":0.5}\n", e.From, e.To)
+	if code, body := postNDJSON(t, ts.URL+"/graphs/g/mutate", line, nil); code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Persist == nil {
+		t.Fatal("stats.persist missing on a durable server")
+	}
+	if stats.Persist.FsyncPolicy != "always" || stats.Persist.WALAppends != 1 ||
+		stats.Persist.WALBytes == 0 || stats.Persist.WALFsyncs != 1 {
+		t.Errorf("persist stats = %+v", stats.Persist)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An in-memory server reports no persist section.
+	_, ts2 := newTestServer(t, Config{})
+	resp, err = http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats2 StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats2.Persist != nil {
+		t.Errorf("in-memory server reports persist stats: %+v", stats2.Persist)
+	}
+}

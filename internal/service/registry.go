@@ -6,29 +6,43 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/store"
 )
 
 // ErrDuplicate reports a Register call for a name that is already taken,
 // ErrFull a registry at its configured capacity — the two registry
 // failures that are the server's state rather than the caller's input.
+// ErrPersist wraps durability failures: the mutation or registration did
+// not reach stable storage and must not be acknowledged.
 var (
 	ErrDuplicate = errors.New("graph already registered")
 	ErrFull      = errors.New("graph registry full")
+	ErrPersist   = errors.New("durable store write failed")
 )
 
-// Registry is the concurrent store of named graphs. Names are registered
-// once and never reassigned; the graph behind a name is an epoch-versioned
-// dynamic.Graph, so topology evolves through atomic mutation batches while
-// every reader works on an immutable per-epoch CSR snapshot. The registry
-// lock only guards the name table; dynamic.Graph has its own locking.
+// Registry is the concurrent store of named graphs. The graph behind a
+// name is an epoch-versioned dynamic.Graph, so topology evolves through
+// atomic mutation batches while every reader works on an immutable
+// per-epoch CSR snapshot. With an attached durable store, registrations
+// and mutation batches are written through to disk before they are
+// acknowledged, and DELETE frees both the name and its on-disk state.
+// The registry lock only guards the name table; dynamic.Graph has its own
+// locking.
 type Registry struct {
 	mu      sync.RWMutex
 	limit   int // max entries; <= 0 means unbounded
 	entries map[string]*GraphEntry
+	// reserved holds names whose durable state is being created: the disk
+	// writes run outside the registry lock (a large graph's snapshot must
+	// not stall every Get), and the reservation keeps the name and the
+	// capacity slot taken meanwhile.
+	reserved map[string]bool
+	store    *store.Store // nil = in-memory only
 }
 
 // GraphEntry is one registered graph.
@@ -37,12 +51,106 @@ type GraphEntry struct {
 	Dyn          *dynamic.Graph
 	Source       string // human-readable provenance ("dataset Wiki-Vote @ 0.02", "file edges.txt", ...)
 	RegisteredAt time.Time
+	// Recovered reports that this entry was restored from the durable
+	// store at startup rather than registered over the API.
+	Recovered bool
+
+	// gs is the graph's durable log; nil when the registry has no store.
+	gs *store.GraphStore
+	// commitMu serializes Commit+Append pairs (WAL epochs must be strictly
+	// increasing) and checkpoint rotation against them.
+	commitMu sync.Mutex
+	// lastCheckpoint tracks the epoch of the last completed checkpoint, so
+	// shutdown can skip graphs with no WAL tail.
+	lastCheckpoint atomic.Uint64
 }
 
 // Current returns the immutable snapshot of the entry's present epoch,
 // together with that epoch — the pair every solve binds to.
 func (e *GraphEntry) Current() (*graph.Graph, uint64) {
 	return e.Dyn.Snapshot()
+}
+
+// Durable reports whether the entry is backed by the durable store.
+func (e *GraphEntry) Durable() bool { return e.gs != nil }
+
+// Commit applies a mutation batch and, for durable entries, appends it to
+// the write-ahead log before returning — the write-through hook that makes
+// an HTTP 200 mean "on disk". The batch is WAL-encoded BEFORE the
+// in-memory commit: a batch the log cannot represent is rejected outright,
+// never half-applied, so the epoch sequence on disk can have no gap. A WAL
+// write failure after the commit returns an ErrPersist-wrapped error; the
+// log is poisoned (see store) so no later batch can silently skip an
+// epoch either.
+func (e *GraphEntry) Commit(muts []dynamic.Mutation) (dynamic.CommitInfo, error) {
+	if e.gs == nil {
+		return e.Dyn.Commit(muts)
+	}
+	batch, err := dynamic.EncodeBatch(nil, muts)
+	if err != nil {
+		return dynamic.CommitInfo{}, err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	info, err := e.Dyn.Commit(muts)
+	if err != nil {
+		return info, err
+	}
+	if info.Applied > 0 {
+		if err := e.gs.Append(info.Epoch, batch); err != nil {
+			return info, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	return info, nil
+}
+
+// NeedsCheckpoint reports whether the entry's WAL has outgrown the store's
+// checkpoint threshold.
+func (e *GraphEntry) NeedsCheckpoint() bool {
+	return e.gs != nil && e.gs.NeedsCheckpoint()
+}
+
+// Checkpoint writes a durable snapshot of the entry's current epoch and
+// truncates the WAL prefix it covers. Safe to call concurrently (only one
+// checkpoint runs; extra calls return immediately) and concurrently with
+// commits — rotation synchronizes with them through commitMu, the snapshot
+// write runs unlocked.
+func (e *GraphEntry) Checkpoint() error {
+	if e.gs == nil {
+		return nil
+	}
+	if !e.gs.TryStartCheckpoint() {
+		return nil
+	}
+	defer e.gs.FinishCheckpoint()
+	e.commitMu.Lock()
+	g, epoch := e.Dyn.Snapshot()
+	gen, err := e.gs.BeginCheckpoint()
+	e.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := e.gs.CompleteCheckpoint(gen, g, epoch); err != nil {
+		return err
+	}
+	e.lastCheckpoint.Store(epoch)
+	return nil
+}
+
+// SyncAndCheckpoint is the shutdown hook: force pending WAL bytes to disk,
+// then take a final checkpoint if any batch landed since the last one (so
+// restart replays nothing).
+func (e *GraphEntry) SyncAndCheckpoint() error {
+	if e.gs == nil {
+		return nil
+	}
+	if err := e.gs.Sync(); err != nil {
+		return err
+	}
+	if e.Dyn.Epoch() == e.lastCheckpoint.Load() {
+		return nil
+	}
+	return e.Checkpoint()
 }
 
 // Info summarizes the entry for the listing API.
@@ -58,6 +166,8 @@ func (e *GraphEntry) Info() GraphInfo {
 		Compactions:   st.Compactions,
 		Source:        e.Source,
 		RegisteredAt:  e.RegisteredAt,
+		Durable:       e.Durable(),
+		Recovered:     e.Recovered,
 	}
 }
 
@@ -66,10 +176,19 @@ func (e *GraphEntry) Info() GraphInfo {
 // size caps alone would not stop many right-sized registrations from
 // exhausting memory, hence the count bound.
 func NewRegistry(limit int) *Registry {
-	return &Registry{limit: limit, entries: make(map[string]*GraphEntry)}
+	return &Registry{limit: limit, entries: make(map[string]*GraphEntry), reserved: make(map[string]bool)}
 }
 
-// graphName constrains registry names so they can appear in URL paths.
+// AttachStore wires a durable store into the registry. Must happen before
+// any Register call; recovered graphs are added through RegisterRecovered.
+func (r *Registry) AttachStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+}
+
+// graphName constrains registry names so they can appear in URL paths (and,
+// durably stored, as directory names).
 var graphName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
 // ValidateName reports whether name may be registered. Register applies it
@@ -81,24 +200,102 @@ func ValidateName(name string) error {
 	return nil
 }
 
-// Register adds a graph under name at epoch 0. Registering an existing
-// name fails: names are never reassigned, so a graph evolves only through
-// its own mutation batches and sessions can always catch up by epoch.
-func (r *Registry) Register(name string, g *graph.Graph, source string) (*GraphEntry, error) {
+// Register adds a graph under name at epoch 0, creating its durable state
+// (snapshot, manifest, empty WAL) first when a store is attached — the
+// registration is on disk before it is visible. The disk writes run with
+// only the name reserved, never under the registry lock, so lookups and
+// solves on other graphs proceed while a large snapshot lands. Registering
+// a taken name fails; a name is freed only by Remove.
+func (r *Registry) Register(name string, g *graph.Graph, source, probModel string) (*GraphEntry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; ok {
+	if _, ok := r.entries[name]; ok || r.reserved[name] {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("graph %q: %w", name, ErrDuplicate)
 	}
-	if r.limit > 0 && len(r.entries) >= r.limit {
+	if r.limit > 0 && len(r.entries)+len(r.reserved) >= r.limit {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w (limit %d)", ErrFull, r.limit)
 	}
+	r.reserved[name] = true
+	st := r.store
+	r.mu.Unlock()
+
 	e := &GraphEntry{Name: name, Dyn: dynamic.New(g, dynamic.Config{}), Source: source, RegisteredAt: time.Now()}
+	if st != nil {
+		gs, err := st.Create(name, g, 0, source, probModel)
+		if err != nil {
+			r.mu.Lock()
+			delete(r.reserved, name)
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		e.gs = gs
+	}
+	r.mu.Lock()
+	delete(r.reserved, name)
 	r.entries[name] = e
+	r.mu.Unlock()
 	return e, nil
+}
+
+// RegisterRecovered adds a graph restored by the durable store at startup.
+func (r *Registry) RegisterRecovered(rec *store.Recovered) (*GraphEntry, error) {
+	if err := ValidateName(rec.Name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[rec.Name]; ok {
+		return nil, fmt.Errorf("graph %q: %w", rec.Name, ErrDuplicate)
+	}
+	e := &GraphEntry{
+		Name: rec.Name, Dyn: rec.Dyn, Source: rec.Source,
+		RegisteredAt: time.Now(), Recovered: true, gs: rec.GS,
+	}
+	e.lastCheckpoint.Store(rec.SnapshotEpoch)
+	r.entries[rec.Name] = e
+	return e, nil
+}
+
+// Remove unregisters a graph and deletes its on-disk state. The name is
+// free for re-registration afterwards; callers must also drop any warm
+// sessions for it, or a later graph under the same name would inherit
+// solver state from this one.
+func (r *Registry) Remove(name string) (*GraphEntry, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	delete(r.entries, name)
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("graph %q not registered", name)
+	}
+	if r.store != nil && e.gs != nil {
+		if err := r.store.Remove(name); err != nil {
+			return e, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	return e, nil
+}
+
+// SyncAndCheckpointAll runs the shutdown hook on every durable entry,
+// returning the first error (but attempting all).
+func (r *Registry) SyncAndCheckpointAll() error {
+	r.mu.RLock()
+	entries := make([]*GraphEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, e := range entries {
+		if err := e.SyncAndCheckpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // MutationTotals sums every entry's dynamic-graph counters, for /stats.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
+	"github.com/imin-dev/imin/internal/store"
 )
 
 // Config tunes a Server. The zero value is serviceable: all cores, a
@@ -66,6 +68,11 @@ type Config struct {
 	// DataDir is the only directory path-based graph registration may read
 	// from; empty disables file loading entirely.
 	DataDir string
+	// Store, when set, makes the registry durable: registrations and
+	// mutation batches are written through to its WAL/snapshot state
+	// before they are acknowledged, and Recover restores graphs from it
+	// at startup. Nil keeps the server fully in-memory.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -136,15 +143,53 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
+	if cfg.Store != nil {
+		s.registry.AttachStore(cfg.Store)
+	}
 	s.mux.HandleFunc("POST /graphs", s.handleRegister)
 	s.mux.HandleFunc("GET /graphs", s.handleList)
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /graphs/{id}/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /graphs/{id}/solve-batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /graphs/{id}/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
+}
+
+// Recover restores every graph the durable store holds and registers it.
+// Call once at startup, before serving. Without a store it is a no-op.
+func (s *Server) Recover() ([]*store.Recovered, error) {
+	if s.cfg.Store == nil {
+		return nil, nil
+	}
+	recs, err := s.cfg.Store.Recover()
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, err := s.registry.RegisterRecovered(rec); err != nil {
+			return nil, fmt.Errorf("registering recovered graph %q: %w", rec.Name, err)
+		}
+	}
+	return recs, nil
+}
+
+// Close flushes durable state for shutdown: every graph's WAL is fsynced
+// and a final checkpoint taken (so the next start replays nothing), then
+// the store is closed. Call after the HTTP listener has drained — pending
+// handlers append to the WAL, and anything they acknowledged must be on
+// disk before the process exits. Without a store it is a no-op.
+func (s *Server) Close() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	err := s.registry.SyncAndCheckpointAll()
+	if cerr := s.cfg.Store.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Handler returns the route table.
@@ -174,9 +219,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	batches, mutations, compactions := s.registry.MutationTotals()
+	var persist *PersistStats
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		persist = &PersistStats{
+			FsyncPolicy:        string(s.cfg.Store.Fsync()),
+			WALAppends:         st.WALAppends,
+			WALBytes:           st.WALBytes,
+			WALFsyncs:          st.WALFsyncs,
+			Checkpoints:        st.Checkpoints,
+			CheckpointFailures: st.CheckpointFailures,
+			RecoveredGraphs:    st.RecoveredGraphs,
+			ReplayedBatches:    st.ReplayedBatches,
+			TruncatedTails:     st.TruncatedTails,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Graphs:        s.registry.Len(),
 		Sessions:      s.sessions.Stats(),
+		Persist:       persist,
 		InFlight:      s.inFlight.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -242,18 +303,21 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "request canceled while queued for registration")
 		return
 	}
-	g, source, err := s.buildGraph(req)
+	g, source, model, err := s.buildGraph(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.registry.Register(req.Name, g, source)
+	e, err := s.registry.Register(req.Name, g, source, model)
 	switch {
 	case errors.Is(err, ErrDuplicate):
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	case errors.Is(err, ErrFull):
 		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	case errors.Is(err, ErrPersist):
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -262,8 +326,30 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.Info())
 }
 
-// buildGraph materializes the requested graph and a provenance string.
-func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, error) {
+// handleDelete answers DELETE /graphs/{id}: the graph is unregistered, its
+// warm sessions dropped (a future graph under the freed name must never
+// inherit this one's solver state), and its durable on-disk state removed.
+// In-flight solves holding the old entry finish on their immutable
+// snapshots and release the memory.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	e, err := s.registry.Remove(name)
+	if err != nil && e == nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.sessions.Drop(name)
+	if err != nil {
+		// The name is unregistered but disk state may linger; surface it.
+		writeErr(w, http.StatusInternalServerError, "graph %q unregistered, but: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Graph: name, Deleted: true, Epoch: e.Dyn.Epoch()})
+}
+
+// buildGraph materializes the requested graph, a provenance string, and
+// the normalized probability model it applied.
+func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, string, error) {
 	sources := 0
 	for _, set := range []bool{req.Path != "", req.Dataset != "", req.Generator != ""} {
 		if set {
@@ -271,7 +357,7 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 		}
 	}
 	if sources != 1 {
-		return nil, "", fmt.Errorf("set exactly one of path, dataset, generator")
+		return nil, "", "", fmt.Errorf("set exactly one of path, dataset, generator")
 	}
 
 	var g *graph.Graph
@@ -283,19 +369,19 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 		var err error
 		g, source, err = s.loadGraphFile(req)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 	case req.Dataset != "":
 		spec, ok := datasets.ByName(req.Dataset)
 		if !ok {
-			return nil, "", fmt.Errorf("unknown dataset %q (have %v)", req.Dataset, datasets.Names())
+			return nil, "", "", fmt.Errorf("unknown dataset %q (have %v)", req.Dataset, datasets.Names())
 		}
 		scale := req.Scale
 		if scale == 0 {
 			scale = 0.02
 		}
 		if scale <= 0 || scale > 1 {
-			return nil, "", fmt.Errorf("scale %v out of (0,1]", scale)
+			return nil, "", "", fmt.Errorf("scale %v out of (0,1]", scale)
 		}
 		// The stand-in's size is known from the spec before any
 		// allocation; hold it to the same cap as the generators.
@@ -305,7 +391,7 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 			estM *= 2 // undirected edges materialize in both directions
 		}
 		if estN > float64(s.cfg.MaxGraphSize) || estM > float64(s.cfg.MaxGraphSize) {
-			return nil, "", fmt.Errorf("graph too large: %s at scale %g is ~%.0f vertices / ~%.0f edges, exceeding the server cap of %d",
+			return nil, "", "", fmt.Errorf("graph too large: %s at scale %g is ~%.0f vertices / ~%.0f edges, exceeding the server cap of %d",
 				spec.Name, scale, estN, estM, s.cfg.MaxGraphSize)
 		}
 		g = spec.Generate(scale, req.Seed)
@@ -314,7 +400,7 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 		var err error
 		g, source, err = generateGraph(req, s.cfg.MaxGraphSize)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 	}
 
@@ -326,7 +412,8 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 			model = "keep"
 		}
 	}
-	switch strings.ToUpper(model) {
+	model = strings.ToUpper(model)
+	switch model {
 	case "TR":
 		g = graph.Trivalency.Assign(g, rng.New(req.Seed^0x7112))
 		source += ", TR"
@@ -334,10 +421,11 @@ func (s *Server) buildGraph(req RegisterGraphRequest) (*graph.Graph, string, err
 		g = graph.WeightedCascade.Assign(g, nil)
 		source += ", WC"
 	case "KEEP":
+		model = "keep"
 	default:
-		return nil, "", fmt.Errorf("unknown prob_model %q (want TR, WC or keep)", req.ProbModel)
+		return nil, "", "", fmt.Errorf("unknown prob_model %q (want TR, WC or keep)", req.ProbModel)
 	}
-	return g, source, nil
+	return g, source, model, nil
 }
 
 // loadGraphFile reads an edge-list or binary graph file confined to the
@@ -463,10 +551,29 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty batch: at least one mutation line is required")
 		return
 	}
-	info, err := entry.Dyn.Commit(muts)
+	// Write-through: the batch is committed in memory AND appended to the
+	// write-ahead log (fsynced per policy) before the 200 goes out. A
+	// persistence failure is a 500 — the commit is in memory but this
+	// process can no longer promise durability for it.
+	info, err := entry.Commit(muts)
+	if errors.Is(err, ErrPersist) {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Checkpoint in the background once the WAL outgrows its threshold:
+	// snapshot the current epoch, rotate the log, truncate the prefix the
+	// snapshot covers. At most one checkpoint per graph runs at a time
+	// (Checkpoint self-limits); the mutate path never waits on it.
+	if entry.NeedsCheckpoint() {
+		go func() {
+			if err := entry.Checkpoint(); err != nil {
+				log.Printf("service: background checkpoint of %q: %v", entry.Name, err)
+			}
+		}()
 	}
 
 	// Eagerly migrate the graph's warm sessions so the repair cost is paid

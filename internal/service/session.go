@@ -122,6 +122,28 @@ func (c *SessionCache) Lookup(key SessionKey) (*core.Session, bool) {
 	return el.Value.(*cacheItem).sess, true
 }
 
+// Drop evicts every session of the named graph (both diffusion models):
+// the DELETE endpoint's hook, so a graph re-registered under a freed name
+// can never inherit the deleted graph's solver state. Cumulative pool
+// counters are folded in like a capacity eviction's.
+func (c *SessionCache) Drop(graphName string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range []core.Diffusion{core.DiffusionIC, core.DiffusionLT} {
+		key := SessionKey{Graph: graphName, Diffusion: d}
+		el, ok := c.entries[key]
+		if !ok {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.entries, key)
+		_, builds, reuses := el.Value.(*cacheItem).sess.PoolStats()
+		c.stats.PoolBuilds += builds
+		c.stats.PoolReuses += reuses
+		c.stats.Evictions++
+	}
+}
+
 // Contains reports whether key is currently cached, without touching LRU
 // order or counters.
 func (c *SessionCache) Contains(key SessionKey) bool {

@@ -14,6 +14,11 @@
 //     estimator's single-caller constraint.
 //   - Server: the HTTP/JSON front end with a bounded solve worker pool and
 //     per-request timeout/cancellation plumbed down into the greedy loops.
+//
+// With a durable store attached (internal/store, daemon flag -data-dir),
+// registrations and mutation batches are written through to a per-graph
+// write-ahead log before they are acknowledged, checkpointed in the
+// background, and recovered to the exact pre-crash epoch at startup.
 package service
 
 import "time"
@@ -67,6 +72,22 @@ type GraphInfo struct {
 	Compactions   int64     `json:"compactions"`
 	Source        string    `json:"source"`
 	RegisteredAt  time.Time `json:"registered_at"`
+	// Durable reports that the graph is backed by the daemon's durable
+	// store (-data-dir): mutations are write-ahead logged before they are
+	// acknowledged and the graph survives restarts. Recovered additionally
+	// marks that this instance was restored from disk at startup rather
+	// than registered over the API.
+	Durable   bool `json:"durable,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// DeleteResponse reports DELETE /graphs/{id}: the graph is unregistered,
+// its warm sessions dropped, and (when durable) its on-disk state removed.
+type DeleteResponse struct {
+	Graph   string `json:"graph"`
+	Deleted bool   `json:"deleted"`
+	// Epoch is the graph's final epoch at deletion.
+	Epoch uint64 `json:"epoch"`
 }
 
 // MutateResponse reports one committed mutation batch
@@ -230,12 +251,35 @@ type BatchItemResult struct {
 	Error  string         `json:"error,omitempty"`
 }
 
+// PersistStats reports the durable store's activity (GET /stats). Present
+// only when the daemon runs with -data-dir.
+type PersistStats struct {
+	// FsyncPolicy is the WAL durability policy in force ("always",
+	// "interval" or "none").
+	FsyncPolicy string `json:"fsync_policy"`
+	// WALAppends/WALBytes/WALFsyncs count write-ahead-log activity since
+	// startup; Checkpoints and CheckpointFailures count background
+	// snapshot+truncate cycles.
+	WALAppends         int64 `json:"wal_appends"`
+	WALBytes           int64 `json:"wal_bytes"`
+	WALFsyncs          int64 `json:"wal_fsyncs"`
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// RecoveredGraphs/ReplayedBatches describe this process's startup
+	// recovery; TruncatedTails counts WALs whose torn or corrupt tail was
+	// cut off during it.
+	RecoveredGraphs int64 `json:"recovered_graphs"`
+	ReplayedBatches int64 `json:"replayed_batches"`
+	TruncatedTails  int64 `json:"truncated_tails"`
+}
+
 // StatsResponse is GET /stats: registry size, session-cache counters,
-// mutation/repair activity, and server load.
+// mutation/repair activity, durability counters, and server load.
 type StatsResponse struct {
 	Graphs        int           `json:"graphs"`
 	Sessions      CacheStats    `json:"sessions"`
 	Mutations     MutationStats `json:"mutations"`
+	Persist       *PersistStats `json:"persist,omitempty"`
 	InFlight      int64         `json:"in_flight"`
 	MaxConcurrent int           `json:"max_concurrent"`
 	UptimeSeconds float64       `json:"uptime_seconds"`

@@ -1,0 +1,708 @@
+// Package store is imind's durability subsystem: per-graph write-ahead
+// logging of committed mutation batches plus periodic CSR snapshots, so a
+// restarted daemon recovers every registered graph to its exact pre-crash
+// epoch instead of starting empty.
+//
+// On-disk layout, rooted at the daemon's -data-dir:
+//
+//	<root>/graphs/<name>/
+//	    manifest.json     recovery root: snapshot file, its epoch, WAL generation
+//	    snap-<gen>.bin    compacted base CSR (graph binary codec v2, CRC-checked)
+//	    wal-<gen>.log     framed mutation batches with epochs > snapshot epoch
+//
+// Writes follow the classical WAL discipline: a mutation batch is appended
+// (and fsynced, per policy) before the service acknowledges it. Checkpoints
+// run in two phases so they never block commits for longer than a snapshot
+// pointer read: first the WAL is rotated to a fresh generation under the
+// graph's commit lock (every record already on disk has an epoch the
+// snapshot will cover; every later append lands in the new generation),
+// then the snapshot and manifest are written in the background and older
+// generations deleted. A crash between the phases is safe — recovery
+// replays every WAL generation at or above the manifest's, in order.
+//
+// Recovery loads the manifest's snapshot (CRC-verified), replays the WAL
+// tail through dynamic.Replay with strict epoch continuity, and truncates
+// at the first torn or corrupt record — a partial append from a crash is
+// detected by its length prefix/CRC and never replayed.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/imin-dev/imin/internal/dynamic"
+	"github.com/imin-dev/imin/internal/graph"
+)
+
+// Config tunes a Store. The zero value is serviceable: interval fsync every
+// 100ms, checkpoint at 16 MB of WAL.
+type Config struct {
+	// Fsync is the WAL durability policy. Default FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncInterval is the background flush period under FsyncInterval.
+	// Default 100ms.
+	FsyncInterval time.Duration
+	// CheckpointWALBytes is the WAL size past which NeedsCheckpoint asks
+	// the serving layer for a snapshot. Default 16 MB.
+	CheckpointWALBytes int64
+	// Dynamic configures the dynamic graphs recovery builds.
+	Dynamic dynamic.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fsync == "" {
+		c.Fsync = FsyncInterval
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.CheckpointWALBytes <= 0 {
+		c.CheckpointWALBytes = 16 << 20
+	}
+	return c
+}
+
+// Stats is a counter snapshot for the /stats endpoint.
+type Stats struct {
+	WALAppends         int64 `json:"wal_appends"`
+	WALBytes           int64 `json:"wal_bytes"`
+	WALFsyncs          int64 `json:"wal_fsyncs"`
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	RecoveredGraphs    int64 `json:"recovered_graphs"`
+	ReplayedBatches    int64 `json:"replayed_batches"`
+	TruncatedTails     int64 `json:"truncated_tails"`
+}
+
+// Store is the durability root. One Store owns one -data-dir; its
+// GraphStores share the fsync policy and the interval flusher.
+type Store struct {
+	root string
+	cfg  Config
+
+	mu       sync.Mutex
+	graphs   map[string]*GraphStore
+	creating map[string]bool // names mid-Create: disk I/O runs outside mu
+	closed   bool
+
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+
+	walAppends, walBytes, walFsyncs     atomic.Int64
+	checkpoints, checkpointFailures     atomic.Int64
+	recovered, replayed, truncatedTails atomic.Int64
+}
+
+// Open prepares the data directory and returns a Store. Existing graph
+// state is not loaded until Recover is called.
+func Open(root string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(filepath.Join(root, "graphs"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		root:     root,
+		cfg:      cfg,
+		graphs:   make(map[string]*GraphStore),
+		creating: make(map[string]bool),
+	}
+	if cfg.Fsync == FsyncInterval {
+		s.stopFlush = make(chan struct{})
+		s.flushWG.Add(1)
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+// Root returns the data directory the store was opened on.
+func (s *Store) Root() string { return s.root }
+
+// Fsync returns the WAL durability policy in force.
+func (s *Store) Fsync() FsyncPolicy { return s.cfg.Fsync }
+
+func (s *Store) flushLoop() {
+	defer s.flushWG.Done()
+	t := time.NewTicker(flushEvery(s.cfg.FsyncInterval))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopFlush:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			gss := make([]*GraphStore, 0, len(s.graphs))
+			for _, gs := range s.graphs {
+				gss = append(gss, gs)
+			}
+			s.mu.Unlock()
+			for _, gs := range gss {
+				if synced, err := gs.syncWAL(); err == nil && synced {
+					s.walFsyncs.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		WALAppends:         s.walAppends.Load(),
+		WALBytes:           s.walBytes.Load(),
+		WALFsyncs:          s.walFsyncs.Load(),
+		Checkpoints:        s.checkpoints.Load(),
+		CheckpointFailures: s.checkpointFailures.Load(),
+		RecoveredGraphs:    s.recovered.Load(),
+		ReplayedBatches:    s.replayed.Load(),
+		TruncatedTails:     s.truncatedTails.Load(),
+	}
+}
+
+// Close fsyncs and closes every WAL and stops the interval flusher. The
+// serving layer runs its final checkpoints before calling this.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	gss := make([]*GraphStore, 0, len(s.graphs))
+	for _, gs := range s.graphs {
+		gss = append(gss, gs)
+	}
+	s.mu.Unlock()
+	if s.stopFlush != nil {
+		close(s.stopFlush)
+		s.flushWG.Wait()
+	}
+	var first error
+	for _, gs := range gss {
+		if err := gs.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) graphDir(name string) string {
+	return filepath.Join(s.root, "graphs", name)
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%d.bin", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// Create persists a freshly registered graph: snapshot at the given epoch
+// (0 for a new registration), manifest, and an empty WAL — all durable
+// before Create returns, regardless of the fsync policy, since losing a
+// whole registration is worse than losing one interval of mutations. The
+// graph name must already be path-safe (the registry validates it). The
+// disk writes (a whole CSR snapshot — potentially large) run outside the
+// store lock, so concurrent appends, interval fsyncs, and checkpoints of
+// other graphs never stall behind a registration; the name is reserved
+// first so a racing Create of the same name fails fast.
+func (s *Store) Create(name string, g *graph.Graph, epoch uint64, source, probModel string) (*GraphStore, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: closed")
+	}
+	if _, ok := s.graphs[name]; ok || s.creating[name] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: graph %q already exists", name)
+	}
+	s.creating[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, name)
+		s.mu.Unlock()
+	}()
+	dir := s.graphDir(name)
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		return nil, fmt.Errorf("store: graph %q has on-disk state but is not recovered", name)
+	}
+	// A leftover directory without a manifest is the debris of a crashed
+	// Create (or an aborted Remove): recovery skips it, so wipe and rebuild.
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(filepath.Join(dir, snapName(0)), g); err != nil {
+		return nil, err
+	}
+	w, err := createWAL(filepath.Join(dir, walName(0)), s.cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	man := &graph.Manifest{
+		Version: graph.ManifestVersion, Name: name, Source: source, ProbModel: probModel,
+		Epoch: epoch, WALGen: 0, Snapshot: snapName(0),
+		N: g.N(), M: g.M(), UpdatedAt: time.Now().UTC(),
+	}
+	if err := graph.WriteManifestFile(filepath.Join(dir, "manifest.json"), man); err != nil {
+		w.close()
+		return nil, err
+	}
+	if err := graph.SyncDir(dir); err != nil {
+		w.close()
+		return nil, err
+	}
+	if err := graph.SyncDir(filepath.Join(s.root, "graphs")); err != nil {
+		w.close()
+		return nil, err
+	}
+	gs := &GraphStore{store: s, name: name, dir: dir, gen: 0, wal: w, man: *man}
+	s.mu.Lock()
+	if s.closed {
+		// The store shut down while the snapshot was being written; a
+		// GraphStore registered now would never be flushed or closed.
+		s.mu.Unlock()
+		w.close()
+		return nil, fmt.Errorf("store: closed during create of %q", name)
+	}
+	s.graphs[name] = gs
+	s.mu.Unlock()
+	return gs, nil
+}
+
+// Remove deletes a graph's on-disk state (DELETE /graphs/{id}).
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	gs := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	if gs != nil {
+		gs.close()
+	}
+	if err := os.RemoveAll(s.graphDir(name)); err != nil {
+		return err
+	}
+	return graph.SyncDir(filepath.Join(s.root, "graphs"))
+}
+
+// writeSnapshotFile writes g's binary CSR durably: tmp file, fsync, rename.
+func writeSnapshotFile(path string, g *graph.Graph) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteBinary(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return graph.SyncDir(filepath.Dir(path))
+}
+
+// GraphStore is one graph's durable state: its open WAL, current
+// generation, and last written manifest.
+type GraphStore struct {
+	store *Store
+	name  string
+	dir   string
+
+	mu  sync.Mutex
+	gen uint64 // WAL generation appends currently go to
+	wal *wal
+	man graph.Manifest // last durably written manifest
+
+	checkpointing atomic.Bool // one checkpoint at a time
+}
+
+// Name returns the graph's registry name.
+func (gs *GraphStore) Name() string { return gs.name }
+
+// Append logs one committed batch, pre-encoded with dynamic.EncodeBatch.
+// Taking the encoding rather than the mutations forces callers to encode
+// BEFORE committing in memory: an unencodable batch must be rejected up
+// front, because a commit that advances the epoch without a WAL record
+// would leave a gap that recovery reads as a corrupt tail — silently
+// discarding every later acknowledged batch. The caller serializes Append
+// with the batch's Commit (per-graph commit lock) so WAL epochs are
+// strictly increasing. Under FsyncAlways the record is on stable storage
+// when Append returns; any failure poisons the WAL (see wal.append) and
+// surfaces on every later call.
+func (gs *GraphStore) Append(epoch uint64, batch []byte) error {
+	if len(batch) == 0 {
+		return fmt.Errorf("store: refusing to log an empty batch")
+	}
+	gs.mu.Lock()
+	w := gs.wal
+	gs.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("store: graph %q is closed", gs.name)
+	}
+	n, err := w.append(epoch, batch)
+	if err != nil {
+		return err
+	}
+	gs.store.walAppends.Add(1)
+	gs.store.walBytes.Add(n)
+	if gs.store.cfg.Fsync == FsyncAlways {
+		gs.store.walFsyncs.Add(1)
+	}
+	return nil
+}
+
+// WALSize returns the current generation's byte size (0 once closed).
+func (gs *GraphStore) WALSize() int64 {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return 0
+	}
+	gs.wal.mu.Lock()
+	defer gs.wal.mu.Unlock()
+	return gs.wal.size
+}
+
+// NeedsCheckpoint reports whether the WAL has outgrown the configured
+// threshold and the graph should be checkpointed.
+func (gs *GraphStore) NeedsCheckpoint() bool {
+	return gs.WALSize() >= gs.store.cfg.CheckpointWALBytes
+}
+
+// TryStartCheckpoint marks a checkpoint in progress, returning false when
+// one already is. FinishCheckpoint clears the mark.
+func (gs *GraphStore) TryStartCheckpoint() bool { return gs.checkpointing.CompareAndSwap(false, true) }
+
+// FinishCheckpoint releases the TryStartCheckpoint mark.
+func (gs *GraphStore) FinishCheckpoint() { gs.checkpointing.Store(false) }
+
+// BeginCheckpoint rotates the WAL to a fresh generation and returns it.
+// MUST be called under the graph's commit lock, immediately after reading
+// the snapshot that will back the checkpoint: that ordering guarantees
+// every record in older generations has an epoch the snapshot covers and
+// every later append lands in the new generation. The old WAL is fsynced
+// and closed — its records must survive until the manifest supersedes them.
+// A graph closed underneath a queued background checkpoint (shutdown,
+// DELETE) returns an error rather than resurrecting the log.
+func (gs *GraphStore) BeginCheckpoint() (uint64, error) {
+	gen, err := gs.beginCheckpoint()
+	if err != nil {
+		gs.store.checkpointFailures.Add(1)
+	}
+	return gen, err
+}
+
+func (gs *GraphStore) beginCheckpoint() (uint64, error) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return 0, fmt.Errorf("store: graph %q is closed", gs.name)
+	}
+	newGen := gs.gen + 1
+	w, err := createWAL(filepath.Join(gs.dir, walName(newGen)), gs.store.cfg.Fsync)
+	if err != nil {
+		return 0, err
+	}
+	if err := graph.SyncDir(gs.dir); err != nil {
+		w.close()
+		return 0, err
+	}
+	if err := gs.wal.close(); err != nil {
+		w.close()
+		return 0, err
+	}
+	gs.gen = newGen
+	gs.wal = w
+	return newGen, nil
+}
+
+// CompleteCheckpoint persists the snapshot (g at epoch) for the generation
+// BeginCheckpoint returned, commits it via the manifest, and deletes the
+// older generations it supersedes. Runs without any graph lock — commits
+// proceed concurrently into the rotated WAL.
+func (gs *GraphStore) CompleteCheckpoint(gen uint64, g *graph.Graph, epoch uint64) error {
+	err := gs.completeCheckpoint(gen, g, epoch)
+	if err != nil {
+		gs.store.checkpointFailures.Add(1)
+		return err
+	}
+	gs.store.checkpoints.Add(1)
+	return nil
+}
+
+func (gs *GraphStore) completeCheckpoint(gen uint64, g *graph.Graph, epoch uint64) error {
+	if err := writeSnapshotFile(filepath.Join(gs.dir, snapName(gen)), g); err != nil {
+		return err
+	}
+	gs.mu.Lock()
+	man := gs.man
+	gs.mu.Unlock()
+	man.Epoch = epoch
+	man.WALGen = gen
+	man.Snapshot = snapName(gen)
+	man.N, man.M = g.N(), g.M()
+	man.UpdatedAt = time.Now().UTC()
+	if err := graph.WriteManifestFile(filepath.Join(gs.dir, "manifest.json"), &man); err != nil {
+		return err
+	}
+	gs.mu.Lock()
+	gs.man = man
+	gs.mu.Unlock()
+	// The manifest now supersedes every generation below gen: delete their
+	// snapshots and logs. Failure here leaks files, nothing worse.
+	gs.removeGenerationsBelow(gen)
+	return nil
+}
+
+func (gs *GraphStore) removeGenerationsBelow(gen uint64) {
+	entries, err := os.ReadDir(gs.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if g, kind, ok := parseGenFile(e.Name()); ok && g < gen {
+			_ = kind
+			os.Remove(filepath.Join(gs.dir, e.Name()))
+		}
+	}
+}
+
+// parseGenFile recognizes snap-<gen>.bin and wal-<gen>.log names.
+func parseGenFile(name string) (gen uint64, kind string, ok bool) {
+	switch {
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".bin"):
+		gen, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".bin")], 10, 64)
+		return gen, "snap", err == nil
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		gen, err := strconv.ParseUint(name[len("wal-"):len(name)-len(".log")], 10, 64)
+		return gen, "wal", err == nil
+	}
+	return 0, "", false
+}
+
+// Sync forces pending WAL writes to stable storage (shutdown path).
+func (gs *GraphStore) Sync() error {
+	synced, err := gs.syncWAL()
+	if err == nil && synced {
+		gs.store.walFsyncs.Add(1)
+	}
+	return err
+}
+
+func (gs *GraphStore) syncWAL() (bool, error) {
+	gs.mu.Lock()
+	w := gs.wal
+	gs.mu.Unlock()
+	if w == nil {
+		return false, nil
+	}
+	return w.syncIfDirty()
+}
+
+func (gs *GraphStore) close() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return nil
+	}
+	err := gs.wal.close()
+	gs.wal = nil
+	return err
+}
+
+// Recovered is one graph restored from disk.
+type Recovered struct {
+	Name      string
+	Source    string
+	ProbModel string
+	// Dyn is the graph at its exact pre-crash epoch: manifest snapshot
+	// plus the replayed WAL tail.
+	Dyn *dynamic.Graph
+	// GS continues the graph's durable log; new batches append where the
+	// pre-crash process stopped.
+	GS *GraphStore
+	// ReplayedBatches counts WAL records applied on top of the snapshot;
+	// TruncatedTail reports that a torn or corrupt tail record was cut off.
+	ReplayedBatches int
+	TruncatedTail   bool
+	// SnapshotEpoch is the manifest's epoch, before replay.
+	SnapshotEpoch uint64
+}
+
+// Epoch returns the recovered graph's final epoch.
+func (r *Recovered) Epoch() uint64 { return r.Dyn.Epoch() }
+
+// Recover scans every graph directory, loads each manifest's snapshot,
+// replays its WAL tail, and opens the logs for appending. Directories
+// without a manifest (debris of a crashed Create or Remove) are skipped;
+// a manifest whose snapshot is missing or corrupt is a hard error —
+// silently dropping a durable graph is worse than refusing to start.
+func (s *Store) Recover() ([]*Recovered, error) {
+	dirRoot := filepath.Join(s.root, "graphs")
+	entries, err := os.ReadDir(dirRoot)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Recovered
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		manPath := filepath.Join(dirRoot, name, "manifest.json")
+		if _, err := os.Stat(manPath); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		rec, err := s.recoverGraph(name)
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering graph %q: %w", name, err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (s *Store) recoverGraph(name string) (*Recovered, error) {
+	dir := s.graphDir(name)
+	man, err := graph.ReadManifestFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	if man.Name != name {
+		return nil, fmt.Errorf("manifest names %q", man.Name)
+	}
+	g, err := graph.ReadBinaryFile(filepath.Join(dir, man.Snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", man.Snapshot, err)
+	}
+	if g.N() != man.N || g.M() != man.M {
+		return nil, fmt.Errorf("snapshot %s is %d/%d vertices/edges, manifest says %d/%d",
+			man.Snapshot, g.N(), g.M(), man.N, man.M)
+	}
+	dyn := dynamic.NewAtEpoch(g, s.cfg.Dynamic, man.Epoch)
+
+	// Collect WAL generations the manifest has not superseded, in order.
+	dents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, de := range dents {
+		if gen, kind, ok := parseGenFile(de.Name()); ok && kind == "wal" && gen >= man.WALGen {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	if len(gens) == 0 {
+		// No WAL at all (lost with its directory entry before any fsync):
+		// recover to the snapshot and start a fresh log at the manifest gen.
+		w, err := createWAL(filepath.Join(dir, walName(man.WALGen)), s.cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		if err := graph.SyncDir(dir); err != nil {
+			w.close()
+			return nil, err
+		}
+		gs := &GraphStore{store: s, name: name, dir: dir, gen: man.WALGen, wal: w, man: *man}
+		s.adopt(gs)
+		rec := &Recovered{Name: name, Source: man.Source, ProbModel: man.ProbModel,
+			Dyn: dyn, GS: gs, SnapshotEpoch: man.Epoch, TruncatedTail: true}
+		s.recovered.Add(1)
+		s.truncatedTails.Add(1)
+		return rec, nil
+	}
+
+	rec := &Recovered{Name: name, Source: man.Source, ProbModel: man.ProbModel,
+		Dyn: dyn, SnapshotEpoch: man.Epoch}
+	expected := man.Epoch
+	stopped := false // a bad record ends replay for good
+	lastGen := gens[len(gens)-1]
+	var lastValidLen int64
+	for _, gen := range gens {
+		path := filepath.Join(dir, walName(gen))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if stopped {
+			// Records past a truncation point are unreachable epochs;
+			// their generations are deleted below.
+			continue
+		}
+		recs, validLen, clean := scanWAL(data)
+		for _, r := range recs {
+			muts, err := dynamic.DecodeBatch(r.batch)
+			if err != nil || r.epoch != expected+1 {
+				// Framing was intact but the content is not a replayable
+				// next batch: treat it like a corrupt tail from here on.
+				clean = false
+				validLen = r.off
+				break
+			}
+			if _, err := dyn.Replay(muts, r.epoch); err != nil {
+				return nil, fmt.Errorf("replaying epoch %d: %w", r.epoch, err)
+			}
+			expected = r.epoch
+			rec.ReplayedBatches++
+			validLen = r.end
+		}
+		if !clean {
+			stopped = true
+			rec.TruncatedTail = true
+			lastGen, lastValidLen = gen, validLen
+		} else if gen == lastGen {
+			lastValidLen = validLen
+		}
+	}
+	if stopped {
+		// Delete generations past the truncated one — their records can
+		// never be replayed now.
+		for _, gen := range gens {
+			if gen > lastGen {
+				os.Remove(filepath.Join(dir, walName(gen)))
+			}
+		}
+	}
+	// Re-open the last surviving generation for appends, truncating the
+	// bad tail if any.
+	w, err := openWAL(filepath.Join(dir, walName(lastGen)), lastValidLen, s.cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	gs := &GraphStore{store: s, name: name, dir: dir, gen: lastGen, wal: w, man: *man}
+	s.adopt(gs)
+	rec.GS = gs
+	s.recovered.Add(1)
+	s.replayed.Add(int64(rec.ReplayedBatches))
+	if rec.TruncatedTail {
+		s.truncatedTails.Add(1)
+	}
+	return rec, nil
+}
+
+// adopt registers a recovered GraphStore in the store's table.
+func (s *Store) adopt(gs *GraphStore) {
+	s.mu.Lock()
+	s.graphs[gs.name] = gs
+	s.mu.Unlock()
+}

@@ -1,0 +1,612 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/dynamic"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// testGraph builds a small deterministic graph.
+func testGraph(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := graph.V(r.Intn(n)), graph.V(r.Intn(n))
+		b.AddEdge(u, v, 0.1+0.8*r.Float64())
+	}
+	return b.Build()
+}
+
+// randomBatch produces a deterministic set-prob/add-edge/remove-edge batch
+// against the graph's current snapshot, touching each edge slot at most
+// once so the batch always commits.
+func randomBatch(d *dynamic.Graph, size int, r *rng.Source) []dynamic.Mutation {
+	g, _ := d.Snapshot()
+	edges := g.Edges()
+	touched := make(map[[2]graph.V]bool, size)
+	muts := make([]dynamic.Mutation, 0, size)
+	for len(muts) < size {
+		switch r.Intn(3) {
+		case 0: // perturb an existing edge
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[r.Intn(len(edges))]
+			if touched[[2]graph.V{e.From, e.To}] {
+				continue
+			}
+			touched[[2]graph.V{e.From, e.To}] = true
+			muts = append(muts, dynamic.Mutation{Op: dynamic.OpSetProb, U: e.From, V: e.To, P: r.Float64()})
+		case 1: // add a missing edge
+			u, v := graph.V(r.Intn(g.N())), graph.V(r.Intn(g.N()))
+			if u == v || g.HasEdge(u, v) || touched[[2]graph.V{u, v}] {
+				continue
+			}
+			touched[[2]graph.V{u, v}] = true
+			muts = append(muts, dynamic.Mutation{Op: dynamic.OpAddEdge, U: u, V: v, P: r.Float64()})
+		default: // remove an existing edge
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[r.Intn(len(edges))]
+			if touched[[2]graph.V{e.From, e.To}] {
+				continue
+			}
+			touched[[2]graph.V{e.From, e.To}] = true
+			muts = append(muts, dynamic.Mutation{Op: dynamic.OpRemoveEdge, U: e.From, V: e.To})
+		}
+	}
+	return muts
+}
+
+func assertSameGraph(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.N() != got.N() || want.M() != got.M() {
+		t.Fatalf("size mismatch: want (%d,%d), got (%d,%d)", want.N(), want.M(), got.N(), got.M())
+	}
+	if !reflect.DeepEqual(want.Edges(), got.Edges()) {
+		t.Fatal("edge sets differ")
+	}
+}
+
+// commitAndLog is the serving layer's write-through in miniature: encode
+// first (a batch the WAL cannot carry must never commit), then commit,
+// then append.
+func commitAndLog(t *testing.T, d *dynamic.Graph, gs *GraphStore, muts []dynamic.Mutation) dynamic.CommitInfo {
+	t.Helper()
+	batch, err := dynamic.EncodeBatch(nil, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := d.Commit(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Append(info.Epoch, batch); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestCreateAndRecoverNoMutations(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(50, 200, 1)
+	if _, err := st.Create("g1", g, 0, "test graph", "TR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "g1" || recs[0].Source != "test graph" || recs[0].ProbModel != "TR" {
+		t.Fatalf("recovered %+v", recs)
+	}
+	if recs[0].Epoch() != 0 || recs[0].ReplayedBatches != 0 {
+		t.Fatalf("epoch %d, replayed %d", recs[0].Epoch(), recs[0].ReplayedBatches)
+	}
+	snap, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, g, snap)
+}
+
+func TestRecoverReplaysWALTail(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(string(policy), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir, Config{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := testGraph(60, 300, 2)
+			gs, err := st.Create("g", g, 0, "src", "keep")
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := dynamic.New(g, dynamic.Config{})
+			r := rng.New(7)
+			for i := 0; i < 12; i++ {
+				commitAndLog(t, live, gs, randomBatch(live, 5, r))
+			}
+			if err := st.Close(); err != nil { // graceful close fsyncs even under none
+				t.Fatal(err)
+			}
+
+			st2, err := Open(dir, Config{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			recs, err := st2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 1 || recs[0].ReplayedBatches != 12 || recs[0].Epoch() != 12 {
+				t.Fatalf("recovered %d graphs, replayed %d batches to epoch %d",
+					len(recs), recs[0].ReplayedBatches, recs[0].Epoch())
+			}
+			wantSnap, _ := live.Snapshot()
+			gotSnap, _ := recs[0].Dyn.Snapshot()
+			assertSameGraph(t, wantSnap, gotSnap)
+
+			// The recovered log keeps accepting batches, and a second
+			// recovery sees them too.
+			more := randomBatch(recs[0].Dyn, 3, r)
+			commitAndLog(t, recs[0].Dyn, recs[0].GS, more)
+			if _, err := live.Commit(more); err != nil {
+				t.Fatal(err)
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st3, err := Open(dir, Config{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st3.Close()
+			recs3, err := st3.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recs3[0].Epoch() != 13 {
+				t.Fatalf("second recovery at epoch %d, want 13", recs3[0].Epoch())
+			}
+			wantSnap, _ = live.Snapshot()
+			gotSnap, _ = recs3[0].Dyn.Snapshot()
+			assertSameGraph(t, wantSnap, gotSnap)
+		})
+	}
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(60, 300, 3)
+	gs, err := st.Create("g", g, 0, "src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynamic.Config{})
+	r := rng.New(11)
+	for i := 0; i < 8; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	}
+
+	// Checkpoint at epoch 8: rotate, then complete in the "background".
+	snap, epoch := live.Snapshot()
+	gen, err := gs.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("gen = %d, want 1", gen)
+	}
+	// Appends continue into the new generation while the snapshot writes.
+	commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+		t.Fatal(err)
+	}
+	// The old generation's files are gone.
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "g", "wal-0.log")); !os.IsNotExist(err) {
+		t.Error("wal-0.log survived the checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "g", "snap-0.bin")); !os.IsNotExist(err) {
+		t.Error("snap-0.bin survived the checkpoint")
+	}
+	commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot covers epochs 1..8; the two post-rotation batches replay.
+	if recs[0].SnapshotEpoch != 8 || recs[0].ReplayedBatches != 2 || recs[0].Epoch() != 10 {
+		t.Fatalf("snapshot epoch %d, replayed %d, final epoch %d",
+			recs[0].SnapshotEpoch, recs[0].ReplayedBatches, recs[0].Epoch())
+	}
+	wantSnap, _ := live.Snapshot()
+	gotSnap, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, wantSnap, gotSnap)
+}
+
+// TestRecoverAfterCrashedCheckpoint simulates a crash between WAL rotation
+// and manifest commit: the manifest still points at the old generation, and
+// recovery must replay both the old and the new WAL.
+func TestRecoverAfterCrashedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(60, 300, 4)
+	gs, err := st.Create("g", g, 0, "src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynamic.Config{})
+	r := rng.New(13)
+	for i := 0; i < 5; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	}
+	if _, err := gs.BeginCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// CompleteCheckpoint never runs (crash). Two more batches land in the
+	// rotated generation.
+	for i := 0; i < 2; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].SnapshotEpoch != 0 || recs[0].ReplayedBatches != 7 || recs[0].Epoch() != 7 {
+		t.Fatalf("snapshot epoch %d, replayed %d, final epoch %d",
+			recs[0].SnapshotEpoch, recs[0].ReplayedBatches, recs[0].Epoch())
+	}
+	wantSnap, _ := live.Snapshot()
+	gotSnap, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, wantSnap, gotSnap)
+}
+
+// TestRecoverTruncatesTornTail cuts the WAL mid-record and flips bits in a
+// record body: recovery must keep every batch before the damage, drop
+// everything after, and leave a log that accepts new appends.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	setup := func(t *testing.T) (dir string, epochs []uint64, walPath string) {
+		dir = t.TempDir()
+		st, err := Open(dir, Config{Fsync: FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := testGraph(40, 150, 5)
+		gs, err := st.Create("g", g, 0, "src", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := dynamic.New(g, dynamic.Config{})
+		r := rng.New(17)
+		for i := 0; i < 6; i++ {
+			info := commitAndLog(t, live, gs, randomBatch(live, 3, r))
+			epochs = append(epochs, info.Epoch)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, epochs, filepath.Join(dir, "graphs", "g", "wal-0.log")
+	}
+
+	t.Run("torn", func(t *testing.T) {
+		dir, _, walPath := setup(t)
+		data, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut inside the last record.
+		if err := os.WriteFile(walPath, data[:len(data)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Config{Fsync: FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		recs, err := st.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recs[0].TruncatedTail || recs[0].ReplayedBatches != 5 || recs[0].Epoch() != 5 {
+			t.Fatalf("truncated=%v replayed=%d epoch=%d, want tail cut at batch 5",
+				recs[0].TruncatedTail, recs[0].ReplayedBatches, recs[0].Epoch())
+		}
+		// The log accepts appends at the recovered epoch.
+		muts := randomBatch(recs[0].Dyn, 2, rng.New(99))
+		commitAndLog(t, recs[0].Dyn, recs[0].GS, muts)
+		if recs[0].Dyn.Epoch() != 6 {
+			t.Fatalf("append after truncation: epoch %d", recs[0].Dyn.Epoch())
+		}
+	})
+
+	t.Run("bit flip", func(t *testing.T) {
+		dir, _, walPath := setup(t)
+		data, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip a bit two-thirds in: batches before the damaged record
+		// survive, the rest is dropped.
+		data[2*len(data)/3] ^= 0x01
+		if err := os.WriteFile(walPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Config{Fsync: FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		recs, err := st.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recs[0].TruncatedTail {
+			t.Fatal("bit flip not detected")
+		}
+		if recs[0].ReplayedBatches >= 6 {
+			t.Fatalf("replayed %d batches through a corrupt record", recs[0].ReplayedBatches)
+		}
+		if got := recs[0].Epoch(); got != uint64(recs[0].ReplayedBatches) {
+			t.Fatalf("epoch %d != replayed %d", got, recs[0].ReplayedBatches)
+		}
+	})
+}
+
+// TestRecoverCompactsDuringReplay drives enough replayed mutations through
+// a tiny compaction threshold that the dynamic overlay compacts mid-replay,
+// exercising checkpoint-truncation state against overlay compaction.
+func TestRecoverCompactsDuringReplay(t *testing.T) {
+	dir := t.TempDir()
+	dynCfg := dynamic.Config{CompactMinDeltas: 8, CompactFraction: 0.0001}
+	st, err := Open(dir, Config{Fsync: FsyncAlways, Dynamic: dynCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(50, 200, 6)
+	gs, err := st.Create("g", g, 0, "src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynCfg)
+	r := rng.New(23)
+	for i := 0; i < 10; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 5, r))
+	}
+	if live.Stats().Compactions == 0 {
+		t.Fatal("test graph never compacted; threshold too high")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways, Dynamic: dynCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Dyn.Stats().Compactions == 0 {
+		t.Fatal("replay never compacted")
+	}
+	if recs[0].Epoch() != 10 {
+		t.Fatalf("epoch %d", recs[0].Epoch())
+	}
+	wantSnap, _ := live.Snapshot()
+	gotSnap, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, wantSnap, gotSnap)
+}
+
+// TestCheckpointRacingMutates runs concurrent commit+append traffic against
+// repeated checkpoints (the -race target for the overlay-compaction /
+// checkpoint-truncation interplay), then recovers and compares against the
+// serialized history.
+func TestCheckpointRacingMutates(t *testing.T) {
+	dir := t.TempDir()
+	dynCfg := dynamic.Config{CompactMinDeltas: 16, CompactFraction: 0.0001}
+	st, err := Open(dir, Config{Fsync: FsyncNone, Dynamic: dynCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(60, 300, 7)
+	gs, err := st.Create("g", g, 0, "src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynCfg)
+
+	// commitMu plays the serving layer's per-graph commit lock: Commit and
+	// Append atomically, and checkpoint rotation under the same lock.
+	var commitMu sync.Mutex
+	rounds := 40
+	if testing.Short() {
+		rounds = 12
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := rng.New(31)
+		for i := 0; i < rounds; i++ {
+			commitMu.Lock()
+			muts := randomBatch(live, 4, r)
+			batch, err := dynamic.EncodeBatch(nil, muts)
+			var info dynamic.CommitInfo
+			if err == nil {
+				info, err = live.Commit(muts)
+			}
+			if err == nil {
+				err = gs.Append(info.Epoch, batch)
+			}
+			commitMu.Unlock()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+		default:
+			commitMu.Lock()
+			snap, epoch := live.Snapshot()
+			gen, err := gs.BeginCheckpoint()
+			commitMu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		break
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncNone, Dynamic: dynCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Epoch() != live.Epoch() {
+		t.Fatalf("recovered epoch %d, live %d", recs[0].Epoch(), live.Epoch())
+	}
+	wantSnap, _ := live.Snapshot()
+	gotSnap, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, wantSnap, gotSnap)
+}
+
+func TestRemoveDeletesOnDiskState(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := testGraph(20, 60, 8)
+	if _, err := st.Create("doomed", g, 0, "src", ""); err != nil {
+		t.Fatal(err)
+	}
+	gdir := filepath.Join(dir, "graphs", "doomed")
+	if _, err := os.Stat(gdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gdir); !os.IsNotExist(err) {
+		t.Error("graph directory survived Remove")
+	}
+	// The name is free for re-registration.
+	if _, err := st.Create("doomed", g, 0, "src", ""); err != nil {
+		t.Fatalf("re-create after remove: %v", err)
+	}
+}
+
+func TestCreateRejectsUnrecoveredState(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(20, 60, 9)
+	if _, err := st.Create("g", g, 0, "src", ""); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// A fresh store over the same directory must refuse to overwrite the
+	// existing durable graph with a new registration.
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Create("g", g, 0, "src", ""); err == nil {
+		t.Fatal("Create overwrote unrecovered on-disk state")
+	}
+}
+
+func TestAppendFailurePoisonsTheLog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := testGraph(20, 60, 10)
+	gs, err := st.Create("g", g, 0, "src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the WAL file behind the store's back to force a write error.
+	gs.mu.Lock()
+	gs.wal.f.Close()
+	gs.mu.Unlock()
+	batch, err := dynamic.EncodeBatch(nil, []dynamic.Mutation{{Op: dynamic.OpAddVertex}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Append(1, batch); err == nil {
+		t.Fatal("append to a closed file succeeded")
+	}
+	// Every later append fails too, even if the fd were somehow usable:
+	// the log's tail state is unknown.
+	if err := gs.Append(2, batch); err == nil {
+		t.Fatal("append after a failed append succeeded")
+	}
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// The write-ahead log is a flat file of framed records, one per committed
+// mutation batch:
+//
+//	u32 payload length | u32 CRC32-IEEE(payload) | payload
+//	payload = u64 epoch | dynamic.EncodeBatch(muts)
+//
+// Appends are a single buffered write; a crash can therefore leave at most
+// one torn record at the tail, which the length prefix and CRC detect on
+// recovery — the tail is truncated at the last intact record and nothing
+// partial is ever replayed.
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways fsyncs after every append, before the append returns:
+	// an acknowledged mutation survives power loss.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval fsyncs on a background timer: an acknowledged mutation
+	// survives a process crash (the write has left the process), but the
+	// last interval's worth may be lost to power failure or a kernel panic.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNone never fsyncs explicitly; the OS flushes at its leisure.
+	FsyncNone FsyncPolicy = "none"
+)
+
+// ParseFsyncPolicy validates a policy string (flag/config input).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("store: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+const (
+	recordHeaderLen = 8
+	// MaxRecordPayload bounds one record's payload. The serving layer caps
+	// mutation batches far below this; anything larger in a WAL is
+	// corruption and must not drive a giant allocation.
+	MaxRecordPayload = 64 << 20
+)
+
+// ErrCorruptRecord reports a WAL record whose frame is intact enough to
+// read but whose content fails validation (CRC mismatch, absurd length).
+var ErrCorruptRecord = errors.New("store: corrupt WAL record")
+
+// errTornRecord reports a record cut short by the end of the file — the
+// expected shape of a crash mid-append.
+var errTornRecord = errors.New("store: torn WAL record at end of file")
+
+// appendRecord frames (epoch, batch) onto dst.
+func appendRecord(dst []byte, epoch uint64, batch []byte) []byte {
+	payloadLen := 8 + len(batch)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], epoch)
+	crc := crc32.Update(crc32.ChecksumIEEE(eb[:]), crc32.IEEETable, batch)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	return append(dst, batch...)
+}
+
+// decodeRecord parses one record from the head of data. It returns the
+// record's epoch, its batch payload (a sub-slice of data — never a copy,
+// never past the frame) and the total bytes consumed. Truncation yields
+// errTornRecord, validation failures ErrCorruptRecord; no input panics,
+// over-reads, or allocates beyond the slice it was handed.
+func decodeRecord(data []byte) (epoch uint64, batch []byte, n int, err error) {
+	if len(data) < recordHeaderLen {
+		return 0, nil, 0, errTornRecord
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[0:]))
+	if payloadLen < 8 || payloadLen > MaxRecordPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d", ErrCorruptRecord, payloadLen)
+	}
+	if len(data) < recordHeaderLen+payloadLen {
+		return 0, nil, 0, errTornRecord
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[4:])
+	payload := data[recordHeaderLen : recordHeaderLen+payloadLen]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
+	}
+	epoch = binary.LittleEndian.Uint64(payload)
+	return epoch, payload[8:], recordHeaderLen + payloadLen, nil
+}
+
+// walRecord is one decoded record, with its frame's byte range in the file.
+type walRecord struct {
+	epoch uint64
+	batch []byte
+	off   int64 // frame start offset
+	end   int64 // offset one past the frame
+}
+
+// scanWAL decodes every intact record of a WAL file. validLen is the byte
+// offset of the first torn or corrupt record (== len(data) when the whole
+// file is clean); records beyond it are unrecoverable and the caller
+// truncates the file there.
+func scanWAL(data []byte) (recs []walRecord, validLen int64, clean bool) {
+	off := 0
+	for off < len(data) {
+		epoch, batch, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return recs, int64(off), false
+		}
+		recs = append(recs, walRecord{epoch: epoch, batch: batch, off: int64(off), end: int64(off + n)})
+		off += n
+	}
+	return recs, int64(off), true
+}
+
+// wal is one open write-ahead-log file.
+type wal struct {
+	// syncMu serializes background fsyncs against close, without ever
+	// being held by append: an interval-policy fsync of a busy log must
+	// not stall the appends racing it (see syncIfDirty).
+	syncMu sync.Mutex
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	dirty  bool // bytes written since the last fsync
+	policy FsyncPolicy
+	buf    []byte // append scratch, reused across records
+	err    error  // sticky: after a failed append the log is poisoned
+}
+
+// createWAL creates an empty WAL file, failing if it already exists. The
+// caller fsyncs the directory once the surrounding structure is complete.
+func createWAL(path string, policy FsyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: path, policy: policy}, nil
+}
+
+// openWAL opens an existing WAL for appending at offset size (the scanned
+// valid length); anything beyond it is a torn tail and is cut off first.
+func openWAL(path string, size int64, policy FsyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: size, policy: policy}, nil
+}
+
+// append frames and writes one record, fsyncing per policy. Any write or
+// fsync failure poisons the log: the file's tail state is unknown, so
+// later appends could leave an undetectable gap — every subsequent append
+// fails with the original error until the process restarts and recovers.
+func (w *wal) append(epoch uint64, batch []byte) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf = appendRecord(w.buf[:0], epoch, batch)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("store: WAL append: %w", err)
+		return 0, w.err
+	}
+	w.size += int64(len(w.buf))
+	w.dirty = true
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("store: WAL fsync: %w", err)
+			return 0, w.err
+		}
+		w.dirty = false
+	}
+	return int64(len(w.buf)), nil
+}
+
+// syncIfDirty flushes pending appends to stable storage (interval policy's
+// timer tick, and every policy's shutdown path). Reports whether an fsync
+// was actually issued. The fsync syscall itself runs outside the append
+// lock — a background flush of megabytes must not stall the mutate path —
+// so a record appended while the fsync is in flight may or may not be
+// covered by it; it is dirty again and the next tick gets it.
+func (w *wal) syncIfDirty() (bool, error) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.err != nil || !w.dirty || w.f == nil {
+		err := w.err
+		w.mu.Unlock()
+		return false, err
+	}
+	w.dirty = false
+	f := w.f
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		w.mu.Lock()
+		w.err = fmt.Errorf("store: WAL fsync: %w", err)
+		w.mu.Unlock()
+		return false, err
+	}
+	return true, nil
+}
+
+// close fsyncs pending writes and closes the file. syncMu excludes a
+// background fsync mid-flight, so the file cannot close under it.
+func (w *wal) close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.dirty && w.err == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// interval flusher support: the Store runs one flusher goroutine over all
+// graphs; flushEvery normalizes a configured interval.
+func flushEvery(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 100 * time.Millisecond
+	}
+	return d
+}
