@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make lint test` locally means a
+# green pipeline.
+
+GO ?= go
+
+.PHONY: all build test lint lint-fix bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint is the full static gate: formatting, go vet, then the project's own
+# invariant analyzers (cmd/iminlint). staticcheck joins automatically when
+# it is on PATH; its absence is not a failure (offline environments).
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/iminlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; fi
+
+lint-fix:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

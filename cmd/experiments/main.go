@@ -186,7 +186,7 @@ func dumpCSV(dir, name string, write func(io.Writer) error) {
 		fail(err)
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		fail(err)
 	}
 	if err := f.Close(); err != nil {

@@ -1,0 +1,140 @@
+// Command iminlint is the project's static-analysis driver: a multichecker
+// in the shape of golang.org/x/tools/go/analysis/multichecker, running the
+// five invariant-enforcing passes of internal/lintrules over the module.
+//
+// Usage:
+//
+//	go run ./cmd/iminlint ./...            # lint everything
+//	go run ./cmd/iminlint -only lockio ./internal/store/...
+//	go run ./cmd/iminlint -list            # describe the analyzers
+//	go run ./cmd/iminlint -pre ./...       # gofmt -l + go vet first, then lint
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (bad flags, a
+// package that does not type-check, a pre-check tool missing).
+//
+// iminlint must run from inside the module (any subdirectory): package
+// loading resolves imports relative to the module root.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("iminlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list           = fs.Bool("list", false, "describe the analyzers and exit")
+		only           = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		pre            = fs.Bool("pre", false, "run gofmt -l and go vet over the patterns before linting")
+		showSuppressed = fs.Bool("show-suppressed", false, "also print diagnostics silenced by //lint:ignore")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lintrules.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var ok bool
+		analyzers, ok = lintrules.ByName(*only)
+		if !ok {
+			fmt.Fprintf(stderr, "iminlint: unknown analyzer in -only=%s (use -list)\n", *only)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *pre {
+		if code := preChecks(stdout, stderr, patterns); code != 0 {
+			return code
+		}
+	}
+
+	pkgs, err := lintkit.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "iminlint: %v\n", err)
+		return 2
+	}
+	diags, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "iminlint: %v\n", err)
+		return 2
+	}
+
+	failing := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Fprintf(stdout, "%s [suppressed]\n", d)
+			}
+			continue
+		}
+		failing++
+		fmt.Fprintln(stdout, d)
+	}
+	if failing > 0 {
+		fmt.Fprintf(stderr, "iminlint: %d finding(s)\n", failing)
+		return 1
+	}
+	return 0
+}
+
+// preChecks runs the cheap formatting and vet gates that should fail fast
+// before the type-checking lint pass: gofmt -l over the module and go vet
+// over the requested patterns. staticcheck joins in when it is installed;
+// its absence is not an error, because the lint environment may be offline.
+func preChecks(stdout, stderr *os.File, patterns []string) int {
+	var out bytes.Buffer
+	gofmt := exec.Command("gofmt", "-l", ".")
+	gofmt.Stdout = &out
+	gofmt.Stderr = stderr
+	if err := gofmt.Run(); err != nil {
+		fmt.Fprintf(stderr, "iminlint: gofmt: %v\n", err)
+		return 2
+	}
+	if unformatted := strings.TrimSpace(out.String()); unformatted != "" {
+		fmt.Fprintf(stdout, "gofmt: needs formatting:\n%s\n", unformatted)
+		return 1
+	}
+
+	vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	vet.Stdout = stdout
+	vet.Stderr = stderr
+	if err := vet.Run(); err != nil {
+		fmt.Fprintf(stderr, "iminlint: go vet failed\n")
+		return 1
+	}
+
+	if path, err := exec.LookPath("staticcheck"); err == nil {
+		sc := exec.Command(path, patterns...)
+		sc.Stdout = stdout
+		sc.Stderr = stderr
+		if err := sc.Run(); err != nil {
+			fmt.Fprintf(stderr, "iminlint: staticcheck failed\n")
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,3 +1,13 @@
 module github.com/imin-dev/imin
 
 go 1.24.0
+
+// Pinned analyzer-toolchain versions. Nothing in the module imports these
+// (internal/lintkit is deliberately stdlib-only so the build works in
+// offline environments with an empty module cache), but the pins keep CI
+// and local `go install`s of staticcheck — and any future port of the
+// lintrules onto go/analysis proper — on one agreed version.
+require (
+	golang.org/x/tools v0.24.0
+	honnef.co/go/tools v0.5.1
+)

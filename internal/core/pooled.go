@@ -71,7 +71,7 @@ type filterScratch struct {
 	// filtered-sample scratch, stamped per sample
 	stamp    []int32
 	flocal   []int32
-	epoch    int32
+	stampGen int32
 	queue    []int32 // stored-local ids
 	forig    []graph.V
 	eFrom    []int32
@@ -165,12 +165,12 @@ func (st *filterScratch) filterAndDominate(s *sampleView, blocked []bool, domAlg
 	k := len(s.orig)
 	st.stamp = growI32(st.stamp, k)
 	st.flocal = growI32(st.flocal, k)
-	st.epoch++
-	if st.epoch == 0 {
+	st.stampGen++
+	if st.stampGen == 0 {
 		for i := range st.stamp {
 			st.stamp[i] = -1
 		}
-		st.epoch = 1
+		st.stampGen = 1
 	}
 	st.queue = st.queue[:0]
 	st.forig = st.forig[:0]
@@ -178,7 +178,7 @@ func (st *filterScratch) filterAndDominate(s *sampleView, blocked []bool, domAlg
 	st.eTo = st.eTo[:0]
 
 	// BFS over stored live edges, skipping blocked vertices.
-	st.stamp[0] = st.epoch
+	st.stamp[0] = st.stampGen
 	st.flocal[0] = 0
 	st.forig = append(st.forig, s.orig[0])
 	st.queue = append(st.queue, 0)
@@ -191,10 +191,10 @@ func (st *filterScratch) filterAndDominate(s *sampleView, blocked []bool, domAlg
 				continue
 			}
 			var fv int32
-			if st.stamp[v] == st.epoch {
+			if st.stamp[v] == st.stampGen {
 				fv = st.flocal[v]
 			} else {
-				st.stamp[v] = st.epoch
+				st.stamp[v] = st.stampGen
 				fv = int32(len(st.forig))
 				st.flocal[v] = fv
 				st.forig = append(st.forig, s.orig[v])

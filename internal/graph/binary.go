@@ -195,7 +195,7 @@ func (g *Graph) WriteBinaryFile(path string) error {
 		return err
 	}
 	if err := g.WriteBinary(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -123,7 +123,7 @@ func (g *Graph) WriteEdgeListFile(path string) error {
 		return err
 	}
 	if err := g.WriteEdgeList(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

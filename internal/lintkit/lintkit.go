@@ -1,0 +1,205 @@
+// Package lintkit is a small, dependency-free analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built on the standard library's
+// go/ast, go/types and go/importer. The project's custom linters
+// (internal/lintrules, driven by cmd/iminlint) are written against it.
+//
+// Why not x/tools itself: the build environment this repository targets is
+// fully offline with an empty module cache, so the module cannot depend on
+// anything outside the standard library. The subset reimplemented here —
+// Analyzer, Pass, Reportf, a package loader, and an analysistest-style
+// fixture runner (lintkit/linttest) — is exactly what five project-specific
+// passes need; if x/tools ever becomes available, the analyzers port by
+// changing imports (the Pass surface is kept intentionally identical).
+//
+// Suppressions: a diagnostic is suppressed by a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed either on the flagged line or on the line directly above it. The
+// justification is mandatory — a bare ignore is itself reported as a
+// malformed suppression — so every silenced finding documents why the
+// invariant does not apply (see docs/INVARIANTS.md).
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `iminlint -list`.
+	Doc string
+	// Run applies the pass to one package and reports findings through
+	// pass.Reportf. A returned error aborts the whole lint run (reserved
+	// for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions, shared by every package of
+	// one load so cross-package positions never clash.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package and PkgPath its import path. For
+	// fixture runs (linttest) PkgPath is whatever path the test assigns,
+	// which is how path-scoped analyzers are exercised.
+	Pkg     *types.Package
+	PkgPath string
+	// TypesInfo holds the type-checker's observations for the files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks a diagnostic matched by a //lint:ignore comment;
+	// the driver keeps it (for -show-suppressed) but it does not fail
+	// the run.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file      string
+	line      int
+	analyzers []string // nil after a parse error
+	justified bool
+	used      bool
+}
+
+func (s *suppression) matches(d *Diagnostic) bool {
+	if d.Pos.Filename != s.file || !s.justified {
+		return false
+	}
+	// The comment governs its own line and the line below, covering both
+	// `stmt //lint:ignore ...` and a comment line above the statement.
+	if d.Pos.Line != s.line && d.Pos.Line != s.line+1 {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == d.Analyzer || a == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions parses every //lint:ignore comment of the files.
+// Malformed comments (no analyzer list or no justification) come back as
+// diagnostics so they fail the run instead of silently ignoring nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //lint:ignore <analyzer>[,<analyzer>] <justification>",
+					})
+					continue
+				}
+				sups = append(sups, &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+					justified: true,
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// Run applies every analyzer to every package and returns all diagnostics,
+// sorted by position. Diagnostics matched by a //lint:ignore comment are
+// marked Suppressed rather than dropped; unused suppressions are themselves
+// reported, so stale ignores cannot rot in place.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(pkg.Fset, pkg.Files)
+		all = append(all, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				for _, s := range sups {
+					if s.matches(&d) {
+						d.Suppressed = true
+						s.used = true
+						break
+					}
+				}
+				all = append(all, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+		}
+		for _, s := range sups {
+			if !s.used {
+				all = append(all, Diagnostic{
+					Analyzer: "lint",
+					Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+					Message:  fmt.Sprintf("unused suppression for %s: no diagnostic on this or the next line", strings.Join(s.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all, nil
+}

@@ -1,0 +1,138 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// incdec reports every ++/-- statement: a minimal analyzer for exercising
+// the suppression machinery.
+var incdec = &Analyzer{
+	Name: "incdec",
+	Doc:  "test analyzer: flags ++/--",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.IncDecStmt); ok {
+					p.Reportf(s.Pos(), "incdec here")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func analyzeSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("example.com/fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	pkg := &Package{PkgPath: "example.com/fix", Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{incdec})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	diags := analyzeSrc(t, `package fix
+func f() int {
+	x := 0
+	x++ //lint:ignore incdec trailing comments govern their own line
+	//lint:ignore incdec a comment line governs the line below it
+	x++
+	return x
+}
+`)
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("want every diagnostic suppressed, got: %s", d)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("want the 2 findings retained as suppressed, got %d", len(diags))
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotMatch(t *testing.T) {
+	diags := analyzeSrc(t, `package fix
+func f() int {
+	x := 0
+	//lint:ignore otherpass justification for a different analyzer
+	x++
+	return x
+}
+`)
+	var live, unused int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "incdec" && !d.Suppressed:
+			live++
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "unused suppression"):
+			unused++
+		}
+	}
+	if live != 1 || unused != 1 {
+		t.Errorf("want 1 live finding and 1 unused-suppression report, got live=%d unused=%d (%v)", live, unused, diags)
+	}
+}
+
+func TestMalformedSuppressionReported(t *testing.T) {
+	diags := analyzeSrc(t, `package fix
+func f() int {
+	x := 0
+	//lint:ignore incdec
+	x++
+	return x
+}
+`)
+	var malformed, live int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "malformed suppression"):
+			malformed++
+		case d.Analyzer == "incdec" && !d.Suppressed:
+			live++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want a malformed-suppression report, got %v", diags)
+	}
+	if live != 1 {
+		t.Errorf("a justification-less ignore must not suppress; got %v", diags)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := analyzeSrc(t, `package fix
+func f() int {
+	x := 0
+	x++
+	x++
+	x--
+	return x
+}
+`)
+	if len(diags) != 3 {
+		t.Fatalf("want 3 findings, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Line < diags[i-1].Pos.Line {
+			t.Errorf("diagnostics out of order: %v", diags)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package linttest runs lintkit analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture sources
+// carry `// want "regexp"` comments naming the diagnostics they expect on
+// that line, and the runner fails the test on any mismatch in either
+// direction — a missing diagnostic (a rule stopped firing) or an
+// unexpected one (a rule over-triggers).
+//
+// Fixtures live under testdata/<analyzer>/<case>/ and may import only the
+// standard library. The package path the fixture is checked under is a
+// parameter, because several analyzers scope themselves by import path —
+// the same source can be exercised inside and outside a determinism-
+// critical package.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// Run lints the fixture directory as a package named by pkgPath and
+// compares diagnostics against the fixture's `// want` expectations.
+func Run(t *testing.T, dir string, a *lintkit.Analyzer, pkgPath string) {
+	t.Helper()
+	diags, fset, files := analyze(t, dir, a, pkgPath)
+	wants := collectWants(t, fset, files)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// analyze loads, type-checks and lints one fixture directory.
+func analyze(t *testing.T, dir string, a *lintkit.Analyzer, pkgPath string) ([]lintkit.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture sources in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := lintkit.NewTypesInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	pkg := &lintkit.Package{
+		PkgPath: pkgPath, Dir: dir, Fset: fset, Files: files,
+		Types: tpkg, TypesInfo: info,
+	}
+	diags, err := lintkit.Run([]*lintkit.Package{pkg}, []*lintkit.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags, fset, files
+}
+
+// want is one expectation: a regexp that must match a diagnostic on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := splitPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of Go-quoted strings: `"a" "b\"c"`.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		quote := s[0]
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}
+
+// MustBeCleanDir asserts the fixture produces no unsuppressed diagnostics
+// at all — the negative-fixture helper, stricter than per-line wants.
+func MustBeCleanDir(t *testing.T, dir string, a *lintkit.Analyzer, pkgPath string) {
+	t.Helper()
+	diags, _, _ := analyze(t, dir, a, pkgPath)
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("want no diagnostics, got: %s", d)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go command (run in dir, typically the
+// module root), parses every matched package, and type-checks it. Imports
+// of sibling module packages are type-checked from source recursively and
+// shared; standard-library imports go through go/importer's source
+// importer, so the whole load works offline against GOROOT alone. Test
+// files are not loaded: the linters guard production invariants, and
+// analyzing tests would mostly flag deliberate fault injection.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// A second listing of the whole module is the import-resolution
+	// universe: a target package may import module packages the patterns
+	// did not match.
+	universe, err := goList(dir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &moduleLoader{
+		fset:     fset,
+		src:      importer.ForCompiler(fset, "source", nil),
+		universe: make(map[string]*listedPkg, len(universe)),
+		checked:  make(map[string]*Package),
+		checking: make(map[string]bool),
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	for _, p := range universe {
+		ld.universe[p.ImportPath] = p
+	}
+
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if t.Name == "" && t.Error != nil {
+			return nil, fmt.Errorf("lintkit: loading %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := ld.check(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList shells out to `go list -json` and decodes the object stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var pkgs []*listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintkit: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// moduleLoader type-checks module packages on demand, memoized, and is
+// itself the types.Importer handed to the checker so module-internal
+// imports resolve to the same *types.Package instances everywhere.
+type moduleLoader struct {
+	fset     *token.FileSet
+	src      types.Importer
+	universe map[string]*listedPkg
+	checked  map[string]*Package
+	checking map[string]bool
+	sizes    types.Sizes
+}
+
+// Import implements types.Importer.
+func (ld *moduleLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if info, ok := ld.universe[path]; ok {
+		pkg, err := ld.check(info)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	// Not a module package: the standard library, from GOROOT source.
+	return ld.src.Import(path)
+}
+
+func (ld *moduleLoader) check(info *listedPkg) (*Package, error) {
+	if pkg, ok := ld.checked[info.ImportPath]; ok {
+		return pkg, nil
+	}
+	if ld.checking[info.ImportPath] {
+		return nil, fmt.Errorf("lintkit: import cycle through %s", info.ImportPath)
+	}
+	ld.checking[info.ImportPath] = true
+	defer delete(ld.checking, info.ImportPath)
+
+	files := make([]*ast.File, 0, len(info.GoFiles))
+	for _, name := range info.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(info.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %v", err)
+		}
+		files = append(files, f)
+	}
+	tinfo := NewTypesInfo()
+	conf := types.Config{Importer: ld, Sizes: ld.sizes}
+	tpkg, err := conf.Check(info.ImportPath, ld.fset, files, tinfo)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %v", info.ImportPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   info.ImportPath,
+		Dir:       info.Dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: tinfo,
+	}
+	ld.checked[info.ImportPath] = pkg
+	return pkg, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

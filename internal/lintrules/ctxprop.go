@@ -1,0 +1,108 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// CtxPackages are the packages whose exported entry points run long
+// solver loops: the incremental estimator core and the serving layer.
+var CtxPackages = []string{"internal/core", "internal/service"}
+
+// CtxProp flags exported functions that accept a context.Context and then
+// run a loop that never consults it. A batched solve over a large graph
+// can spin for seconds per call; if the loop ignores the context, a
+// cancelled request (client gone, server draining) burns a worker until
+// the loop finishes on its own. Accepting a ctx parameter is a promise of
+// cancellability — this pass makes the promise checkable.
+//
+// Only outermost loops containing at least one call are considered: a
+// tight inner loop is the outer loop's responsibility, and a loop with no
+// calls is pure arithmetic the checker assumes terminates quickly.
+var CtxProp = &lintkit.Analyzer{
+	Name: "ctxprop",
+	Doc:  "flags exported context-taking functions whose loops never consult the context",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, CtxPackages) {
+		return nil
+	}
+	info := pass.TypesInfo
+	eachFuncBody(pass.Files, func(decl *ast.FuncDecl) {
+		if !decl.Name.IsExported() {
+			return
+		}
+		ctxObj := contextParam(info, decl)
+		if ctxObj == nil {
+			return
+		}
+		for _, loop := range outermostLoops(decl.Body) {
+			if !loopHasCall(loop) {
+				continue
+			}
+			if usesObject(info, loop, ctxObj) {
+				continue
+			}
+			pass.Reportf(loop.Pos(), "%s accepts a context but this loop never consults it: check ctx.Err()/ctx.Done() per iteration so cancellation can stop the work", decl.Name.Name)
+		}
+	})
+	return nil
+}
+
+// contextParam returns the object of the first context.Context parameter,
+// or nil when the function does not take one (or takes it unnamed).
+func contextParam(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !typeIs(tv.Type, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return info.Defs[name]
+			}
+		}
+	}
+	return nil
+}
+
+// outermostLoops collects top-level for/range statements in body — loops
+// not nested inside another loop. Function literals are skipped: their
+// loops execute under whatever context the literal captures.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false // inner loops are the outer loop's responsibility
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// loopHasCall reports whether the loop body contains any function or
+// method call — the signal that an iteration does real work.
+func loopHasCall(loop ast.Stmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func TestCtxPropPositive(t *testing.T) {
+	linttest.Run(t, "testdata/ctxprop/pos", lintrules.CtxProp, corePath)
+}
+
+func TestCtxPropNegative(t *testing.T) {
+	linttest.MustBeCleanDir(t, "testdata/ctxprop/neg", lintrules.CtxProp, corePath)
+}

@@ -1,0 +1,243 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// DetPackages are the determinism-critical packages: the solver core whose
+// blocker sets must be bit-identical at any worker count, the epoch layer
+// whose changelogs feed pool repair, and the serving layer's solve paths.
+var DetPackages = []string{"internal/core", "internal/dynamic", "internal/service"}
+
+// DetRand flags sources of nondeterminism in determinism-critical packages:
+//
+//   - iteration over a map feeding an ordered sink — an append to a slice
+//     that is not sorted afterwards in the same statement list, a write to
+//     an io.Writer/encoder, a channel send, or a floating-point accumulator
+//     (float addition is not associative, so accumulation order changes the
+//     result bit pattern);
+//   - any use of math/rand or math/rand/v2 — randomness must come from
+//     internal/rng streams so every draw is replayable from a seed;
+//   - time-as-entropy (time.Now().UnixNano() and friends feeding seeds).
+//     Plain time.Now() for durations and deadlines stays legal.
+//
+// Map iteration that builds another map or set, or accumulates into integer
+// counters (commutative), is deterministic in effect and not flagged.
+var DetRand = &lintkit.Analyzer{
+	Name: "detrand",
+	Doc:  "flags unsorted map iteration into ordered sinks, math/rand, and time-as-entropy in determinism-critical packages",
+	Run:  runDetRand,
+}
+
+var timeEntropyMethods = map[string]bool{
+	"UnixNano": true, "Unix": true, "UnixMilli": true, "UnixMicro": true, "Nanosecond": true,
+}
+
+func runDetRand(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, DetPackages) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := info.Uses[identOf(n.X)].(*types.PkgName); ok {
+					p := pkg.Imported().Path()
+					if p == "math/rand" || p == "math/rand/v2" {
+						pass.Reportf(n.Pos(), "use of %s.%s: determinism-critical packages draw randomness from internal/rng streams", p, n.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && timeEntropyMethods[sel.Sel.Name] && isTimeNowCall(info, sel.X) {
+					pass.Reportf(n.Pos(), "time.Now().%s is time-as-entropy: seed from internal/rng streams, not the clock", sel.Sel.Name)
+				}
+			case *ast.BlockStmt:
+				checkStmtList(pass, n.List)
+			case *ast.CaseClause:
+				checkStmtList(pass, n.Body)
+			case *ast.CommClause:
+				checkStmtList(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// isTimeNowCall reports whether e is a direct time.Now() call.
+func isTimeNowCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, _ := calleeName(info, call)
+	return pkg == "time" && name == "Now"
+}
+
+// checkStmtList looks at each map-range statement together with the
+// statements that follow it in the same list, so a sort applied after the
+// loop is visible.
+func checkStmtList(pass *lintkit.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rs, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		checkMapRange(pass, rs, stmts[i+1:])
+	}
+}
+
+func checkMapRange(pass *lintkit.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges are checked by their own visit.
+			if n != rs {
+				tv, ok := info.Types[n.X]
+				if ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receive order depends on map order; iterate sorted keys")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, n, after)
+		case *ast.CallExpr:
+			if isOrderedSinkCall(info, n) {
+				pass.Reportf(n.Pos(), "write to an ordered sink inside map iteration: output order is nondeterministic; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive accumulation in a map-range
+// body: appends to outer slices that are never sorted afterwards, and
+// floating-point read-modify-write on outer variables.
+func checkMapRangeAssign(pass *lintkit.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, after []ast.Stmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) — the slice accumulates map-ordered elements.
+		if len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+				target := identOf(as.Lhs[0])
+				if target == nil {
+					return
+				}
+				obj := info.ObjectOf(target)
+				if !declaredBefore(obj, rs.Pos()) {
+					return // loop-local scratch
+				}
+				if sortedAfter(info, obj, after) {
+					return
+				}
+				pass.Reportf(as.Pos(), "append to %q inside map iteration without a later sort: element order is nondeterministic; sort %q after the loop or iterate sorted keys", target.Name, target.Name)
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		target := as.Lhs[0]
+		tv, ok := info.Types[target]
+		if !ok {
+			return
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			if id := identOf(target); id != nil && !declaredBefore(info.ObjectOf(id), rs.Pos()) {
+				return
+			}
+			pass.Reportf(as.Pos(), "floating-point accumulation inside map iteration: float addition is not associative, so the result depends on map order; iterate sorted keys")
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id := identOf(call.Fun)
+	if id == nil {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether any statement after the loop (same list)
+// sorts the accumulated slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func sortedAfter(info *types.Info, obj types.Object, after []ast.Stmt) bool {
+	for _, s := range after {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			pkg, name, _ := calleeName(info, call)
+			short := pkg
+			if i := lastSlash(pkg); i >= 0 {
+				short = pkg[i+1:]
+			}
+			if names, ok := sortFuncs[short]; !ok || !names[name] {
+				return true
+			}
+			if id := identOf(call.Args[0]); id != nil && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// isOrderedSinkCall recognizes writes whose order is observable: fmt.Fprint*
+// to a writer, io.WriteString, encoder Encode, and Write/WriteString methods
+// on io.Writer implementations.
+func isOrderedSinkCall(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name, recv := calleeName(info, call)
+	switch {
+	case pkg == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+		return true
+	case pkg == "io" && name == "WriteString":
+		return true
+	case recv != "" && (name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" || name == "Encode"):
+		// A Write-shaped method on any receiver: strings.Builder,
+		// bufio.Writer, json.Encoder, http.ResponseWriter, os.File, ...
+		return true
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+// Fixture package paths: the same sources are checked under an in-scope
+// path (the analyzer fires) and an out-of-scope one (it must not).
+const (
+	corePath  = "example.com/fix/internal/core"
+	storePath = "example.com/fix/internal/store"
+	dynPath   = "example.com/fix/internal/dynamic"
+	otherPath = "example.com/fix/internal/datasets"
+)
+
+func TestDetRandPositive(t *testing.T) {
+	linttest.Run(t, "testdata/detrand/pos", lintrules.DetRand, corePath)
+}
+
+func TestDetRandNegative(t *testing.T) {
+	linttest.MustBeCleanDir(t, "testdata/detrand/neg", lintrules.DetRand, corePath)
+}
+
+func TestDetRandScoping(t *testing.T) {
+	// The positive fixture outside a determinism-critical package: silent.
+	linttest.MustBeCleanDir(t, "testdata/detrand/pos", lintrules.DetRand, otherPath)
+}

@@ -1,0 +1,84 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// EpochPackages are the packages that own epoch counters: the dynamic
+// graph (d.epoch, d.snapEpoch), the durable store (replay positions), and
+// the solver session (s.epoch).
+var EpochPackages = []string{"internal/dynamic", "internal/store", "internal/core"}
+
+// EpochOrder flags direct writes to epoch fields outside the blessed
+// commit/replay/migration entry points. Epochs are the spine of the
+// recovery contract: the WAL replays records strictly in epoch order, the
+// sample-pool repair diffs changelogs between epochs, and a snapshot's
+// epoch must match the last record folded into it. An epoch bumped from a
+// random helper (or worse, from two goroutines) silently breaks replay
+// continuity in a way no unit test of the helper will catch — so the set
+// of functions allowed to move an epoch is closed and enforced here.
+var EpochOrder = &lintkit.Analyzer{
+	Name: "epochorder",
+	Doc:  "flags epoch-field writes outside the blessed commit/replay entry points",
+	Run:  runEpochOrder,
+}
+
+// epochFields are the struct fields treated as epoch counters.
+var epochFields = map[string]bool{
+	"epoch": true, "snapEpoch": true, "Epoch": true,
+}
+
+// epochWriters is the closed set of functions allowed to assign an epoch
+// field. Everything here either creates the value (constructors), commits
+// a mutation batch (the one place an epoch advances), or reconstructs
+// state during recovery (replay, snapshot fold, migration).
+var epochWriters = map[string]bool{
+	"Commit": true, "Replay": true,
+	"New": true, "NewAtEpoch": true, "NewSession": true, "NewSessionAtEpoch": true,
+	"Advance": true, "Reset": true, "Snapshot": true,
+	"materializeLocked": true, "completeCheckpoint": true, "recoverGraph": true,
+}
+
+func runEpochOrder(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, EpochPackages) {
+		return nil
+	}
+	eachFuncBody(pass.Files, func(decl *ast.FuncDecl) {
+		// Function literals inherit the enclosing declaration's blessing:
+		// a closure inside Commit is still the commit path.
+		if epochWriters[decl.Name.Name] {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportEpochWrite(pass, lhs, decl.Name.Name)
+				}
+			case *ast.IncDecStmt:
+				reportEpochWrite(pass, n.X, decl.Name.Name)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// reportEpochWrite flags lhs when it is a selector for an epoch-named
+// struct field. Plain variables named "epoch" (locals, parameters) are
+// fine — only persistent state is guarded.
+func reportEpochWrite(pass *lintkit.Pass, lhs ast.Expr, fn string) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !epochFields[sel.Sel.Name] {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "epoch field %s.%s written in %s: epochs advance only through the blessed commit/replay entry points (see docs/INVARIANTS.md); route this through Commit/Replay or a constructor",
+		namedTypeName(s.Recv()), sel.Sel.Name, fn)
+}

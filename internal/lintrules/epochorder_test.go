@@ -1,0 +1,16 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func TestEpochOrderPositive(t *testing.T) {
+	linttest.Run(t, "testdata/epochorder/pos", lintrules.EpochOrder, dynPath)
+}
+
+func TestEpochOrderNegative(t *testing.T) {
+	linttest.MustBeCleanDir(t, "testdata/epochorder/neg", lintrules.EpochOrder, dynPath)
+}

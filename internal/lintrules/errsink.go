@@ -1,0 +1,173 @@
+package lintrules
+
+import (
+	"go/ast"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// SinkPackages are the durability-critical packages: the WAL/snapshot
+// store, the graph binary/manifest helpers, the serving layer's
+// write-through hooks, and the command binaries that wire them together.
+var SinkPackages = []string{"internal/store", "internal/graph", "internal/service", "cmd"}
+
+// ErrSink is an errcheck-style pass specialized to durability call sites.
+// In SinkPackages it flags discarded error results from the calls whose
+// failure means data loss:
+//
+//   - must-check calls (Append, Sync, Rename, Truncate, Flush, snapshot and
+//     manifest writers, Checkpoint, Replay): the error may not be dropped at
+//     all — not as a bare statement, not deferred, and not assigned to
+//     blank. An acknowledged batch that failed to reach the WAL is exactly
+//     the bug class PR 5 exists to prevent.
+//   - cleanup calls (Close on files this function opened for writing or on
+//     package-local log/store types, os.Remove, os.RemoveAll): a bare or
+//     deferred discard is flagged; assigning to blank (`_ = f.Close()`) is
+//     accepted as a deliberate, visible decision on error-cleanup paths.
+//
+// Close on read-only files (os.Open) is not flagged: it cannot lose writes.
+var ErrSink = &lintkit.Analyzer{
+	Name: "errsink",
+	Doc:  "flags unchecked errors from WAL/durability call sites (Append, Sync, Rename, manifest and snapshot writes, writable Close)",
+	Run:  runErrSink,
+}
+
+// mustCheck calls may never have their error discarded, even explicitly.
+var mustCheck = map[string]bool{
+	"Append": true, "Sync": true, "Rename": true, "Truncate": true,
+	"Flush": true, "WriteBinary": true, "WriteBinaryFile": true,
+	"WriteManifestFile": true, "WriteEdgeListFile": true, "SyncDir": true,
+	"Checkpoint": true, "SyncAndCheckpoint": true, "SyncAndCheckpointAll": true,
+	"Replay": true,
+	// Unexported spellings used inside internal/store.
+	"append": true, "syncIfDirty": true, "syncWAL": true,
+}
+
+// cleanup calls accept an explicit blank assignment but not a silent drop.
+var cleanup = map[string]bool{
+	"Close": true, "close": true, "Remove": true, "RemoveAll": true,
+}
+
+func runErrSink(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, SinkPackages) {
+		return nil
+	}
+	eachFuncBody(pass.Files, func(decl *ast.FuncDecl) {
+		writable := writableFiles(pass, decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscarded(pass, call, writable, "discarded")
+				}
+			case *ast.DeferStmt:
+				checkDiscarded(pass, n.Call, writable, "discarded by defer")
+			case *ast.GoStmt:
+				checkDiscarded(pass, n.Call, writable, "discarded by go")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkDiscarded handles a call whose results are entirely dropped.
+func checkDiscarded(pass *lintkit.Pass, call *ast.CallExpr, writable map[string]bool, how string) {
+	if _, ok := errorResult(pass.TypesInfo, call); !ok {
+		return
+	}
+	_, name, recv := calleeName(pass.TypesInfo, call)
+	switch {
+	case mustCheck[name]:
+		pass.Reportf(call.Pos(), "error from %s %s: a failed durability write must be handled, not dropped", callLabel(name, recv), how)
+	case cleanup[name] && cleanupApplies(pass, call, name, recv, writable):
+		pass.Reportf(call.Pos(), "error from %s %s: check it, or discard explicitly with `_ = ...` on a cleanup path", callLabel(name, recv), how)
+	}
+}
+
+// checkBlankAssign flags `_ = mustCheckCall(...)` and `x, _ := call(...)`
+// where the blank swallows a must-check error.
+func checkBlankAssign(pass *lintkit.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx, ok := errorResult(pass.TypesInfo, call)
+	if !ok || idx >= len(as.Lhs) {
+		return
+	}
+	if id := identOf(as.Lhs[idx]); id == nil || id.Name != "_" {
+		return
+	}
+	_, name, recv := calleeName(pass.TypesInfo, call)
+	if mustCheck[name] {
+		pass.Reportf(as.Pos(), "error from %s assigned to blank: a failed durability write must be handled, not dropped", callLabel(name, recv))
+	}
+}
+
+// cleanupApplies scopes the cleanup rule: os.Remove/RemoveAll always;
+// Close only when it can plausibly lose buffered writes — the receiver is
+// an *os.File this function opened writable, or a type declared in the
+// package under analysis (the WAL, the graph store, ...).
+func cleanupApplies(pass *lintkit.Pass, call *ast.CallExpr, name, recv string, writable map[string]bool) bool {
+	if name == "Remove" || name == "RemoveAll" {
+		pkg, _, r := calleeName(pass.TypesInfo, call)
+		return pkg == "os" && r == ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	if typeIs(tv.Type, "os", "File") {
+		id := identOf(sel.X)
+		return id != nil && writable[id.Name]
+	}
+	// Package-local receiver types own durable state by construction here.
+	if named := namedTypeName(tv.Type); named != "" && recv == named {
+		obj := pass.Pkg.Scope().Lookup(named)
+		return obj != nil
+	}
+	return false
+}
+
+// writableFiles collects the names of *os.File variables the function
+// obtained from os.Create or os.OpenFile — files whose Close can report
+// lost writes.
+func writableFiles(pass *lintkit.Pass, decl *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, _ := calleeName(pass.TypesInfo, call)
+		if pkg != "os" || (name != "Create" && name != "OpenFile" && name != "CreateTemp") {
+			return true
+		}
+		if id := identOf(as.Lhs[0]); id != nil {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+func callLabel(name, recv string) string {
+	if recv != "" {
+		return "(*" + recv + ")." + name
+	}
+	return name
+}

@@ -1,0 +1,21 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func TestErrSinkPositive(t *testing.T) {
+	linttest.Run(t, "testdata/errsink/pos", lintrules.ErrSink, storePath)
+}
+
+func TestErrSinkNegative(t *testing.T) {
+	linttest.MustBeCleanDir(t, "testdata/errsink/neg", lintrules.ErrSink, storePath)
+}
+
+func TestErrSinkSuppression(t *testing.T) {
+	// A justified //lint:ignore errsink silences the finding below it.
+	linttest.MustBeCleanDir(t, "testdata/errsink/suppressed", lintrules.ErrSink, storePath)
+}

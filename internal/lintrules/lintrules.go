@@ -1,0 +1,204 @@
+// Package lintrules holds the project-specific static-analysis passes run
+// by cmd/iminlint. Each analyzer turns one of the repository's load-bearing
+// invariants — the rules that make blocker sets bit-identical at any worker
+// count, acked mutation batches durable across kill -9, and the WAL append
+// path non-blocking — into a CI-enforced diagnostic instead of tribal
+// knowledge:
+//
+//	detrand    — no nondeterminism (unsorted map iteration into ordered
+//	             sinks, math/rand, time-as-entropy) in determinism-critical
+//	             packages; randomness comes from internal/rng streams.
+//	errsink    — no discarded errors from durability call sites (WAL
+//	             Append/Sync, fsync, Rename, manifest/snapshot writes).
+//	lockio     — no file or network I/O while holding a mutex (the PR 5
+//	             "fsync outside the append lock" rule, generalized).
+//	epochorder — epoch fields advance only through the blessed
+//	             commit/replay/migration entry points.
+//	ctxprop    — exported context-taking functions must consult their
+//	             context in long-running loops.
+//
+// The rules, their rationale, and the suppression syntax are documented in
+// docs/INVARIANTS.md.
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// All returns every analyzer, in stable order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		DetRand,
+		ErrSink,
+		LockIO,
+		EpochOrder,
+		CtxProp,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("detrand,lockio").
+func ByName(names string) ([]*lintkit.Analyzer, bool) {
+	want := strings.Split(names, ",")
+	var out []*lintkit.Analyzer
+	for _, name := range want {
+		found := false
+		for _, a := range All() {
+			if a.Name == strings.TrimSpace(name) {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// scopedTo reports whether pkgPath falls under any of the path patterns.
+// A pattern like "internal/core" matches that directory (segment-aligned,
+// any module prefix) and everything below it; "cmd" matches every command.
+// Matching by suffix rather than full path lets fixture packages opt in
+// under synthetic module paths.
+func scopedTo(pkgPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		if pkgPath == pat ||
+			strings.HasSuffix(pkgPath, "/"+pat) ||
+			strings.Contains(pkgPath, "/"+pat+"/") ||
+			strings.HasPrefix(pkgPath, pat+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// errorReturning reports whether the call's type includes a trailing error
+// result, and the index of that result (-1 when absent).
+func errorResult(info *types.Info, call *ast.CallExpr) (int, bool) {
+	tv, ok := info.Types[call]
+	if !ok {
+		return -1, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return -1, false
+		}
+		if isErrorType(t.At(t.Len() - 1).Type()) {
+			return t.Len() - 1, true
+		}
+	default:
+		if isErrorType(tv.Type) {
+			return 0, true
+		}
+	}
+	return -1, false
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorIface)
+}
+
+// calleeName resolves a call to (packagePath, name, receiverTypeName).
+// For a package-level call like os.Rename it returns ("os", "Rename", "").
+// For a method call it returns the method's package, name, and the named
+// receiver type ("File" for (*os.File).Sync). For a local function call
+// the package is the current one and the receiver empty.
+func calleeName(info *types.Info, call *ast.CallExpr) (pkgPath, name, recv string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return objPkgPath(obj), obj.Name(), ""
+		}
+	case *ast.SelectorExpr:
+		obj, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return "", "", ""
+		}
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return objPkgPath(obj), obj.Name(), namedTypeName(sig.Recv().Type())
+		}
+		return objPkgPath(obj), obj.Name(), ""
+	}
+	return "", "", ""
+}
+
+func objPkgPath(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// namedTypeName returns the bare name of t's named type, through pointers.
+func namedTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// typeIs reports whether t (through pointers) is the named type pkg.name.
+func typeIs(t types.Type, pkg, name string) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}
+
+// usesObject reports whether any identifier under node resolves to obj.
+func usesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredBefore reports whether obj was declared before pos (i.e. outside
+// a loop body that starts at pos).
+func declaredBefore(obj types.Object, pos token.Pos) bool {
+	return obj != nil && obj.Pos() < pos
+}
+
+// eachFuncBody visits every function declaration with a body.
+func eachFuncBody(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

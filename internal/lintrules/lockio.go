@@ -1,0 +1,258 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// LockPackages are the packages where a mutex held across file or network
+// I/O stalls a hot path: the WAL/snapshot store, the graph persistence
+// helpers, the serving layer, and the epoch layer.
+var LockPackages = []string{"internal/store", "internal/graph", "internal/service", "internal/dynamic"}
+
+// LockIO reports file or network I/O performed while a sync.Mutex or
+// sync.RWMutex is held — the generalization of PR 5's "the interval
+// flusher fsyncs outside the append lock" rule: an fsync (or any disk
+// write) under a lock that the commit path also takes turns a background
+// flush into a stall of every mutate.
+//
+// The pass is intraprocedural over lock regions — from a mu.Lock()/RLock()
+// statement to the first matching textual Unlock (or to the end of the
+// function when the Unlock is deferred) — but call-aware within the
+// package: a call to a same-package function whose body (transitively)
+// performs I/O counts as I/O at the call site. Function literals are
+// skipped: when they run (goroutine, defer) is not where they appear.
+//
+// Deliberate holds (a WAL append lock that must order records AND cover
+// the FsyncAlways ack) are suppressed in place with //lint:ignore lockio
+// and a justification; see docs/INVARIANTS.md.
+var LockIO = &lintkit.Analyzer{
+	Name: "lockio",
+	Doc:  "flags file/network I/O while holding a mutex (fsync under the append lock and friends)",
+	Run:  runLockIO,
+}
+
+// osIOFuncs are package-level functions of os (and path/filepath) that
+// touch the filesystem.
+var osIOFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Mkdir": true,
+	"MkdirAll": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Stat": true, "Truncate": true, "Chmod": true, "Link": true, "Symlink": true,
+}
+
+// fileIOMethods are methods of *os.File that hit the disk.
+var fileIOMethods = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true, "Read": true,
+	"ReadAt": true, "Sync": true, "Truncate": true, "Seek": true, "Close": true,
+}
+
+// knownIOFuncs are cross-package helpers known to perform file I/O, keyed
+// by (package path suffix, function name). The intra-package fixpoint
+// cannot see across packages, so the durability helpers of internal/graph
+// are declared here.
+var knownIOFuncs = map[string]bool{
+	"SyncDir": true, "WriteManifestFile": true, "ReadManifestFile": true,
+	"WriteBinaryFile": true, "ReadBinaryFile": true, "WriteEdgeListFile": true,
+	"ReadEdgeListFile": true,
+}
+
+func runLockIO(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, LockPackages) {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	// Pass 1: which package functions perform I/O directly?
+	doesIO := make(map[*types.Func]bool)
+	var decls []*ast.FuncDecl
+	eachFuncBody(pass.Files, func(decl *ast.FuncDecl) {
+		decls = append(decls, decl)
+		fn, _ := info.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && directIO(info, call) {
+				doesIO[fn] = true
+			}
+			return true
+		})
+	})
+
+	// Pass 2: propagate through same-package calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, decl := range decls {
+			fn, _ := info.Defs[decl.Name].(*types.Func)
+			if fn == nil || doesIO[fn] {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(info, call); callee != nil && doesIO[callee] {
+					doesIO[fn] = true
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: find lock regions and flag I/O calls inside them.
+	for _, decl := range decls {
+		regions := lockRegions(info, decl)
+		if len(regions) == 0 {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // runs elsewhere (goroutine, defer), not here
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var kind string
+			switch {
+			case directIO(info, call):
+				kind = "file/network I/O"
+			default:
+				callee := calleeFunc(info, call)
+				if callee == nil || !doesIO[callee] {
+					return true
+				}
+				kind = "a call to " + callee.Name() + " (which performs file I/O)"
+			}
+			for _, r := range regions {
+				if call.Pos() > r.lock && call.Pos() < r.end {
+					pass.Reportf(call.Pos(), "%s while holding %q (locked at line %d): move the I/O outside the critical section or justify with //lint:ignore lockio",
+						kind, r.name, pass.Fset.Position(r.lock).Line)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// directIO reports whether a call is itself filesystem or network I/O.
+func directIO(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name, recv := calleeName(info, call)
+	switch {
+	case pkg == "os" && recv == "" && osIOFuncs[name]:
+		return true
+	case recv == "File" && pkg == "os" && fileIOMethods[name]:
+		return true
+	case pkg == "net" || pkg == "net/http":
+		// Dialing, conn reads/writes, request round-trips.
+		return name == "Dial" || name == "DialTimeout" || name == "Do" ||
+			name == "Get" || name == "Post" || recv == "Conn" || recv == "TCPConn"
+	case knownIOFuncs[name] && recv == "":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves a call to its *types.Func when it is a plain
+// function or method call (not a builtin, conversion, or func value).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockRegion is one held-mutex span within a function body.
+type lockRegion struct {
+	name string    // rendered lock expression, e.g. "w.mu"
+	lock token.Pos // position of the Lock call
+	end  token.Pos // first matching Unlock, or function end when deferred
+}
+
+// lockRegions scans a function body for Lock/Unlock pairs on sync.Mutex /
+// sync.RWMutex values. Pairing is textual: a Lock is closed by the first
+// later Unlock on the same rendered receiver; a deferred Unlock extends
+// the region to the end of the function.
+func lockRegions(info *types.Info, decl *ast.FuncDecl) []lockRegion {
+	type event struct {
+		pos  token.Pos
+		name string
+		kind string // "lock", "unlock", "defer-unlock"
+	}
+	var events []event
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		kind := ""
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+			kind = "defer-"
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			kind += "lock"
+		case "Unlock", "RUnlock":
+			kind += "unlock"
+		default:
+			return true
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || !isMutex(tv.Type) {
+			return true
+		}
+		events = append(events, event{pos: call.Pos(), name: types.ExprString(sel.X), kind: kind})
+		return true
+	})
+
+	var regions []lockRegion
+	for i, e := range events {
+		if e.kind != "lock" && e.kind != "defer-lock" {
+			continue
+		}
+		end := decl.Body.End()
+		for _, u := range events[i+1:] {
+			if u.name != e.name {
+				continue
+			}
+			if u.kind == "unlock" && u.pos > e.pos {
+				end = u.pos
+				break
+			}
+			if u.kind == "defer-unlock" {
+				break // held to function end
+			}
+		}
+		regions = append(regions, lockRegion{name: e.name, lock: e.pos, end: end})
+	}
+	return regions
+}
+
+func isMutex(t types.Type) bool {
+	return typeIs(t, "sync", "Mutex") || typeIs(t, "sync", "RWMutex")
+}

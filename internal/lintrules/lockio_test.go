@@ -1,0 +1,18 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func TestLockIOPositive(t *testing.T) {
+	// Includes the PR 5 shutdown-ordering shape: fsync under the append lock.
+	linttest.Run(t, "testdata/lockio/pos", lintrules.LockIO, storePath)
+}
+
+func TestLockIONegative(t *testing.T) {
+	// The fix shape: capture under the lock, release, then fsync.
+	linttest.MustBeCleanDir(t, "testdata/lockio/neg", lintrules.LockIO, storePath)
+}

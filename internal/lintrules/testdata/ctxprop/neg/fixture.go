@@ -1,0 +1,36 @@
+// Negative ctxprop fixture: loops that check the context, unexported
+// helpers, and pure-arithmetic loops.
+package fixture
+
+import "context"
+
+func work(i int) int { return i * i }
+
+func Solve(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(i)
+	}
+	return total, nil
+}
+
+// Unexported helpers are the exported caller's responsibility.
+func solveInner(ctx context.Context, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += work(i)
+	}
+	return t
+}
+
+// A loop with no calls is assumed to be fast arithmetic.
+func Norm(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+// Positive ctxprop fixture: an exported entry point takes a context and
+// then runs a working loop that never consults it.
+package fixture
+
+import "context"
+
+func work(i int) int { return i * i }
+
+func Solve(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "never consults it"
+		total += work(i)
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Negative detrand fixture: map iteration whose effect is order-
+// independent, or made deterministic by a sort, stays silent.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation is commutative
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // building a map: no observable order
+	}
+	return out
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // the clock as a clock, not as entropy
+}

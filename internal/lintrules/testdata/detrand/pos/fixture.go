@@ -1,0 +1,43 @@
+// Positive detrand fixture: every construct here loses determinism to map
+// iteration order, ambient randomness, or the clock. Checked under a
+// determinism-critical package path by the test harness.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration"
+	}
+	return keys
+}
+
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation"
+	}
+	return total
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "ordered sink"
+	}
+}
+
+func send(ch chan string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func seed() int64 {
+	return rand.Int63() + time.Now().UnixNano() // want "math/rand" "time-as-entropy"
+}

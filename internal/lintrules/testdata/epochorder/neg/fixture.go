@@ -1,0 +1,29 @@
+// Negative epochorder fixture: construction, the blessed entry points, and
+// plain local variables that happen to be named epoch.
+package fixture
+
+type graphState struct {
+	epoch     uint64
+	snapEpoch uint64
+}
+
+func New(epoch uint64) *graphState {
+	return &graphState{epoch: epoch} // composite literal is construction
+}
+
+func (g *graphState) Commit() {
+	g.epoch++
+	g.snapEpoch = g.epoch
+}
+
+func (g *graphState) Replay(to uint64) {
+	for g.epoch < to {
+		g.epoch++
+	}
+}
+
+func localEpochs() uint64 {
+	epoch := uint64(0) // locals are not persistent state
+	epoch++
+	return epoch
+}

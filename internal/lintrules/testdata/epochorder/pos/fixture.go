@@ -1,0 +1,16 @@
+// Positive epochorder fixture: epoch fields written by helpers outside the
+// blessed commit/replay entry points.
+package fixture
+
+type graphState struct {
+	epoch     uint64
+	snapEpoch uint64
+}
+
+func (g *graphState) bumpForTest() {
+	g.epoch++ // want "written in bumpForTest"
+}
+
+func (g *graphState) setSnap(e uint64) {
+	g.snapEpoch = e // want "written in setSnap"
+}

@@ -1,0 +1,37 @@
+// Negative errsink fixture: checked errors, explicit cleanup discards,
+// and read-only closes stay silent.
+package fixture
+
+import "os"
+
+type wal struct{ f *os.File }
+
+func (w *wal) Append(b []byte) error { _, err := w.f.Write(b); return err }
+
+func ack(w *wal, b []byte) error {
+	return w.Append(b)
+}
+
+func writeThenCleanup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		_ = f.Close() // explicit discard on a cleanup path is a decision
+		_ = os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // closing a read-only file cannot lose writes
+	var b [8]byte
+	_, err = f.Read(b[:])
+	return err
+}

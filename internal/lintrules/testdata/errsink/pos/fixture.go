@@ -1,0 +1,23 @@
+// Positive errsink fixture: dropped errors from durability call sites.
+package fixture
+
+import "os"
+
+type wal struct{ f *os.File }
+
+func (w *wal) Append(b []byte) error { _, err := w.f.Write(b); return err }
+func (w *wal) Sync() error           { return w.f.Sync() }
+
+func ack(w *wal, b []byte) {
+	w.Append(b)  // want "Append discarded"
+	_ = w.Sync() // want "assigned to blank"
+}
+
+func rotate(dir string) {
+	defer os.Remove(dir) // want "Remove discarded by defer"
+	f, err := os.Create(dir + "/x")
+	if err != nil {
+		return
+	}
+	f.Close() // want "Close discarded"
+}

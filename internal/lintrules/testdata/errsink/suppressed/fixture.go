@@ -1,0 +1,14 @@
+// Suppression fixture: a justified //lint:ignore silences a finding on the
+// line below it, so the directory checks clean.
+package fixture
+
+import "os"
+
+type wal struct{ f *os.File }
+
+func (w *wal) Sync() error { return w.f.Sync() }
+
+func shutdown(w *wal) {
+	//lint:ignore errsink process is exiting and the error has nowhere to go
+	w.Sync()
+}

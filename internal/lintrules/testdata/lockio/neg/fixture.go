@@ -1,0 +1,39 @@
+// Negative lockio fixture: the PR 5 fix shape — capture state under the
+// lock, release it, then do the I/O — plus goroutine bodies, which run
+// after the critical section even when written inside it.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type walog struct {
+	mu    sync.Mutex
+	f     *os.File
+	dirty bool
+}
+
+func (l *walog) flush() error {
+	l.mu.Lock()
+	if !l.dirty {
+		l.mu.Unlock()
+		return nil
+	}
+	l.dirty = false
+	f := l.f
+	l.mu.Unlock()
+	return f.Sync()
+}
+
+func (l *walog) snapshotAsync(path string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		_ = f.Close()
+	}()
+}

@@ -1,0 +1,40 @@
+// Positive lockio fixture, including the PR 5 shutdown-ordering bug shape:
+// the shutdown path fsyncs under the same lock every append takes, so one
+// slow flush stalls every concurrent commit.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type walog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (l *walog) shutdownSync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync() // want "I/O while holding"
+}
+
+func (l *walog) rotate(path string) error {
+	l.mu.Lock()
+	f, err := os.Create(path) // want "I/O while holding"
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.f = f
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *walog) flushIndirect() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.doSync() // want "performs file I/O"
+}
+
+func (l *walog) doSync() { _ = l.f.Sync() }

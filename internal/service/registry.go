@@ -284,9 +284,14 @@ func (r *Registry) Remove(name string) (*GraphEntry, error) {
 // returning the first error (but attempting all).
 func (r *Registry) SyncAndCheckpointAll() error {
 	r.mu.RLock()
-	entries := make([]*GraphEntry, 0, len(r.entries))
-	for _, e := range r.entries {
-		entries = append(entries, e)
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*GraphEntry, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, r.entries[name])
 	}
 	r.mu.RUnlock()
 	var first error

@@ -251,15 +251,15 @@ func (s *Store) Create(name string, g *graph.Graph, epoch uint64, source, probMo
 		N: g.N(), M: g.M(), UpdatedAt: time.Now().UTC(),
 	}
 	if err := graph.WriteManifestFile(filepath.Join(dir, "manifest.json"), man); err != nil {
-		w.close()
+		_ = w.close()
 		return nil, err
 	}
 	if err := graph.SyncDir(dir); err != nil {
-		w.close()
+		_ = w.close()
 		return nil, err
 	}
 	if err := graph.SyncDir(filepath.Join(s.root, "graphs")); err != nil {
-		w.close()
+		_ = w.close()
 		return nil, err
 	}
 	gs := &GraphStore{store: s, name: name, dir: dir, gen: 0, wal: w, man: *man}
@@ -268,7 +268,7 @@ func (s *Store) Create(name string, g *graph.Graph, epoch uint64, source, probMo
 		// The store shut down while the snapshot was being written; a
 		// GraphStore registered now would never be flushed or closed.
 		s.mu.Unlock()
-		w.close()
+		_ = w.close()
 		return nil, fmt.Errorf("store: closed during create of %q", name)
 	}
 	s.graphs[name] = gs
@@ -283,7 +283,7 @@ func (s *Store) Remove(name string) error {
 	delete(s.graphs, name)
 	s.mu.Unlock()
 	if gs != nil {
-		gs.close()
+		_ = gs.close()
 	}
 	if err := os.RemoveAll(s.graphDir(name)); err != nil {
 		return err
@@ -299,21 +299,21 @@ func writeSnapshotFile(path string, g *graph.Graph) error {
 		return err
 	}
 	if err := g.WriteBinary(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return graph.SyncDir(filepath.Dir(path))
@@ -417,16 +417,23 @@ func (gs *GraphStore) beginCheckpoint() (uint64, error) {
 		return 0, fmt.Errorf("store: graph %q is closed", gs.name)
 	}
 	newGen := gs.gen + 1
+	// The generation swap must appear atomic to appenders: the new log is
+	// created, made durable, and installed — and the old one closed —
+	// all under gs.mu, or a concurrent Append could land in a WAL that
+	// recovery will never replay.
+	//lint:ignore lockio generation swap is atomic under gs.mu by design (see comment above)
 	w, err := createWAL(filepath.Join(gs.dir, walName(newGen)), gs.store.cfg.Fsync)
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore lockio generation swap is atomic under gs.mu by design
 	if err := graph.SyncDir(gs.dir); err != nil {
-		w.close()
+		_ = w.close() //lint:ignore lockio error path under the generation-swap lock; the new log has no other referents yet
 		return 0, err
 	}
+	//lint:ignore lockio generation swap is atomic under gs.mu by design
 	if err := gs.wal.close(); err != nil {
-		w.close()
+		_ = w.close() //lint:ignore lockio error path under the generation-swap lock; the new log has no other referents yet
 		return 0, err
 	}
 	gs.gen = newGen
@@ -480,7 +487,7 @@ func (gs *GraphStore) removeGenerationsBelow(gen uint64) {
 	for _, e := range entries {
 		if g, kind, ok := parseGenFile(e.Name()); ok && g < gen {
 			_ = kind
-			os.Remove(filepath.Join(gs.dir, e.Name()))
+			_ = os.Remove(filepath.Join(gs.dir, e.Name()))
 		}
 	}
 }
@@ -523,6 +530,7 @@ func (gs *GraphStore) close() error {
 	if gs.wal == nil {
 		return nil
 	}
+	//lint:ignore lockio final close must exclude concurrent appenders, so it runs under gs.mu
 	err := gs.wal.close()
 	gs.wal = nil
 	return err
@@ -620,7 +628,7 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 			return nil, err
 		}
 		if err := graph.SyncDir(dir); err != nil {
-			w.close()
+			_ = w.close()
 			return nil, err
 		}
 		gs := &GraphStore{store: s, name: name, dir: dir, gen: man.WALGen, wal: w, man: *man}
@@ -679,7 +687,7 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 		// never be replayed now.
 		for _, gen := range gens {
 			if gen > lastGen {
-				os.Remove(filepath.Join(dir, walName(gen)))
+				_ = os.Remove(filepath.Join(dir, walName(gen)))
 			}
 		}
 	}
