@@ -49,6 +49,7 @@ func main() {
 		benchB     = flag.Int("bench-budget", 10, "greedy rounds per benchcore run")
 		benchMin   = flag.Duration("bench-mintime", 2*time.Second, "minimum measuring time per benchcore mode and sweep point")
 		benchForce = flag.Bool("force", false, "overwrite an existing -bench-out measured under a different worker configuration")
+		benchFloor = flag.Float64("bench-scaling-floor", 0, "fail benchcore if the 4-worker speedup over 1 worker is below this (only on >=4-CPU machines; 0 disables)")
 	)
 	flag.Parse()
 	if len(exps) == 0 {
@@ -141,10 +142,11 @@ func main() {
 	if want["benchcore"] {
 		section("Estimator benchmark (DecreaseES fresh vs pooled vs incremental)")
 		_, err := harness.RunBenchCore(cfg, harness.BenchCoreOptions{
-			Budget:   *benchB,
-			MinTime:  *benchMin,
-			JSONPath: *benchOut,
-			Force:    *benchForce,
+			Budget:       *benchB,
+			MinTime:      *benchMin,
+			JSONPath:     *benchOut,
+			Force:        *benchForce,
+			ScalingFloor: *benchFloor,
 		})
 		failIf(err)
 		if *benchOut != "" {

@@ -7,6 +7,7 @@
 //	gengraph -stats -scale 0.02                    # statistics check
 //	gengraph -dataset DBLP -scale 0.05 -out d.txt  # write one dataset
 //	gengraph -all -scale 0.01 -dir ./data          # write all eight
+//	gengraph -skew 50000 -out skew.txt             # heavy-tailed sample sizes
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	imin "github.com/imin-dev/imin"
 	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/rng"
 )
 
 func main() {
@@ -31,6 +33,9 @@ func main() {
 		out     = flag.String("out", "", "output file for -dataset")
 		dir     = flag.String("dir", ".", "output directory for -all")
 		format  = flag.String("format", "text", "output format: text (edge list) or binary (fast loading)")
+
+		skew       = flag.Int("skew", 0, "generate a graph with this many vertices whose live-edge sample sizes are heavy-tailed (exercises estimator work stealing); overrides -dataset/-all")
+		skewChains = flag.Int("skew-chains", 16, "with -skew: number of high-probability cascade chains behind the gateway vertex")
 	)
 	flag.Parse()
 
@@ -50,6 +55,17 @@ func main() {
 	}
 
 	switch {
+	case *skew > 0:
+		g := datasets.SkewedCascade(*skew, *skewChains, 0.25, 0.05, rng.New(*seed))
+		path := *out
+		if path == "" {
+			path = "skew" + ext
+		}
+		if err := write(g, path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d vertices, %d edges (skewed cascade, %d chains; sample from vertex 0)\n",
+			path, g.N(), g.M(), *skewChains)
 	case *stats:
 		fmt.Print(datasets.TableIV(*scale, *seed))
 		if *deep {

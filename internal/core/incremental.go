@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/dominator"
@@ -15,37 +17,45 @@ import (
 // region contains x, so instead of re-scanning all θ samples every round it
 //
 //  1. diffs the requested blocker set against the one the cache reflects,
-//  2. collects the dirty samples through the pool's inverted index into
-//     per-shard dirty queues,
-//  3. has each shard retract the dirty samples' cached per-vertex
-//     subtree-size contributions from its own int64 accumulator, re-run the
-//     filtered dominator computation, and add the new contributions back,
-//  4. refreshes the cached Δ vector at exactly the touched vertices by
-//     summing the shard accumulators in fixed shard order.
+//  2. collects the dirty samples through the pool's inverted index into a
+//     staging list, grouped into one contiguous batch per worker shard,
+//  3. has the workers retract the dirty samples' cached per-vertex
+//     subtree-size contributions, re-run the filtered dominator
+//     computation, and add the new contributions back — each worker into
+//     its own cache-line-aligned int64 accumulator, stealing batch chunks
+//     from overloaded shards once its own batch is drained,
+//  4. refreshes the cached Δ vector at exactly the touched vertices by a
+//     range-partitioned parallel reduction over the worker accumulators.
 //
 // A round therefore costs O(θ_x·m̄/P + t) where θ_x is the number of
 // samples containing the flipped vertices — on real graphs a small
-// fraction of θ — P the shard count, and t the number of touched vertices,
-// against PooledEstimator's O(θ·m̄).
+// fraction of θ — P the worker count, and t the number of touched
+// vertices, against PooledEstimator's O(θ·m̄).
 //
-// Sharding: the θ samples are partitioned into P contiguous ranges; shard
-// s owns samples [s·θ/P, (s+1)·θ/P), its own accumulator array acc_s[u]
-// (the sum of u's cached contributions over the shard's samples), its own
-// dirty queue, and its own dominator/filter scratch. Dirty samples are
-// routed to their owning shard, so shards never write shared state during
-// the parallel phase; the contribution arena is disjoint per sample and
-// therefore also race-free.
+// Sharding and stealing: the θ samples are partitioned into P contiguous
+// ranges; shard s is handed the batch of dirty samples it owns at the start
+// of each round. Worker s drains its own batch first (cache locality: a
+// shard's samples are adjacent in the arena), then claims fixed-size chunks
+// from the fullest remaining batch through that shard's atomic cursor — the
+// only cross-worker write target of the phase, padded onto its own cache
+// line. A stolen sample's contributions land in the THIEF's accumulator,
+// not the owner's: correctness needs only the invariant that
+// Σ_s acc_s[u] equals the sum of u's cached contributions over all samples,
+// and exact int64 addition makes that sum independent of which accumulator
+// holds which part. The contribution arena is sample-disjoint, and each
+// claimed chunk has exactly one processor, so the phase is race-free.
 //
 // Equivalence and P-independence: contributions are exact int64 values and
-// Σ_s acc_s[u] = Σ over all samples of u's contribution for any partition,
-// so DecreaseES output is bit-identical to PooledEstimator over the same
-// pool for every blocker sequence and every worker count — workers=1 and
-// workers=8 return the same bits (the cross-validation and determinism
-// tests assert this). The estimator carries mutable state and admits one
-// DecreaseES caller at a time, like Estimator; the state survives across
-// solves, so a warm session's later runs on the same pool only reprocess
-// samples touched by the previous run's blockers. SetWorkers reshards
-// without touching the pool or the contribution cache.
+// Σ_s acc_s[u] is invariant under both the partition and the steal
+// schedule, so DecreaseES output is bit-identical to PooledEstimator over
+// the same pool for every blocker sequence, every worker count, and every
+// interleaving — workers=1 and workers=8 return the same bits (the
+// cross-validation and determinism tests assert this). The estimator
+// carries mutable state and admits one DecreaseES caller at a time, like
+// Estimator; the state survives across solves, so a warm session's later
+// runs on the same pool only reprocess samples touched by the previous
+// run's blockers. SetWorkers reshards without touching the pool or the
+// contribution cache.
 type IncrementalPooledEstimator struct {
 	pool    *SamplePool
 	workers int // requested; len(shards) is the clamped effective count
@@ -57,9 +67,9 @@ type IncrementalPooledEstimator struct {
 
 	// Per-sample contribution cache in arena form: sample i's entries
 	// occupy the first contribLen[i] slots of
-	// contrib{Vert,Size}[pool.vertStart[i]:], which fits because a sample
+	// contrib{Vert,Size}[pool.contribBase(i):], which fits because a sample
 	// contributes at most K_i−1 (vertex, size) pairs. Slots of distinct
-	// samples are disjoint, so shards recompute dirty samples in parallel.
+	// samples are disjoint, so workers recompute dirty samples in parallel.
 	// The cache is partition-independent state: resharding reuses it to
 	// rebuild the new shard accumulators.
 	contribLen  []int32
@@ -69,31 +79,59 @@ type IncrementalPooledEstimator struct {
 	shards  []*incShard
 	ownerOf []int32 // sample id → owning shard index
 
-	dirtyMark []bool // dedup over samples, cleared after each round
-	nDirty    int    // dirty samples queued this round, across all shards
+	// Dirty staging: markDirty appends to dirtyList (deduped by dirtyMark)
+	// in encounter order; at the start of each round the list is grouped by
+	// owning shard into batchBuf — one contiguous batch per shard, handed
+	// over in a single slice assignment instead of per-sample queue
+	// appends. The staging list is shard-layout-independent, so pending
+	// dirty samples (queued by RepairPool between rounds) survive a
+	// SetWorkers reshard in place.
+	dirtyMark []bool  // dedup over samples, cleared after each round
+	dirtyList []int32 // staged dirty samples for the next round
+	batchBuf  []int32 // round scratch: dirtyList grouped by owner
+	batchCnt  []int32 // round scratch: per-shard batch boundaries
+	batchPos  []int32 // round scratch: per-shard fill cursors
 
-	union     []graph.V // scratch: union of shard-touched vertices
-	unionMark []bool
+	union      []graph.V   // serial-reduction union scratch
+	unionParts [][]graph.V // parallel-reduction per-range segments
+	unionMark  []bool
 
 	rounds      int64 // DecreaseES calls answered
 	reprocessed int64 // dirty samples recomputed across all rounds
+	stolenPast  int64 // steals folded in from shards retired by reshard
 }
 
-// incShard owns one contiguous range of the pool's samples: its persistent
-// accumulator, its dirty queue for the current round, and the scratch for
-// re-running filtered dominator computations. During the parallel phase a
-// shard touches only its own fields plus the (sample-disjoint) contribution
-// arena.
+// incShard is one worker's persistent state: the contiguous sample range it
+// owns, its cache-line-aligned accumulator and touched-mark arrays, and the
+// scratch for re-running filtered dominator computations. During the
+// parallel phase a worker writes only its own fields plus the
+// (sample-disjoint) contribution arena — except the claim cursors, which
+// are the designed cross-worker handoff point.
 type incShard struct {
 	lo, hi int // owned sample range [lo, hi)
 	filterScratch
-	acc     []int64   // acc[u] = Σ over owned samples of u's cached subtree size
-	dirty   []int32   // dirty queue for the current round, owned samples only
+	sview   sampleView
+	acc     []int64   // acc[u] = Σ of cached subtree sizes this worker folded in; cache-line-aligned
+	marked  []bool    // dedup for touched; cache-line-aligned
 	touched []graph.V // vertices whose acc changed this round
-	marked  []bool    // dedup for touched
+	batch   []int32   // this round's owned dirty batch (aliases batchBuf)
+
+	// Work counters, written only by this shard's worker goroutine.
+	processed int64 // dirty samples this worker recomputed (own + stolen)
+	stolen    int64 // subset claimed from other shards' batches
+	procNs    int64 // cumulative ns in the parallel dirty-processing phase
+
+	// cur is the claim cursor into batch: every worker that takes a chunk
+	// (the owner included) bumps it. It is the one word of this struct that
+	// other workers write during the parallel phase, so it gets a cache
+	// line of its own — without the padding, a steal would invalidate the
+	// owner's adjacent hot fields on every claim.
+	_   [cacheLine]byte
+	cur atomic.Int64
+	_   [cacheLine - 8]byte
 }
 
-// add folds one contribution delta into the shard accumulator, recording
+// add folds one contribution delta into the worker accumulator, recording
 // the vertex for the reduction phase.
 func (sh *incShard) add(v graph.V, d int64) {
 	if !sh.marked[v] {
@@ -103,10 +141,16 @@ func (sh *incShard) add(v graph.V, d int64) {
 	sh.acc[v] += d
 }
 
-// NewIncrementalPooledEstimator draws theta samples into a fresh pool and
-// wraps it. workers <= 0 selects GOMAXPROCS.
+// NewIncrementalPooledEstimator draws theta samples into a fresh flat pool
+// and wraps it. workers <= 0 selects GOMAXPROCS.
 func NewIncrementalPooledEstimator(sampler cascade.LiveSampler, src graph.V, theta, workers int, domAlgo DomAlgo, base *rng.Source) *IncrementalPooledEstimator {
-	return NewIncrementalPooledEstimatorFromPool(NewSamplePool(sampler, src, theta, workers, base), workers, domAlgo)
+	return NewIncrementalPooledEstimatorEnc(sampler, src, theta, workers, domAlgo, base, PoolFlat)
+}
+
+// NewIncrementalPooledEstimatorEnc is NewIncrementalPooledEstimator with an
+// explicit pool arena layout; output is bit-identical across encodings.
+func NewIncrementalPooledEstimatorEnc(sampler cascade.LiveSampler, src graph.V, theta, workers int, domAlgo DomAlgo, base *rng.Source, enc PoolEncoding) *IncrementalPooledEstimator {
+	return NewIncrementalPooledEstimatorFromPool(NewSamplePoolEnc(sampler, src, theta, workers, base, enc), workers, domAlgo)
 }
 
 // NewIncrementalPooledEstimatorFromPool wraps an existing (possibly shared)
@@ -114,14 +158,15 @@ func NewIncrementalPooledEstimator(sampler cascade.LiveSampler, src graph.V, the
 // prime the accumulators; later calls are incremental.
 func NewIncrementalPooledEstimatorFromPool(pool *SamplePool, workers int, domAlgo DomAlgo) *IncrementalPooledEstimator {
 	n := pool.g.N()
+	tv := pool.totalVertEntries()
 	e := &IncrementalPooledEstimator{
 		pool:        pool,
 		domAlgo:     domAlgo,
 		prevBlocked: make([]bool, n),
 		vals:        make([]float64, n),
 		contribLen:  make([]int32, pool.Theta()),
-		contribVert: make([]graph.V, len(pool.vertOrig)),
-		contribSize: make([]int32, len(pool.vertOrig)),
+		contribVert: make([]graph.V, tv),
+		contribSize: make([]int32, tv),
 		ownerOf:     make([]int32, pool.Theta()),
 		dirtyMark:   make([]bool, pool.Theta()),
 		unionMark:   make([]bool, n),
@@ -158,16 +203,15 @@ func (e *IncrementalPooledEstimator) SetWorkers(workers int) {
 
 // reshard builds the shard set for the clamped worker count and, if the
 // estimator is primed, re-aggregates the per-sample contribution cache into
-// the new owners' accumulators. State parked in the shards between rounds —
-// dirty samples queued by RepairPool and the touched-vertex marks of their
-// retracted contributions — is carried over to the new owners, so a worker
-// change between a pool repair and the next DecreaseES loses nothing.
+// the new owners' accumulators. The staged dirty list is shard-independent
+// and survives in place; the touched-vertex marks of contributions
+// RepairPool retracted between rounds are carried over, so a worker change
+// between a pool repair and the next DecreaseES loses nothing.
 func (e *IncrementalPooledEstimator) reshard(workers int) {
-	var pendingDirty []int32
 	var pendingTouched []graph.V
 	for _, sh := range e.shards {
-		pendingDirty = append(pendingDirty, sh.dirty...)
 		pendingTouched = append(pendingTouched, sh.touched...)
+		e.stolenPast += sh.stolen
 	}
 	e.workers = workers
 	theta := e.pool.Theta()
@@ -179,16 +223,13 @@ func (e *IncrementalPooledEstimator) reshard(workers int) {
 			lo:            s * theta / p,
 			hi:            (s + 1) * theta / p,
 			filterScratch: newFilterScratch(),
-			acc:           make([]int64, n),
-			marked:        make([]bool, n),
+			acc:           alignedInt64(n),
+			marked:        alignedBools(n),
 		}
 		e.shards[s] = sh
 		for i := sh.lo; i < sh.hi; i++ {
 			e.ownerOf[i] = int32(s)
 		}
-	}
-	for _, i := range pendingDirty {
-		e.shards[e.ownerOf[i]].dirty = append(e.shards[e.ownerOf[i]].dirty, i)
 	}
 	// Touched marks exist only to drive the next round's Δ-vector refresh;
 	// any shard's list feeds the same union, so they all land on shard 0.
@@ -204,7 +245,7 @@ func (e *IncrementalPooledEstimator) reshard(workers int) {
 	}
 	for i := 0; i < theta; i++ {
 		acc := e.shards[e.ownerOf[i]].acc
-		base := e.pool.vertStart[i]
+		base := e.pool.contribBase(i)
 		for j := base; j < base+int64(e.contribLen[i]); j++ {
 			acc[e.contribVert[j]] += int64(e.contribSize[j])
 		}
@@ -248,18 +289,22 @@ func (e *IncrementalPooledEstimator) DecreaseESFlipsView(blocked []bool, flips [
 
 // smallRoundInline is the dirty-sample count under which the round runs on
 // the calling goroutine: spawning and joining shard goroutines costs more
-// than a few dozen tiny dominator runs. The serial path walks the shards
-// in the same fixed order, so the output bits do not depend on which path
+// than a few dozen tiny dominator runs. The serial path walks the batches
+// in fixed shard order, so the output bits do not depend on which path
 // ran.
 const smallRoundInline = 32
 
-// markDirty routes sample i to its owning shard's dirty queue, once.
+// stealChunk is the number of dirty samples a worker claims per cursor
+// bump. Large enough to amortize the atomic (and keep stolen samples
+// arena-adjacent), small enough that a skewed batch spreads across every
+// idle worker.
+const stealChunk = 8
+
+// markDirty stages sample i for the next round, once.
 func (e *IncrementalPooledEstimator) markDirty(i int32) {
 	if !e.dirtyMark[i] {
 		e.dirtyMark[i] = true
-		sh := e.shards[e.ownerOf[i]]
-		sh.dirty = append(sh.dirty, i)
-		e.nDirty++
+		e.dirtyList = append(e.dirtyList, i)
 	}
 }
 
@@ -268,14 +313,12 @@ func (e *IncrementalPooledEstimator) decreaseES(blocked []bool, flips []graph.V,
 	theta := e.pool.Theta()
 	e.rounds++
 
-	// Phase 0 (serial): route dirty samples to their owning shards.
+	// Phase 0 (serial): stage the round's dirty samples.
 	switch {
 	case !e.primed:
-		for _, sh := range e.shards {
-			for i := sh.lo; i < sh.hi; i++ {
-				sh.dirty = append(sh.dirty, int32(i))
-			}
-			e.nDirty += sh.hi - sh.lo
+		for i := 0; i < theta; i++ {
+			e.dirtyMark[i] = true
+			e.dirtyList = append(e.dirtyList, int32(i))
 		}
 		e.primed = true
 		if blocked == nil {
@@ -286,135 +329,253 @@ func (e *IncrementalPooledEstimator) decreaseES(blocked []bool, flips []graph.V,
 			copy(e.prevBlocked, blocked[:n])
 		}
 	case haveFlips:
+		mark := e.markDirty // hoisted: one method-value closure per round, not per flip
 		for _, v := range flips {
 			nb := blocked != nil && blocked[v]
 			if nb == e.prevBlocked[v] {
 				continue // duplicate flip, net no-op
 			}
 			e.prevBlocked[v] = nb
-			for _, i := range e.pool.SamplesContaining(v) {
-				e.markDirty(i)
-			}
+			e.pool.samplesContaining(v, mark)
 		}
 	default:
+		mark := e.markDirty
 		for v := 0; v < n; v++ {
 			nb := blocked != nil && blocked[v]
 			if nb == e.prevBlocked[v] {
 				continue
 			}
 			e.prevBlocked[v] = nb
-			for _, i := range e.pool.SamplesContaining(graph.V(v)) {
-				e.markDirty(i)
-			}
+			e.pool.samplesContaining(graph.V(v), mark)
 		}
 	}
-	if e.nDirty == 0 {
+	nDirty := len(e.dirtyList)
+	if nDirty == 0 {
 		return e.vals
 	}
-	e.reprocessed += int64(e.nDirty)
+	e.reprocessed += int64(nDirty)
 
-	// Phase 1: each shard reprocesses its own dirty queue against its own
-	// accumulator. Tiny rounds run inline, in shard order; the result is
-	// the same either way because shards share nothing.
-	parallel := len(e.shards) > 1 && e.nDirty > smallRoundInline
+	// Batch handoff (serial): group the staged list by owning shard with a
+	// stable counting sort — one contiguous batch per shard, assigned in a
+	// single slice header write instead of per-sample queue appends that
+	// would dirty every shard's slice header cache line from this
+	// goroutine.
+	p := len(e.shards)
+	if cap(e.batchBuf) < nDirty {
+		e.batchBuf = make([]int32, nDirty)
+	}
+	batch := e.batchBuf[:nDirty]
+	if cap(e.batchCnt) < p+1 {
+		e.batchCnt = make([]int32, p+1)
+		e.batchPos = make([]int32, p+1)
+	}
+	cnt := e.batchCnt[:p+1]
+	for s := range cnt {
+		cnt[s] = 0
+	}
+	for _, i := range e.dirtyList {
+		cnt[e.ownerOf[i]+1]++
+	}
+	for s := 1; s <= p; s++ {
+		cnt[s] += cnt[s-1]
+	}
+	pos := e.batchPos[:p+1]
+	copy(pos, cnt)
+	for _, i := range e.dirtyList {
+		s := e.ownerOf[i]
+		batch[pos[s]] = i
+		pos[s]++
+	}
+	for s, sh := range e.shards {
+		sh.batch = batch[cnt[s]:cnt[s+1]]
+		sh.cur.Store(0)
+	}
+
+	// Phase 1: workers drain the batches — own shard first, then chunks
+	// stolen from the fullest remaining batch. Tiny rounds run inline, in
+	// shard order; the result is the same either way because every
+	// schedule folds the same exact integers.
+	parallel := p > 1 && nDirty > smallRoundInline
 	if parallel {
 		var wg sync.WaitGroup
-		for _, sh := range e.shards {
-			if len(sh.dirty) == 0 {
-				continue
-			}
+		for w := range e.shards {
 			wg.Add(1)
-			go func(sh *incShard) {
+			go func(w int) {
 				defer wg.Done()
-				e.processShard(sh, blocked)
-			}(sh)
+				e.runWorker(w, blocked)
+			}(w)
 		}
 		wg.Wait()
 	} else {
 		for _, sh := range e.shards {
-			if len(sh.dirty) > 0 {
-				e.processShard(sh, blocked)
+			if len(sh.batch) == 0 {
+				continue
 			}
+			t0 := time.Now()
+			e.processInto(sh, sh.batch, blocked)
+			sh.processed += int64(len(sh.batch))
+			sh.procNs += time.Since(t0).Nanoseconds()
 		}
 	}
 
-	// Phase 2 (serial): merge the shards' touched lists into one deduped
-	// union, in fixed shard order, and drain the round's queues.
-	e.union = e.union[:0]
+	// Phase 2: refresh the cached Δ vector at exactly the touched
+	// vertices, clear the marks, and drain the round's staging. vals[u] =
+	// float64(Σ_s acc_s[u])·θ⁻¹ — the same expression PooledEstimator
+	// evaluates, with the shard sum combined pairwise (sumAcc); int64
+	// addition is exact, so the association is immaterial to the bits.
+	// Large rounds run the reduction range-partitioned in parallel:
+	// reducer r owns vertex range [r·n/R, (r+1)·n/R) and is the only
+	// goroutine that touches marks, union entries, or vals inside it, so
+	// the dedup needs no synchronization and the output cannot depend on
+	// scheduling.
+	totTouched := 0
 	for _, sh := range e.shards {
-		for _, v := range sh.touched {
-			sh.marked[v] = false
-			if !e.unionMark[v] {
-				e.unionMark[v] = true
-				e.union = append(e.union, v)
-			}
-		}
-		sh.touched = sh.touched[:0]
-		for _, i := range sh.dirty {
-			e.dirtyMark[i] = false
-		}
-		sh.dirty = sh.dirty[:0]
+		totTouched += len(sh.touched)
 	}
-	e.nDirty = 0
-
-	// Phase 3: refresh the cached Δ vector at exactly the union entries.
-	// vals[u] = float64(Σ_s acc_s[u])·θ⁻¹ — the same expression
-	// PooledEstimator evaluates over its per-worker sums, summed in fixed
-	// shard order (int64 addition is exact, so the order is immaterial to
-	// the bits; the fixed order keeps it auditable). Parallel over disjoint
-	// chunks of the union when the round is large enough to pay for it.
 	inv := 1 / float64(theta)
-	reduce := func(part []graph.V) {
-		for _, v := range part {
-			total := int64(0)
-			for _, sh := range e.shards {
-				total += sh.acc[v]
+	if parallel && totTouched > 4*smallRoundInline {
+		if cap(e.unionParts) < p {
+			e.unionParts = append(e.unionParts, make([][]graph.V, p-len(e.unionParts))...)
+		}
+		parts := e.unionParts[:p]
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				vlo, vhi := graph.V(r*n/p), graph.V((r+1)*n/p)
+				part := parts[r][:0]
+				for _, sh := range e.shards {
+					for _, v := range sh.touched {
+						if v < vlo || v >= vhi {
+							continue
+						}
+						sh.marked[v] = false
+						if !e.unionMark[v] {
+							e.unionMark[v] = true
+							part = append(part, v)
+							e.vals[v] = float64(sumAcc(e.shards, v)) * inv
+						}
+					}
+				}
+				for _, v := range part {
+					e.unionMark[v] = false
+				}
+				parts[r] = part
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		union := e.union[:0]
+		for _, sh := range e.shards {
+			for _, v := range sh.touched {
+				sh.marked[v] = false
+				if !e.unionMark[v] {
+					e.unionMark[v] = true
+					union = append(union, v)
+					e.vals[v] = float64(sumAcc(e.shards, v)) * inv
+				}
 			}
-			e.vals[v] = float64(total) * inv
+		}
+		for _, v := range union {
 			e.unionMark[v] = false
 		}
+		e.union = union
 	}
-	if parallel && len(e.union) > 4*smallRoundInline {
-		var wg sync.WaitGroup
-		p := len(e.shards)
-		for w := 0; w < p; w++ {
-			lo, hi := w*len(e.union)/p, (w+1)*len(e.union)/p
-			if lo == hi {
-				continue
-			}
-			wg.Add(1)
-			go func(part []graph.V) {
-				defer wg.Done()
-				reduce(part)
-			}(e.union[lo:hi])
-		}
-		wg.Wait()
-	} else {
-		reduce(e.union)
+	for _, sh := range e.shards {
+		sh.touched = sh.touched[:0]
+		sh.batch = nil
 	}
+	for _, i := range e.dirtyList {
+		e.dirtyMark[i] = false
+	}
+	e.dirtyList = e.dirtyList[:0]
 	return e.vals
 }
 
-// processShard retracts each queued sample's cached contributions from the
-// shard accumulator, recomputes its filtered dominator tree under the new
-// blocker set, and caches the result.
-func (e *IncrementalPooledEstimator) processShard(sh *incShard, blocked []bool) {
-	var s sampleView
-	for _, i := range sh.dirty {
-		base := e.pool.vertStart[i]
+// sumAcc returns Σ_s acc_s[v] by pairwise tree reduction. int64 addition
+// is exact, so every association yields the same bits as the fixed-order
+// serial sum; the tree keeps the dependency chain at ⌈log₂ P⌉ adds for
+// wide shard counts and documents that the reduction is order-free.
+func sumAcc(shards []*incShard, v graph.V) int64 {
+	switch len(shards) {
+	case 1:
+		return shards[0].acc[v]
+	case 2:
+		return shards[0].acc[v] + shards[1].acc[v]
+	default:
+		h := len(shards) / 2
+		return sumAcc(shards[:h], v) + sumAcc(shards[h:], v)
+	}
+}
+
+// runWorker is one goroutine of the parallel phase: drain the own batch,
+// then steal from whichever shard has the most work left until everything
+// is claimed.
+func (e *IncrementalPooledEstimator) runWorker(w int, blocked []bool) {
+	me := e.shards[w]
+	t0 := time.Now()
+	e.drain(me, me, blocked, false)
+	for {
+		var victim *incShard
+		var most int64
+		for _, sh := range e.shards {
+			if sh == me {
+				continue
+			}
+			if rem := int64(len(sh.batch)) - sh.cur.Load(); rem > most {
+				most, victim = rem, sh
+			}
+		}
+		if victim == nil {
+			break
+		}
+		e.drain(victim, me, blocked, true)
+	}
+	me.procNs += time.Since(t0).Nanoseconds()
+}
+
+// drain claims chunks of from's batch through its cursor and processes
+// them into worker to's accumulator and scratch.
+func (e *IncrementalPooledEstimator) drain(from, to *incShard, blocked []bool, steal bool) {
+	n := int64(len(from.batch))
+	for {
+		hi := from.cur.Add(stealChunk)
+		lo := hi - stealChunk
+		if lo >= n {
+			return
+		}
+		if hi > n {
+			hi = n
+		}
+		e.processInto(to, from.batch[lo:hi], blocked)
+		to.processed += hi - lo
+		if steal {
+			to.stolen += hi - lo
+		}
+	}
+}
+
+// processInto retracts each listed sample's cached contributions, recomputes
+// its filtered dominator tree under the new blocker set, and caches the
+// result — everything folded into worker to's own accumulator. The samples
+// need not be owned by to: Σ_s acc_s stays exact wherever the deltas land.
+func (e *IncrementalPooledEstimator) processInto(to *incShard, samples []int32, blocked []bool) {
+	for _, i := range samples {
+		base := e.pool.contribBase(int(i))
 		old := int64(e.contribLen[i])
 		for j := base; j < base+old; j++ {
-			sh.add(e.contribVert[j], -int64(e.contribSize[j]))
+			to.add(e.contribVert[j], -int64(e.contribSize[j]))
 		}
 
-		e.pool.view(int(i), &s)
-		forig, sizes := sh.dominateSample(&s, blocked, e.domAlgo)
+		e.pool.view(int(i), &to.sview)
+		forig, sizes := to.dominateSample(&to.sview, blocked, e.domAlgo)
 		e.contribLen[i] = int32(len(forig) - 1)
 		for fl := 1; fl < len(forig); fl++ {
 			v, sz := forig[fl], sizes[fl]
 			e.contribVert[base+int64(fl-1)] = v
 			e.contribSize[base+int64(fl-1)] = sz
-			sh.add(v, int64(sz))
+			to.add(v, int64(sz))
 		}
 	}
 }
@@ -422,9 +583,9 @@ func (e *IncrementalPooledEstimator) processShard(sh *incShard, blocked []bool) 
 // dominateSample computes per-vertex dominator-subtree sizes for one stored
 // sample under the current blocker set. When the sample contains no blocked
 // vertex — every priming-round sample, and dirty samples whose flips were
-// all unblocks — the arena CSR already is the flow graph, so the filter BFS
+// all unblocks — the sample CSR already is the flow graph, so the filter BFS
 // and CSR rebuild are skipped and the dominator computation runs straight
-// off pool memory. Dominator trees are unique per flow graph, so both paths
+// off the view. Dominator trees are unique per flow graph, so both paths
 // return identical (vertex, size) contributions.
 func (st *filterScratch) dominateSample(s *sampleView, blocked []bool, domAlgo DomAlgo) ([]graph.V, []int32) {
 	if blocked != nil {
@@ -434,6 +595,7 @@ func (st *filterScratch) dominateSample(s *sampleView, blocked []bool, domAlgo D
 			}
 		}
 	}
+	s.ensureInCSR() // compressed views derive it only when this path runs
 	fg := dominator.FlowGraph{N: len(s.orig), OutStart: s.outStart, OutTo: s.outTo, InStart: s.inStart, InTo: s.inTo}
 	return s.orig, st.runDominators(&fg, domAlgo)
 }
@@ -441,17 +603,17 @@ func (st *filterScratch) dominateSample(s *sampleView, blocked []bool, domAlgo D
 // RepairPool swaps in a repaired pool (SamplePool.Repair) while keeping the
 // estimator warm: the contribution cache of every clean sample is relocated
 // to its new arena offset, while each redrawn sample's cached contributions
-// are retracted from its shard accumulator and the sample is queued dirty,
+// are retracted from its shard accumulator and the sample is staged dirty,
 // so the next DecreaseES call recomputes exactly the redrawn samples under
 // the new topology. The maintained state then equals — bit for bit — that of
 // an estimator built fresh on the repaired pool and primed with the same
 // blocker history, which is what keeps warm solves warm across mutations.
 //
 // newPool must come from a Repair of the estimator's current pool (same θ,
-// same streams) with dirty as the returned redrawn-sample list; the vertex
-// count may only have grown. Must not be called concurrently with
-// DecreaseES; back-to-back repairs without an intervening DecreaseES
-// compose correctly.
+// same streams, same encoding) with dirty as the returned redrawn-sample
+// list; the vertex count may only have grown. Must not be called
+// concurrently with DecreaseES; back-to-back repairs without an intervening
+// DecreaseES compose correctly.
 func (e *IncrementalPooledEstimator) RepairPool(newPool *SamplePool, dirty []int32) {
 	old := e.pool
 	if newPool.Theta() != old.Theta() {
@@ -463,38 +625,48 @@ func (e *IncrementalPooledEstimator) RepairPool(newPool *SamplePool, dirty []int
 		e.prevBlocked = append(e.prevBlocked, make([]bool, grow)...)
 		e.unionMark = append(e.unionMark, make([]bool, grow)...)
 		for _, sh := range e.shards {
-			sh.acc = append(sh.acc, make([]int64, grow)...)
-			sh.marked = append(sh.marked, make([]bool, grow)...)
+			// Re-allocate through the aligned constructors: a plain append
+			// would land the grown arrays wherever the allocator likes,
+			// silently losing the cache-line alignment the shard layout
+			// depends on.
+			acc := alignedInt64(n)
+			copy(acc, sh.acc)
+			sh.acc = acc
+			marked := alignedBools(n)
+			copy(marked, sh.marked)
+			sh.marked = marked
 		}
 	}
 	if !e.primed {
 		// No cached contributions to relocate; the priming round draws
 		// everything from the new pool anyway.
 		e.pool = newPool
-		e.contribVert = make([]graph.V, len(newPool.vertOrig))
-		e.contribSize = make([]int32, len(newPool.vertOrig))
+		tv := newPool.totalVertEntries()
+		e.contribVert = make([]graph.V, tv)
+		e.contribSize = make([]int32, tv)
 		return
 	}
 	isDirty := make([]bool, old.Theta())
 	for _, i := range dirty {
 		isDirty[i] = true
 	}
-	nv := make([]graph.V, len(newPool.vertOrig))
-	ns := make([]int32, len(newPool.vertOrig))
+	tv := newPool.totalVertEntries()
+	nv := make([]graph.V, tv)
+	ns := make([]int32, tv)
 	for i := 0; i < old.Theta(); i++ {
 		if isDirty[i] {
 			sh := e.shards[e.ownerOf[i]]
-			base := old.vertStart[i]
+			base := old.contribBase(i)
 			for j := base; j < base+int64(e.contribLen[i]); j++ {
 				sh.add(e.contribVert[j], -int64(e.contribSize[j]))
 			}
-			// Zero length: processShard must not retract these again when it
+			// Zero length: processInto must not retract these again when it
 			// recomputes the sample next round.
 			e.contribLen[i] = 0
 			e.markDirty(int32(i))
 			continue
 		}
-		ob, nb := old.vertStart[i], newPool.vertStart[i]
+		ob, nb := old.contribBase(i), newPool.contribBase(i)
 		l := int64(e.contribLen[i])
 		copy(nv[nb:nb+l], e.contribVert[ob:ob+l])
 		copy(ns[nb:nb+l], e.contribSize[ob:ob+l])
@@ -510,30 +682,67 @@ type IncrementalStats struct {
 	// SamplesReprocessed is the total number of dirty samples recomputed;
 	// a full re-scan per round would make this Rounds × Theta.
 	SamplesReprocessed int64
+	// SamplesStolen is how many of those were claimed by a worker other
+	// than the shard owner — nonzero only when dirty samples skew across
+	// the θ-ranges hard enough for the work-stealing fallback to engage.
+	SamplesStolen int64
 }
 
 // Stats returns the work counters. Call between DecreaseES calls.
 func (e *IncrementalPooledEstimator) Stats() IncrementalStats {
-	return IncrementalStats{Rounds: e.rounds, SamplesReprocessed: e.reprocessed}
+	st := IncrementalStats{Rounds: e.rounds, SamplesReprocessed: e.reprocessed, SamplesStolen: e.stolenPast}
+	for _, sh := range e.shards {
+		st.SamplesStolen += sh.stolen
+	}
+	return st
+}
+
+// ShardProfile is one worker shard's work counters since the last reshard,
+// for the benchcore contention profile.
+type ShardProfile struct {
+	// Lo, Hi is the shard's owned sample range [Lo, Hi).
+	Lo, Hi int
+	// Processed counts dirty samples this worker recomputed (own and
+	// stolen); Stolen is the subset claimed from other shards' batches.
+	Processed, Stolen int64
+	// Ns is the worker's cumulative wall-clock nanoseconds in the parallel
+	// dirty-processing phase.
+	Ns int64
+}
+
+// ShardProfiles snapshots the per-worker counters. Call between DecreaseES
+// calls; a reshard resets the profiles (steal totals survive in Stats).
+func (e *IncrementalPooledEstimator) ShardProfiles() []ShardProfile {
+	out := make([]ShardProfile, len(e.shards))
+	for s, sh := range e.shards {
+		out[s] = ShardProfile{Lo: sh.lo, Hi: sh.hi, Processed: sh.processed, Stolen: sh.stolen, Ns: sh.procNs}
+	}
+	return out
 }
 
 // MemoryBytes reports the pool plus the estimator's own resident footprint:
-// cached value vector, contribution arena, previous-blocker mask, and the
-// per-shard state — the O(n) accumulator and mark arrays plus the filter
-// and dominator scratch grown during processing. On large graphs at high
-// worker counts the per-shard state dwarfs the arena itself, which is why
-// SetWorkers is worth calling downward too.
+// cached value vector, contribution arena, previous-blocker mask, staging
+// and batch buffers, and the per-shard state — the O(n) accumulator and
+// mark arrays plus the filter and dominator scratch grown during
+// processing. On large graphs at high worker counts the per-shard state
+// dwarfs the arena itself, which is why SetWorkers is worth calling
+// downward too.
 func (e *IncrementalPooledEstimator) MemoryBytes() int64 {
 	total := e.pool.MemoryBytes() +
 		int64(len(e.vals))*8 +
 		int64(len(e.contribVert))*4 + int64(len(e.contribSize))*4 +
 		int64(len(e.contribLen))*4 + int64(len(e.ownerOf))*4 +
 		int64(len(e.prevBlocked)) + int64(len(e.dirtyMark)) +
+		int64(cap(e.dirtyList))*4 + int64(cap(e.batchBuf))*4 +
+		int64(cap(e.batchCnt))*4 + int64(cap(e.batchPos))*4 +
 		int64(len(e.unionMark)) + int64(cap(e.union))*4
+	for _, part := range e.unionParts {
+		total += int64(cap(part)) * 4
+	}
 	for _, sh := range e.shards {
-		total += int64(len(sh.acc))*8 + int64(len(sh.marked)) +
-			int64(cap(sh.touched))*4 + int64(cap(sh.dirty))*4 +
-			sh.memoryBytes()
+		total += int64(cap(sh.acc))*8 + int64(cap(sh.marked)) +
+			int64(cap(sh.touched))*4 +
+			sh.memoryBytes() + sh.sview.memoryBytes()
 	}
 	return total
 }

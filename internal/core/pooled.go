@@ -102,7 +102,8 @@ func (st *filterScratch) memoryBytes() int64 {
 
 type pooledWorker struct {
 	filterScratch
-	acc []int64
+	sview sampleView
+	acc   []int64
 }
 
 func (p *PooledEstimator) worker(w int) *pooledWorker {
@@ -131,10 +132,9 @@ func (p *PooledEstimator) DecreaseES(dst []float64, blocked []bool) {
 			for i := range st.acc[:n] {
 				st.acc[i] = 0
 			}
-			var s sampleView
 			for i := lo; i < hi; i++ {
-				p.pool.view(i, &s)
-				forig, sizes := st.filterAndDominate(&s, blocked, p.domAlgo)
+				p.pool.view(i, &st.sview)
+				forig, sizes := st.filterAndDominate(&st.sview, blocked, p.domAlgo)
 				for fl := 1; fl < len(forig); fl++ {
 					st.acc[forig[fl]] += int64(sizes[fl])
 				}

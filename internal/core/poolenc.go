@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// PoolEncoding selects the SamplePool arena layout.
+type PoolEncoding int
+
+const (
+	// PoolFlat is the default layout: fixed-width int32 arenas with O(1)
+	// random access into every sample. Fastest per round; largest.
+	PoolFlat PoolEncoding = iota
+
+	// PoolCompressed shrinks the pool along its three cold axes while
+	// leaving the hot dirty-sample read path zero-copy:
+	//
+	//   - The predecessor CSR (csrInStart/inFrom) is not stored at all.
+	//     Samplers record edges in BFS order, which equals the out-CSR's
+	//     row-major order, so the in-CSR they built by counting sort is
+	//     re-derived at view time — byte-identically — from the out-CSR
+	//     (deriveInCSR). That is a 100% saving on those arrays for an
+	//     O(k+e) pass per dirty sample, against the dominator computation
+	//     that follows it.
+	//   - The inverted index becomes per-vertex delta-varint runs (encIdx)
+	//     with offsets narrowed to int32: the flat idxStart is 8 bytes per
+	//     graph vertex regardless of θ, which dominates small pools. The
+	//     index is read once per flipped vertex per round, not per sample.
+	//   - vertStart/edgeStart are narrowed to int32 when totals allow.
+	//
+	// vertOrig, csrStart, and edgeTo stay fixed-width: they are what every
+	// dirty-sample scan reads, and measurement showed varint-decoding them
+	// costs far more than the ≤10% single-worker round budget (dirty
+	// samples skew large — greedy flips high-influence vertices, which
+	// live in the big samples), while the bytes they hold are a minority
+	// of the pool. Output is bit-identical to a flat pool: the derived
+	// in-CSR and decoded index runs reproduce the flat arrays exactly, and
+	// both layouts feed the same dominator path.
+	PoolCompressed
+)
+
+// Varint primitives. encoding/binary's versions work on uint64; these stay
+// in uint32 (every encoded quantity is a sample id delta or a run length —
+// all int32) and keep the single-byte fast path inlineable.
+
+// appendUvarint appends x in LEB128.
+func appendUvarint(b []byte, x uint32) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// appendZigzag appends a signed delta as zigzag LEB128.
+func appendZigzag(b []byte, x int32) []byte {
+	return appendUvarint(b, uint32((x<<1)^(x>>31)))
+}
+
+// getUvarint decodes one LEB128 value at pos, returning it and the next
+// position. The single-byte case — the overwhelming majority for index
+// deltas — stays small enough to inline into the decode loops; longer
+// values fall through to getUvarintSlow.
+func getUvarint(b []byte, pos int) (uint32, int) {
+	if c := b[pos]; c < 0x80 {
+		return uint32(c), pos + 1
+	}
+	return getUvarintSlow(b, pos)
+}
+
+// getUvarintSlow finishes a multi-byte LEB128 value starting at pos.
+func getUvarintSlow(b []byte, pos int) (uint32, int) {
+	x := uint32(b[pos] & 0x7f)
+	shift := uint(7)
+	for {
+		pos++
+		c := b[pos]
+		x |= uint32(c&0x7f) << shift
+		if c < 0x80 {
+			return x, pos + 1
+		}
+		shift += 7
+	}
+}
+
+// getZigzag decodes one zigzag LEB128 delta at pos.
+func getZigzag(b []byte, pos int) (int32, int) {
+	u, np := getUvarint(b, pos)
+	return int32(u>>1) ^ -int32(u&1), np
+}
+
+// deriveInCSR rebuilds a sample's predecessor CSR from its out-CSR by the
+// same counting sort cascade's buildCSR ran over the recorded edge list.
+// Every sampler appends edges in BFS order — sources in ascending local id,
+// each scanned once — so iterating the out-CSR row-major replays exactly
+// that recording order and the result is byte-identical to the in-CSR the
+// sampler built. inStart must have len(outStart) entries and inTo
+// len(outTo); both are fully overwritten.
+func deriveInCSR(outStart, outTo, inStart, inTo []int32) {
+	k := len(outStart) - 1
+	for j := 0; j <= k; j++ {
+		inStart[j] = 0
+	}
+	for _, t := range outTo {
+		inStart[t+1]++
+	}
+	for j := 0; j < k; j++ {
+		inStart[j+1] += inStart[j]
+	}
+	// The starts double as fill cursors (each ends up holding its row's
+	// end), then one shift-right pass restores them — no scratch array.
+	for u := 0; u < k; u++ {
+		for j := outStart[u]; j < outStart[u+1]; j++ {
+			t := outTo[j]
+			inTo[inStart[t]] = int32(u)
+			inStart[t]++
+		}
+	}
+	for j := k; j > 0; j-- {
+		inStart[j] = inStart[j-1]
+	}
+	inStart[0] = 0
+}
+
+// encIdxRange returns vertex v's index-run byte range in encIdx.
+func (p *SamplePool) encIdxRange(v int) (int64, int64) {
+	if p.encIdxOff32 != nil {
+		return int64(p.encIdxOff32[v]), int64(p.encIdxOff32[v+1])
+	}
+	return p.encIdxOff[v], p.encIdxOff[v+1]
+}
+
+// deriveView fills v with sample i's data for a compressed pool: the vertex
+// list and out-CSR are borrowed from the arenas exactly like the flat path;
+// the unstored in-CSR is left nil, to be derived on demand by ensureInCSR —
+// the filtered dominator path rebuilds its own CSRs and never asks for it.
+func (p *SamplePool) deriveView(i int, v *sampleView) {
+	vs, ve := p.sampleVertStart(i), p.sampleVertStart(i+1)
+	k := ve - vs
+	cs := vs + int64(i)
+	es, ee := p.sampleEdgeStart(i), p.sampleEdgeStart(i+1)
+	v.orig = p.vertOrig[vs:ve]
+	v.outStart = p.csrStart[cs : cs+k+1]
+	v.outTo = p.edgeTo[es:ee]
+	v.inStart, v.inTo = nil, nil
+}
+
+// ensureInCSR populates a view's in-CSR: a no-op for flat views (borrowed
+// at view() time) and a derivation into the view's owned scratch for views
+// over compressed pools.
+func (v *sampleView) ensureInCSR() {
+	if v.inStart != nil {
+		return
+	}
+	k := len(v.orig)
+	need := k + 1 + len(v.outTo)
+	if cap(v.i32Buf) < need {
+		v.i32Buf = make([]int32, need+need/2)
+	}
+	v.inStart = v.i32Buf[:k+1]
+	v.inTo = v.i32Buf[k+1 : need]
+	deriveInCSR(v.outStart, v.outTo, v.inStart, v.inTo)
+}
+
+// compress converts p from the flat layout to PoolCompressed in place: the
+// predecessor CSR is dropped (derived per view from the out-CSR), the
+// inverted index is varint-encoded (in parallel, worker w encoding its own
+// vertex range into a private buffer, stitched with one prefix pass — so
+// the bytes are worker-count-independent), and the offset arrays are
+// narrowed to int32 when the totals fit. Requires the flat arrays and the
+// index to be present.
+func (p *SamplePool) compress(workers int) {
+	theta := p.Theta()
+	n := p.g.N()
+	workers = poolWorkers(workers, theta)
+
+	// Inverted index: per-vertex ascending sample ids as delta varints
+	// (prev starts at −1, so every delta ≥ 1 and one loop decodes the run).
+	iw := workers
+	if iw > n {
+		iw = n
+	}
+	if iw < 1 {
+		iw = 1
+	}
+	ibufs := make([][]byte, iw)
+	p.encIdxOff = make([]int64, n+1)
+	var wg sync.WaitGroup
+	for w := 0; w < iw; w++ {
+		lo, hi := w*n/iw, (w+1)*n/iw
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var buf []byte
+			for v := lo; v < hi; v++ {
+				prev := int32(-1)
+				for _, id := range p.idxSample[p.idxStart[v]:p.idxStart[v+1]] {
+					buf = appendUvarint(buf, uint32(id-prev))
+					prev = id
+				}
+				// Stash the run length; converted to absolute offsets in
+				// the serial prefix pass below.
+				p.encIdxOff[v+1] = int64(len(buf))
+			}
+			ibufs[w] = buf
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for w := 0; w < iw; w++ {
+		lo, hi := w*n/iw, (w+1)*n/iw
+		var prev int64
+		for v := lo; v < hi; v++ {
+			run := p.encIdxOff[v+1] - prev
+			prev = p.encIdxOff[v+1]
+			p.encIdxOff[v] = total
+			total += run
+		}
+	}
+	p.encIdxOff[n] = total
+	p.encIdx = make([]byte, total)
+	for w := 0; w < iw; w++ {
+		lo := w * n / iw
+		wg.Add(1)
+		go func(w, lo int) {
+			defer wg.Done()
+			copy(p.encIdx[p.encIdxOff[lo]:], ibufs[w])
+		}(w, lo)
+	}
+	wg.Wait()
+
+	// Narrow the offset arrays when every value fits int32 (the common
+	// case by far: totals exceeding 2^31 would mean a multi-gigabyte
+	// pool). The per-vertex encIdxOff matters most — it is O(n) regardless
+	// of pool size, so at full width it can dominate the footprint the
+	// compression just shrank.
+	if p.vertStart[theta] <= math.MaxInt32 && p.edgeStart[theta] <= math.MaxInt32 {
+		p.vertStart32 = make([]int32, theta+1)
+		p.edgeStart32 = make([]int32, theta+1)
+		for i := 0; i <= theta; i++ {
+			p.vertStart32[i] = int32(p.vertStart[i])
+			p.edgeStart32[i] = int32(p.edgeStart[i])
+		}
+		p.vertStart, p.edgeStart = nil, nil
+	}
+	if p.encIdxOff[n] <= math.MaxInt32 {
+		p.encIdxOff32 = make([]int32, n+1)
+		for v := 0; v <= n; v++ {
+			p.encIdxOff32[v] = int32(p.encIdxOff[v])
+		}
+		p.encIdxOff = nil
+	}
+
+	p.csrInStart, p.inFrom = nil, nil
+	p.idxStart, p.idxSample = nil, nil
+	p.enc = PoolCompressed
+}
+
+// decompress materializes a flat twin of a compressed pool: same graph,
+// source, rng base, and — because the dropped arrays are exactly
+// re-derivable — byte-identical arenas to a pool that was never compressed.
+// The shared arrays (vertex list, out-CSR) alias the compressed pool's
+// immutable storage. The twin carries no inverted index; its only consumer
+// (Repair's redraw path) marks dirty samples through the compressed pool's
+// own index first.
+func (p *SamplePool) decompress(workers int) *SamplePool {
+	theta := p.Theta()
+	q := &SamplePool{
+		g: p.g, src: p.src, base: p.base,
+		vertStart: make([]int64, theta+1),
+		edgeStart: make([]int64, theta+1),
+		vertOrig:  p.vertOrig, csrStart: p.csrStart, edgeTo: p.edgeTo,
+	}
+	for i := 0; i <= theta; i++ {
+		q.vertStart[i] = p.sampleVertStart(i)
+		q.edgeStart[i] = p.sampleEdgeStart(i)
+	}
+	tv, te := q.vertStart[theta], q.edgeStart[theta]
+	q.csrInStart = make([]int32, tv+int64(theta))
+	q.inFrom = make([]int32, te)
+
+	workers = poolWorkers(workers, theta)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*theta/workers, (w+1)*theta/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				vs, ve := q.vertStart[i], q.vertStart[i+1]
+				es, ee := q.edgeStart[i], q.edgeStart[i+1]
+				cs := vs + int64(i)
+				k := ve - vs
+				deriveInCSR(q.csrStart[cs:cs+k+1], q.edgeTo[es:ee],
+					q.csrInStart[cs:cs+k+1], q.inFrom[es:ee])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return q
+}

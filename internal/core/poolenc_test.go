@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/cascade"
+	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// TestVarintRoundTrip pins the LEB128/zigzag primitives at their edges.
+func TestVarintRoundTrip(t *testing.T) {
+	uvals := []uint32{0, 1, 127, 128, 300, 1 << 14, 1 << 21, 1 << 28, math.MaxUint32}
+	var b []byte
+	for _, x := range uvals {
+		b = appendUvarint(b, x)
+	}
+	pos := 0
+	for _, want := range uvals {
+		var got uint32
+		got, pos = getUvarint(b, pos)
+		if got != want {
+			t.Fatalf("uvarint round-trip: got %d, want %d", got, want)
+		}
+	}
+	if pos != len(b) {
+		t.Fatalf("uvarint decode consumed %d of %d bytes", pos, len(b))
+	}
+
+	zvals := []int32{0, 1, -1, 63, -64, 64, -65, math.MaxInt32, math.MinInt32}
+	b = b[:0]
+	for _, x := range zvals {
+		b = appendZigzag(b, x)
+	}
+	pos = 0
+	for _, want := range zvals {
+		var got int32
+		got, pos = getZigzag(b, pos)
+		if got != want {
+			t.Fatalf("zigzag round-trip: got %d, want %d", got, want)
+		}
+	}
+	if pos != len(b) {
+		t.Fatalf("zigzag decode consumed %d of %d bytes", pos, len(b))
+	}
+}
+
+// viewsEqual compares the logical content of two sample views, forcing the
+// lazy in-CSR so derived views are held to the flat arrays.
+func viewsEqual(a, b *sampleView) bool {
+	a.ensureInCSR()
+	b.ensureInCSR()
+	return reflect.DeepEqual(a.orig, b.orig) &&
+		reflect.DeepEqual(a.outStart, b.outStart) &&
+		reflect.DeepEqual(a.outTo, b.outTo) &&
+		reflect.DeepEqual(a.inStart, b.inStart) &&
+		reflect.DeepEqual(a.inTo, b.inTo)
+}
+
+// TestCompressedPoolMatchesFlat checks that a compressed pool stores exactly
+// the flat pool's logical content: every sample view decodes to identical
+// slices, the inverted index answers identically for every vertex, and the
+// decompress round-trip reproduces the flat arenas byte for byte — while
+// the compressed footprint is materially smaller.
+func TestCompressedPoolMatchesFlat(t *testing.T) {
+	g := denseTestGraph(150, 17)
+	const theta = 500
+	flat := NewSamplePool(cascade.NewIC(g), 0, theta, 4, rng.New(3))
+	comp := NewSamplePoolEnc(cascade.NewIC(g), 0, theta, 4, rng.New(3), PoolCompressed)
+	if comp.Encoding() != PoolCompressed || flat.Encoding() != PoolFlat {
+		t.Fatal("encodings mislabelled")
+	}
+	if comp.Theta() != theta {
+		t.Fatalf("compressed Theta = %d, want %d", comp.Theta(), theta)
+	}
+
+	var fv, cv sampleView
+	for i := 0; i < theta; i++ {
+		flat.view(i, &fv)
+		comp.view(i, &cv)
+		if !viewsEqual(&fv, &cv) {
+			t.Fatalf("sample %d: compressed view differs from flat", i)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		fw := flat.SamplesContaining(graph.V(v))
+		cw := comp.SamplesContaining(graph.V(v))
+		if len(fw) == 0 && len(cw) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(fw, cw) {
+			t.Fatalf("vertex %d: index differs: flat %v, compressed %v", v, fw, cw)
+		}
+	}
+
+	rt := comp.decompress(2)
+	rt.buildIndex(2)
+	if !poolsEqual(rt, flat) {
+		t.Fatal("decompress does not reproduce the flat arenas byte for byte")
+	}
+
+	fb, cb := flat.MemoryBytes(), comp.MemoryBytes()
+	if cb >= fb*7/10 {
+		t.Errorf("compressed pool is %d bytes vs flat %d — less than the 30%% floor this encoding exists for", cb, fb)
+	}
+}
+
+// TestCompressedSolveBitIdentical is the blocker-set half of the encoding
+// contract: ReuseSamples solves return byte-identical blockers across both
+// encodings and workers 1/2/4/8, for both greedy algorithms.
+func TestCompressedSolveBitIdentical(t *testing.T) {
+	g := denseTestGraph(120, 9)
+	seeds := []graph.V{3, 11}
+	for _, alg := range []Algorithm{AdvancedGreedy, GreedyReplace} {
+		var want []graph.V
+		for _, enc := range []PoolEncoding{PoolFlat, PoolCompressed} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				opt := Options{Theta: 400, Seed: 5, Workers: workers, ReuseSamples: true, PoolEncoding: enc}
+				res, err := Solve(g, seeds, 6, alg, opt)
+				if err != nil {
+					t.Fatalf("%s enc=%d workers=%d: %v", alg, enc, workers, err)
+				}
+				if want == nil {
+					want = res.Blockers
+					continue
+				}
+				if !reflect.DeepEqual(res.Blockers, want) {
+					t.Errorf("%s enc=%d workers=%d: blockers %v != reference %v", alg, enc, workers, res.Blockers, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedRepairBitIdentical is the post-mutation half: repairing a
+// compressed pool yields the same dirty set and the same logical pool as
+// repairing its flat twin, for IC and LT, at workers 1/2/4/8 — and a
+// trajectory driven through RepairPool on both encodings stays bit-equal
+// round by round.
+func TestCompressedRepairBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(*graph.Graph) cascade.LiveSampler
+		lt   bool
+	}{
+		{"IC", func(g *graph.Graph) cascade.LiveSampler { return cascade.NewIC(g) }, false},
+		{"LT", func(g *graph.Graph) cascade.LiveSampler { return cascade.NewLT(g) }, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, theta = 5, 300
+			g := repairTestGraph(40, seed)
+			flat := NewSamplePool(tc.mk(g), 0, theta, 4, rng.New(seed+9))
+			comp := NewSamplePoolEnc(tc.mk(g), 0, theta, 4, rng.New(seed+9), PoolCompressed)
+			snap, sources, targets := repairMutations(t, g, seed+50)
+			newSampler := tc.mk(snap)
+			changed := sources
+			if tc.lt {
+				changed = RepairSetLT(g, sources, targets)
+			}
+
+			for _, w := range []int{1, 2, 4, 8} {
+				fq, fd := flat.Repair(newSampler, changed, w)
+				cq, cd := comp.Repair(newSampler, changed, w)
+				if !reflect.DeepEqual(fd, cd) {
+					t.Fatalf("workers=%d: dirty sets differ: flat %d, compressed %d", w, len(fd), len(cd))
+				}
+				if len(fd) == 0 {
+					t.Fatal("mutation batch dirtied no samples — test exercises nothing")
+				}
+				if cq.Encoding() != PoolCompressed {
+					t.Fatalf("workers=%d: repair dropped the compressed encoding", w)
+				}
+				rt := cq.decompress(2)
+				rt.buildIndex(2)
+				if !poolsEqual(rt, fq) {
+					t.Fatalf("workers=%d: repaired compressed pool differs from repaired flat pool", w)
+				}
+			}
+
+			// Estimator trajectory across the repair, both encodings in
+			// lockstep: prime, walk flips, repair mid-way, keep walking.
+			n := snap.N()
+			for _, w := range []int{1, 2, 4, 8} {
+				fe := NewIncrementalPooledEstimatorFromPool(flat, w, DomLengauerTarjan)
+				ce := NewIncrementalPooledEstimatorFromPool(comp, w, DomLengauerTarjan)
+				blocked := make([]bool, n)
+				dF := make([]float64, n)
+				dC := make([]float64, n)
+				for round := 0; round < 7; round++ {
+					if round == 3 {
+						fq, fd := flat.Repair(newSampler, changed, w)
+						cq, cd := comp.Repair(newSampler, changed, w)
+						fe.RepairPool(fq, fd)
+						ce.RepairPool(cq, cd)
+					}
+					fe.DecreaseES(dF, blocked)
+					ce.DecreaseES(dC, blocked)
+					if !reflect.DeepEqual(dF, dC) {
+						t.Fatalf("workers=%d round=%d: Δ vectors differ across encodings", w, round)
+					}
+					blocked[(round*7)%(g.N()-1)+1] = true
+				}
+			}
+		})
+	}
+}
+
+// TestPoolMemoryBytesAccountsEverything guards the /stats honesty contract:
+// MemoryBytes must cover every backing array a layout retains — the flat
+// arenas plus the inverted index, or the varint arenas plus their offsets —
+// so it can never report less than the raw encoded payloads it holds.
+func TestPoolMemoryBytesAccountsEverything(t *testing.T) {
+	g := denseTestGraph(100, 21)
+	const theta = 200
+	flat := NewSamplePool(cascade.NewIC(g), 0, theta, 2, rng.New(4))
+	comp := NewSamplePoolEnc(cascade.NewIC(g), 0, theta, 2, rng.New(4), PoolCompressed)
+
+	wantFlat := int64(len(flat.vertStart))*8 + int64(len(flat.edgeStart))*8 +
+		int64(len(flat.vertOrig))*4 + int64(len(flat.csrStart))*4 + int64(len(flat.edgeTo))*4 +
+		int64(len(flat.csrInStart))*4 + int64(len(flat.inFrom))*4 +
+		int64(len(flat.idxStart))*8 + int64(len(flat.idxSample))*4
+	if got := flat.MemoryBytes(); got < wantFlat {
+		t.Errorf("flat MemoryBytes = %d, below the %d bytes of its own backing arrays", got, wantFlat)
+	}
+
+	wantComp := int64(len(comp.vertOrig))*4 + int64(len(comp.csrStart))*4 + int64(len(comp.edgeTo))*4 +
+		int64(len(comp.encIdx)) + int64(len(comp.encIdxOff))*8 +
+		int64(len(comp.encIdxOff32))*4 +
+		int64(len(comp.vertStart32))*4 + int64(len(comp.edgeStart32))*4
+	if got := comp.MemoryBytes(); got < wantComp {
+		t.Errorf("compressed MemoryBytes = %d, below the %d bytes of its own backing arrays", got, wantComp)
+	}
+	if comp.vertStart32 == nil || comp.edgeStart32 == nil || comp.encIdxOff32 == nil {
+		t.Error("offsets not narrowed on a pool whose totals fit int32")
+	}
+	if comp.csrInStart != nil || comp.inFrom != nil {
+		t.Error("compressed pool retains the stored in-CSR it is supposed to derive")
+	}
+	if comp.idxStart != nil || comp.idxSample != nil {
+		t.Error("compressed pool retains the flat inverted index")
+	}
+
+	// The estimator's MemoryBytes must also include the per-worker decode
+	// scratch a compressed pool forces into existence.
+	est := NewIncrementalPooledEstimatorFromPool(comp, 2, DomLengauerTarjan)
+	before := est.MemoryBytes()
+	blocked := make([]bool, g.N())
+	dst := make([]float64, g.N())
+	est.DecreaseES(dst, blocked)
+	if after := est.MemoryBytes(); after <= before {
+		t.Errorf("estimator MemoryBytes did not grow after priming (%d -> %d); decode scratch unaccounted", before, after)
+	}
+}
+
+// BenchmarkPoolView isolates the worst-case per-sample read cost the
+// estimator pays on a dirty sample: zero-copy slicing for flat pools, plus
+// the in-CSR counting-sort derivation for compressed ones (forced here;
+// the filtered dominator path never asks for it).
+func BenchmarkPoolView(b *testing.B) {
+	g := denseTestGraph(2000, 3)
+	const theta = 1000
+	for _, tc := range []struct {
+		name string
+		enc  PoolEncoding
+	}{{"flat", PoolFlat}, {"compressed", PoolCompressed}} {
+		pool := NewSamplePoolEnc(cascade.NewIC(g), 0, theta, 4, rng.New(5), tc.enc)
+		var v sampleView
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.view(i%theta, &v)
+				v.ensureInCSR()
+			}
+		})
+	}
+}

@@ -2,9 +2,11 @@ package datasets
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/rng"
 )
@@ -327,5 +329,36 @@ func TestGeneratorValidityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSkewedCascade pins the property the generator exists for: live-edge
+// sample sizes from the gateway are heavy-tailed — the typical sample is a
+// handful of vertices while the occasional chain hit spans a large fraction
+// of the graph — and construction is deterministic in the seed.
+func TestSkewedCascade(t *testing.T) {
+	const n = 4000
+	g := SkewedCascade(n, 8, 0.05, 0.02, rng.New(9))
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	if g2 := SkewedCascade(n, 8, 0.05, 0.02, rng.New(9)); g2.M() != g.M() {
+		t.Fatalf("not deterministic: m %d vs %d", g.M(), g2.M())
+	}
+
+	s := cascade.NewIC(g)
+	ws := s.NewWorkspace()
+	base := rng.New(10)
+	sizes := make([]int, 0, 400)
+	for i := 0; i < 400; i++ {
+		sizes = append(sizes, s.Sample(0, nil, base.Split(uint64(i)), ws).K)
+	}
+	sort.Ints(sizes)
+	med, max := sizes[len(sizes)/2], sizes[len(sizes)-1]
+	if max < n/10 {
+		t.Errorf("largest sample spans %d of %d vertices; the long chain never fired", max, n)
+	}
+	if med > n/100 {
+		t.Errorf("median sample size %d: typical samples should be tiny (n=%d)", med, n)
 	}
 }

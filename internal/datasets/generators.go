@@ -194,6 +194,82 @@ func PowerLawConfiguration(n int, exponent float64, maxDeg int, directed bool, r
 // pow aliases math.Pow; only positive arguments occur here.
 func pow(x, y float64) float64 { return math.Pow(x, y) }
 
+// SkewedCascade builds a graph engineered for heavy-tailed live-edge
+// sample sizes — the regime that skews per-sample estimator work across a
+// pool's θ-ranges and makes the incremental estimator's work stealing
+// earn its keep. Vertex 0 is a gateway holding one pHot-probability edge
+// to the head of each of `chains` chains; chain c is a run of always-live
+// (probability 1) edges whose length follows a 1/(c+1) power law over the
+// non-gateway vertices, so chain 0 alone spans a constant fraction of the
+// graph. A cascade from the gateway therefore includes chain c exactly
+// when that one gateway coin fires: sample sizes jump between O(1) and
+// O(n), heavy-tailed by construction rather than by asymptotics. Every
+// vertex also gets a sparse pBg-probability background edge to a uniform
+// target so samples are not pure paths.
+//
+// Sampling from vertex 0 (or seeding near it) with the IC model produces
+// pools where a handful of samples dominate the per-round work — the input
+// that tests and benchmarks use to exercise the stealing path.
+func SkewedCascade(n, chains int, pHot, pBg float64, r *rng.Source) *graph.Graph {
+	if n < 2 {
+		panic("datasets: SkewedCascade needs n >= 2")
+	}
+	if chains < 1 {
+		chains = 1
+	}
+	if chains > n-1 {
+		chains = n - 1
+	}
+	// Zipf chain lengths over the n-1 non-gateway vertices: weight of chain
+	// c is 1/(c+1). Remainders go to the earliest chains, so every chain
+	// has at least its head.
+	weights := make([]float64, chains)
+	total := 0.0
+	for c := 0; c < chains; c++ {
+		weights[c] = 1 / float64(c+1)
+		total += weights[c]
+	}
+	avail := n - 1
+	lengths := make([]int, chains)
+	used := 0
+	for c := 0; c < chains; c++ {
+		lengths[c] = int(weights[c] / total * float64(avail))
+		if lengths[c] < 1 {
+			lengths[c] = 1
+		}
+		used += lengths[c]
+	}
+	for c := 0; used > avail; c = (c + 1) % chains {
+		// Ultra-small n can overshoot by the minimums; trim the long end.
+		if lengths[c] > 1 {
+			lengths[c]--
+			used--
+		}
+	}
+	lengths[0] += avail - used
+
+	b := graph.NewBuilder(n)
+	next := graph.V(1)
+	for c := 0; c < chains; c++ {
+		head := next
+		b.AddEdge(0, head, pHot)
+		for i := 1; i < lengths[c]; i++ {
+			b.AddEdge(next, next+1, 1)
+			next++
+		}
+		next++
+	}
+	if pBg > 0 {
+		for v := 0; v < n; v++ {
+			w := graph.V(r.Intn(n))
+			if w != graph.V(v) {
+				b.AddEdge(graph.V(v), w, pBg)
+			}
+		}
+	}
+	return b.Build()
+}
+
 // RandomSeeds draws count distinct seed vertices uniformly at random,
 // following the evaluation setup ("randomly select 10 vertices as the
 // seeds"). When requireOut is true only vertices with at least one

@@ -48,6 +48,12 @@ type BenchCoreOptions struct {
 	// numbers measured under different parallelism — the provenance
 	// guard that keeps BENCH_core.json comparable across regenerations.
 	Force bool
+	// ScalingFloor, when > 0, fails the run if the 4-worker sweep point's
+	// speedup over 1 worker falls below it — but only on machines with at
+	// least 4 CPUs, where the comparison is meaningful. CI passes 0.9 so a
+	// 4-worker regression of more than 10% cannot land silently; a real
+	// multi-core runner is expected to clear 2x.
+	ScalingFloor float64
 }
 
 // BenchCoreMode is one estimator's measurement.
@@ -62,8 +68,11 @@ type BenchCoreMode struct {
 	// Workers is the effective worker count this measurement ran with
 	// (the requested count resolved against GOMAXPROCS and clamped to θ)
 	// — per-measurement provenance, so a single-threaded number can never
-	// masquerade as a parallel one.
+	// masquerade as a parallel one. NumCPU is the machine's core count;
+	// together with Workers it tells a reader whether the workers actually
+	// ran in parallel or timeshared one core.
 	Workers int `json:"workers"`
+	NumCPU  int `json:"num_cpu"`
 }
 
 // BenchCoreMutatePoint is one mutate-then-solve measurement: a batch of
@@ -90,6 +99,7 @@ type BenchCoreMutatePoint struct {
 	// on the serving-size instance.
 	RepairBitIdentical bool `json:"repair_bit_identical"`
 	Workers            int  `json:"workers"`
+	NumCPU             int  `json:"num_cpu"`
 }
 
 // BenchCoreScalingPoint is one point of the incremental worker sweep.
@@ -99,11 +109,45 @@ type BenchCoreScalingPoint struct {
 	// GOMAXPROCS timeshare and are expected to flatline).
 	Workers    int     `json:"workers"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
 	NsPerRound float64 `json:"ns_per_round"`
 	// Speedup is workers=1 ns/round divided by this point's, Efficiency
 	// is Speedup/Workers (1.0 = perfect linear scaling).
 	Speedup    float64 `json:"speedup_vs_workers_1"`
 	Efficiency float64 `json:"scaling_efficiency"`
+}
+
+// BenchCoreShard is one worker shard's share of the headline incremental
+// measurement — the contention profile. Balanced Processed with zero Stolen
+// means the static θ-range partition alone kept the workers busy; heavy
+// Stolen means the dirty samples skewed and the work-stealing fallback
+// carried the imbalance.
+type BenchCoreShard struct {
+	Shard int `json:"shard"`
+	// Lo, Hi is the shard's owned sample range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Processed counts dirty samples this worker recomputed (own and
+	// stolen); Stolen is the subset claimed from other shards' batches.
+	Processed int64 `json:"processed"`
+	Stolen    int64 `json:"stolen"`
+	// Ns is the worker's cumulative wall-clock nanoseconds in the parallel
+	// dirty-processing phase across the timed rounds.
+	Ns int64 `json:"ns"`
+}
+
+// BenchCoreEncoding is one pool layout's cost point: resident bytes, build
+// time, and the incremental estimator's single-worker round cost on it —
+// the numbers behind the compressed arena's bytes-for-nanoseconds trade.
+type BenchCoreEncoding struct {
+	Encoding      string  `json:"encoding"`
+	PoolBytes     int64   `json:"pool_bytes"`
+	PoolBuildMS   float64 `json:"pool_build_ms"`
+	NsPerRound    float64 `json:"ns_per_round"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+	Workers       int     `json:"workers"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
 }
 
 // BenchCorePersistPolicy is the WAL write-through cost of one fsync policy:
@@ -160,11 +204,23 @@ type BenchCoreReport struct {
 	PoolBytes   int64         `json:"pool_bytes"`
 	PoolBuildMS float64       `json:"pool_build_ms"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
 	GoVersion   string        `json:"go_version"`
 	GeneratedBy string        `json:"generated_by"`
 	Fresh       BenchCoreMode `json:"fresh"`
 	Pooled      BenchCoreMode `json:"pooled"`
 	Incremental BenchCoreMode `json:"incremental"`
+	// ContentionProfile is the per-shard work breakdown of the headline
+	// incremental measurement; SamplesStolen is its total cross-shard
+	// steal count.
+	ContentionProfile []BenchCoreShard `json:"contention_profile"`
+	SamplesStolen     int64            `json:"samples_stolen"`
+	// Encodings compares the flat and compressed pool layouts at one
+	// worker; the ratios are compressed/flat for pool bytes (smaller is
+	// better) and ns/round (the price paid).
+	Encodings                 []BenchCoreEncoding `json:"encodings"`
+	CompressedPoolBytesRatio  float64             `json:"compressed_pool_bytes_ratio"`
+	CompressedNsPerRoundRatio float64             `json:"compressed_ns_per_round_ratio"`
 	// IncrementalScaling sweeps the incremental estimator's worker count;
 	// BlockersIdenticalAcrossWorkers records that every sweep point
 	// re-derived the same greedy blocker sequence (the sharded reduction's
@@ -225,6 +281,10 @@ func checkOverwrite(path string, cur *BenchCoreReport, force bool) error {
 	var old BenchCoreReport
 	if err := json.Unmarshal(buf, &old); err != nil {
 		return fmt.Errorf("benchcore: %s exists but does not parse (%v); pass -force to replace it", path, err)
+	}
+	if old.GoMaxProcs > cur.GoMaxProcs {
+		return fmt.Errorf("benchcore: %s was measured at gomaxprocs=%d but this run has only %d — a lower-parallelism regeneration would silently degrade the committed scaling baseline; pass -force to overwrite",
+			path, old.GoMaxProcs, cur.GoMaxProcs)
 	}
 	if !workerConfigMatches(&old, cur) {
 		return fmt.Errorf("benchcore: %s was measured with workers=%d gomaxprocs=%d sweep=%v, this run is workers=%d gomaxprocs=%d sweep=%v; pass -force to overwrite",
@@ -290,6 +350,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		Budget:      opt.Budget,
 		Workers:     cfg.Workers,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		GoVersion:   runtime.Version(),
 		GeneratedBy: "cmd/experiments -exp benchcore",
 	}
@@ -300,7 +361,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	rep.Graph.NumSeeds = cfg.NumSeeds
 	for _, w := range sweepWorkers() {
 		rep.IncrementalScaling = append(rep.IncrementalScaling,
-			BenchCoreScalingPoint{Workers: w, GoMaxProcs: rep.GoMaxProcs})
+			BenchCoreScalingPoint{Workers: w, GoMaxProcs: rep.GoMaxProcs, NumCPU: rep.NumCPU})
 	}
 
 	// Fail the provenance check before spending minutes measuring.
@@ -375,7 +436,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	})
 	rep.Fresh = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
 		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta),
-		Workers: mainWorkers}
+		Workers: mainWorkers, NumCPU: rep.NumCPU}
 
 	// Pooled: full re-scan of the stored pool every round.
 	ns, by, _ = measure(func() {
@@ -387,7 +448,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	})
 	rep.Pooled = BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
 		SamplesPerSec: float64(cfg.Theta) / ns * 1e9, DirtySamplesPerRound: float64(cfg.Theta),
-		Workers: mainWorkers}
+		Workers: mainWorkers, NumCPU: rep.NumCPU}
 
 	// Incremental: persistent estimator per sweep point, flips reported,
 	// priming included in the first run and amortized like a warm session
@@ -398,8 +459,8 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	// is checked against the pooled trajectory — the
 	// bit-identical-blockers guarantee, exercised at serving size.
 	rep.BlockersIdenticalAcrossWorkers = true
-	measureIncremental := func(workers int) (BenchCoreMode, error) {
-		incr := core.NewIncrementalPooledEstimatorFromPool(pool, workers, core.DomLengauerTarjan)
+	measureIncremental := func(pl *core.SamplePool, workers int) (BenchCoreMode, []core.ShardProfile, int64, error) {
+		incr := core.NewIncrementalPooledEstimatorFromPool(pl, workers, core.DomLengauerTarjan)
 		reTraj := make([]graph.V, 0, opt.Budget)
 		flips := make([]graph.V, 0, opt.Budget)
 		for range traj {
@@ -407,7 +468,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 			flips = flips[:0]
 			best := pickBest(vals)
 			if best == -1 {
-				return BenchCoreMode{}, fmt.Errorf("benchcore: sweep at workers=%d ran out of candidates", workers)
+				return BenchCoreMode{}, nil, 0, fmt.Errorf("benchcore: sweep at workers=%d ran out of candidates", workers)
 			}
 			blocked[best] = true
 			flips = append(flips, best)
@@ -435,18 +496,27 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		})
 		st1 := incr.Stats()
 		dirtyPerRound := float64(st1.SamplesReprocessed-st0.SamplesReprocessed) / float64(rounds)
-		return BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
+		mode := BenchCoreMode{NsPerRound: ns, BytesPerRound: by,
 			SamplesPerSec: dirtyPerRound / ns * 1e9, DirtySamplesPerRound: dirtyPerRound,
-			Workers: effectiveWorkers(workers, cfg.Theta)}, nil
+			Workers: effectiveWorkers(workers, cfg.Theta), NumCPU: rep.NumCPU}
+		return mode, incr.ShardProfiles(), incr.Stats().SamplesStolen, nil
 	}
 
-	m, err := measureIncremental(cfg.Workers)
+	m, profs, stolen, err := measureIncremental(pool, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	rep.Incremental = m
+	rep.SamplesStolen = stolen
+	for s, pr := range profs {
+		rep.ContentionProfile = append(rep.ContentionProfile, BenchCoreShard{
+			Shard: s, Lo: pr.Lo, Hi: pr.Hi,
+			Processed: pr.Processed, Stolen: pr.Stolen, Ns: pr.Ns,
+		})
+	}
 
 	var oneWorkerNs float64
+	var oneWorkerMode BenchCoreMode
 	for i := range rep.IncrementalScaling {
 		pt := &rep.IncrementalScaling[i]
 		m := rep.Incremental
@@ -455,7 +525,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 			// that measurement instead of paying another priming pass and
 			// MinTime of timed rounds for identical numbers.
 			var err error
-			m, err = measureIncremental(pt.Workers)
+			m, _, _, err = measureIncremental(pool, pt.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -463,6 +533,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		pt.NsPerRound = m.NsPerRound
 		if pt.Workers == 1 {
 			oneWorkerNs = m.NsPerRound
+			oneWorkerMode = m
 		}
 		if oneWorkerNs > 0 {
 			pt.Speedup = oneWorkerNs / m.NsPerRound
@@ -476,6 +547,40 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	rep.SpeedupPooledVsFresh = rep.Fresh.NsPerRound / rep.Pooled.NsPerRound
 	rep.SpeedupIncrementalVsPooled = rep.Pooled.NsPerRound / rep.Incremental.NsPerRound
 	rep.SpeedupIncrementalVsFresh = rep.Fresh.NsPerRound / rep.Incremental.NsPerRound
+
+	if opt.ScalingFloor > 0 {
+		if rep.NumCPU >= 4 && rep.GoMaxProcs >= 4 {
+			if rep.SpeedupIncremental4WVs1W < opt.ScalingFloor {
+				return nil, fmt.Errorf("benchcore: 4-worker speedup %.2fx is below the %.2fx floor (gomaxprocs=%d, num_cpu=%d)",
+					rep.SpeedupIncremental4WVs1W, opt.ScalingFloor, rep.GoMaxProcs, rep.NumCPU)
+			}
+		} else if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, "scaling floor check skipped: gomaxprocs=%d num_cpu=%d (need 4 of each)\n",
+				rep.GoMaxProcs, rep.NumCPU)
+		}
+	}
+
+	// Encoding comparison: the flat single-worker point from the sweep
+	// against a compressed pool of the same samples at the same worker
+	// count. Same trajectory, same bit-identity assertion.
+	t0 = time.Now()
+	cpool := core.NewSamplePoolEnc(sampler, super, cfg.Theta, cfg.Workers,
+		rng.New(cfg.Seed).Split(^uint64(0)), core.PoolCompressed)
+	compBuildMS := float64(time.Since(t0)) / float64(time.Millisecond)
+	compMode, _, _, err := measureIncremental(cpool, 1)
+	if err != nil {
+		return nil, err
+	}
+	rep.Encodings = []BenchCoreEncoding{
+		{Encoding: "flat", PoolBytes: rep.PoolBytes, PoolBuildMS: rep.PoolBuildMS,
+			NsPerRound: oneWorkerMode.NsPerRound, BytesPerRound: oneWorkerMode.BytesPerRound,
+			Workers: 1, GoMaxProcs: rep.GoMaxProcs, NumCPU: rep.NumCPU},
+		{Encoding: "compressed", PoolBytes: cpool.MemoryBytes(), PoolBuildMS: compBuildMS,
+			NsPerRound: compMode.NsPerRound, BytesPerRound: compMode.BytesPerRound,
+			Workers: 1, GoMaxProcs: rep.GoMaxProcs, NumCPU: rep.NumCPU},
+	}
+	rep.CompressedPoolBytesRatio = float64(cpool.MemoryBytes()) / float64(rep.PoolBytes)
+	rep.CompressedNsPerRoundRatio = compMode.NsPerRound / oneWorkerMode.NsPerRound
 
 	// Mutate-then-solve: per batch size, perturb that many random edges of
 	// the serving instance through the dynamic overlay, then answer one
@@ -516,7 +621,7 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 
 		pt := BenchCoreMutatePoint{
 			BatchEdges: k, FracOfEdges: float64(k) / float64(g.M()),
-			Workers: mainWorkers,
+			Workers: mainWorkers, NumCPU: rep.NumCPU,
 		}
 
 		var repairVals, rebuildVals []float64
@@ -558,8 +663,8 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	rep.Persist = persist
 
 	if cfg.Out != nil {
-		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d)\n",
-			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs)
+		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d, num_cpu %d)\n",
+			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs, rep.NumCPU)
 		fmt.Fprintf(cfg.Out, "pool: %d samples, %.1f MB, built in %.0f ms\n",
 			cfg.Theta, float64(rep.PoolBytes)/(1<<20), rep.PoolBuildMS)
 		fmt.Fprintf(cfg.Out, "%-12s %8s %14s %16s %14s %18s\n", "mode", "workers", "ns/round", "samples/sec", "bytes/round", "dirty samples/rnd")
@@ -577,6 +682,17 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 		for _, pt := range rep.IncrementalScaling {
 			fmt.Fprintf(cfg.Out, "  workers=%-3d %12.0f ns/round  speedup %.2fx  efficiency %.2f\n",
 				pt.Workers, pt.NsPerRound, pt.Speedup, pt.Efficiency)
+		}
+		fmt.Fprintf(cfg.Out, "contention profile (headline incremental, %d stolen total):\n", rep.SamplesStolen)
+		for _, sh := range rep.ContentionProfile {
+			fmt.Fprintf(cfg.Out, "  shard %-3d [%6d,%6d) processed %-10d stolen %-8d %12d ns\n",
+				sh.Shard, sh.Lo, sh.Hi, sh.Processed, sh.Stolen, sh.Ns)
+		}
+		fmt.Fprintf(cfg.Out, "pool encodings (incremental, workers=1): compressed/flat bytes %.2f, ns/round %.2f\n",
+			rep.CompressedPoolBytesRatio, rep.CompressedNsPerRoundRatio)
+		for _, e := range rep.Encodings {
+			fmt.Fprintf(cfg.Out, "  %-11s %10.1f MB pool (built %6.0f ms) %12.0f ns/round %12.0f bytes/round\n",
+				e.Encoding, float64(e.PoolBytes)/(1<<20), e.PoolBuildMS, e.NsPerRound, e.BytesPerRound)
 		}
 		fmt.Fprintf(cfg.Out, "mutate-then-solve (repair vs rebuild, θ=%d):\n", cfg.Theta)
 		for _, pt := range rep.MutateRepair {

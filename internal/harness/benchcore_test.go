@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchReport(t *testing.T, dir string, rep *BenchCoreReport) string {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_core.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchReport(workers, gomaxprocs int, sweep ...int) *BenchCoreReport {
+	rep := &BenchCoreReport{Workers: workers, GoMaxProcs: gomaxprocs}
+	for _, w := range sweep {
+		rep.IncrementalScaling = append(rep.IncrementalScaling,
+			BenchCoreScalingPoint{Workers: w, GoMaxProcs: gomaxprocs})
+	}
+	return rep
+}
+
+// TestBenchCoreOverwriteGuard pins the provenance rules for replacing a
+// committed baseline: a matching configuration overwrites freely, any
+// mismatch needs -force, and — the rule this exists for — a run on a
+// machine with FEWER cores than the baseline's must never replace it
+// silently, because the scaling numbers would quietly degrade.
+func TestBenchCoreOverwriteGuard(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: always fine.
+	if err := checkOverwrite(filepath.Join(dir, "absent.json"), benchReport(0, 4, 1, 2, 4), false); err != nil {
+		t.Fatalf("missing baseline rejected: %v", err)
+	}
+
+	// Same configuration: fine without force.
+	path := writeBenchReport(t, dir, benchReport(0, 4, 1, 2, 4))
+	if err := checkOverwrite(path, benchReport(0, 4, 1, 2, 4), false); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+
+	// Downgrade: baseline measured at higher GOMAXPROCS than this run.
+	path = writeBenchReport(t, dir, benchReport(0, 8, 1, 2, 4, 8))
+	err := checkOverwrite(path, benchReport(0, 4, 1, 2, 4), false)
+	if err == nil {
+		t.Fatal("gomaxprocs downgrade accepted without -force")
+	}
+	if !strings.Contains(err.Error(), "gomaxprocs=8") || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("downgrade error does not name the mismatch: %v", err)
+	}
+	if err := checkOverwrite(path, benchReport(0, 4, 1, 2, 4), true); err != nil {
+		t.Fatalf("-force did not override the downgrade guard: %v", err)
+	}
+
+	// Upgrade (more cores than the baseline) still trips the generic
+	// config-mismatch guard: the numbers would not be comparable either.
+	if err := checkOverwrite(path, benchReport(0, 16, 1, 2, 4, 16), false); err == nil {
+		t.Fatal("gomaxprocs upgrade accepted without -force")
+	}
+
+	// Different sweep shape at equal gomaxprocs: generic mismatch.
+	if err := checkOverwrite(path, benchReport(0, 8, 1, 2, 4), false); err == nil {
+		t.Fatal("sweep shape change accepted without -force")
+	}
+
+	// Unparseable file: only force may replace it.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverwrite(bad, benchReport(0, 4, 1, 2, 4), false); err == nil {
+		t.Fatal("unparseable baseline accepted without -force")
+	}
+	if err := checkOverwrite(bad, benchReport(0, 4, 1, 2, 4), true); err != nil {
+		t.Fatalf("-force did not override the parse guard: %v", err)
+	}
+}

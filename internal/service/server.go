@@ -853,6 +853,10 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	theta := min(orDefault(req.Theta, s.cfg.DefaultTheta), s.cfg.MaxTheta)
 	mcs := min(orDefault(req.MCSRounds, s.cfg.DefaultMCSRounds), s.cfg.MaxEvalRounds)
 	workers := min(req.Workers, runtime.GOMAXPROCS(0))
+	enc, encErr := poolEncoding(req.PoolEncoding)
+	if encErr != nil {
+		return nil, encErr
+	}
 	opt := core.Options{
 		Theta:        theta,
 		MCSRounds:    mcs,
@@ -860,6 +864,7 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		Workers:      workers,
 		Timeout:      timeout,
 		ReuseSamples: req.ReuseSamples,
+		PoolEncoding: enc,
 	}
 
 	evalRounds := req.EvalRounds
@@ -985,6 +990,18 @@ func diffusionName(d core.Diffusion) string {
 		return "LT"
 	}
 	return "IC"
+}
+
+// poolEncoding maps the request's pool_encoding field onto the core option.
+func poolEncoding(s string) (core.PoolEncoding, *apiError) {
+	switch s {
+	case "", "flat":
+		return core.PoolFlat, nil
+	case "compressed":
+		return core.PoolCompressed, nil
+	default:
+		return 0, apiErrorf(http.StatusBadRequest, "unknown pool_encoding %q (want \"flat\" or \"compressed\")", s)
+	}
 }
 
 func verticesToInts(vs []graph.V) []int {

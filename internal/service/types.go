@@ -190,6 +190,12 @@ type SolveRequest struct {
 	// (seeds, seed, theta), so repeated solves skip sampling entirely.
 	// Costs server memory proportional to θ × average sample size.
 	ReuseSamples bool `json:"reuse_samples,omitempty"`
+	// PoolEncoding selects the cached pool's arena layout for reuse_samples
+	// solves: "flat" (default; fastest scans) or "compressed" (delta+varint
+	// sections, typically well under half the memory at a small decode cost
+	// per reprocessed sample). Blocker output is bit-identical across
+	// encodings. Ignored without reuse_samples.
+	PoolEncoding string `json:"pool_encoding,omitempty"`
 	// TimeoutMS caps the solve; 0 uses the server default. On expiry the
 	// partial blocker set is returned with timed_out set.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
