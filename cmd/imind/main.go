@@ -18,6 +18,7 @@
 //	POST   /graphs/{id}/solve-batch many solves against one graph, streamed as NDJSON
 //	POST   /graphs/{id}/mutate      commit an NDJSON batch of topology mutations (new epoch)
 //	GET    /healthz                 liveness
+//	GET    /readyz                  readiness: 503 while any graph is degraded (read-only, self-healing)
 //	GET    /stats                   registry size, session-cache, mutation/repair and durability counters
 //
 // Example:
@@ -51,23 +52,27 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		dataDir     = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
-		stateDir    = flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty runs in-memory only")
-		fsyncMode   = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval or none")
-		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
-		ckptWALMB   = flag.Int("checkpoint-wal-mb", 16, "WAL megabytes per graph that trigger a background checkpoint")
-		maxConc     = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxSessions = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
-		workers     = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
-		timeout     = flag.Duration("timeout", 0, "default per-solve timeout (0 = none; requests may set timeout_ms)")
-		theta       = flag.Int("theta", 10000, "default sampled graphs per estimation round")
-		evalRounds  = flag.Int("eval", 2000, "default Monte-Carlo rounds for spread reports")
-		preload     = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
-		scale       = flag.Float64("scale", 0.02, "scale for -preload datasets")
-		rngSeed     = flag.Uint64("rng", 1, "seed for -preload generation")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
-		shutdownTO  = flag.Duration("shutdown-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight solves to drain before closing their connections")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataDir      = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
+		stateDir     = flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty runs in-memory only")
+		fsyncMode    = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval or none")
+		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+		ckptWALMB    = flag.Int("checkpoint-wal-mb", 16, "WAL megabytes per graph that trigger a background checkpoint")
+		maxConc      = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxSessions  = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
+		workers      = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
+		timeout      = flag.Duration("timeout", 0, "default per-solve timeout (0 = none; requests may set timeout_ms)")
+		theta        = flag.Int("theta", 10000, "default sampled graphs per estimation round")
+		evalRounds   = flag.Int("eval", 2000, "default Monte-Carlo rounds for spread reports")
+		preload      = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
+		scale        = flag.Float64("scale", 0.02, "scale for -preload datasets")
+		rngSeed      = flag.Uint64("rng", 1, "seed for -preload generation")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
+		shutdownTO   = flag.Duration("shutdown-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight solves to drain before closing their connections")
+		maxQueueWait = flag.Duration("max-queue-wait", 5*time.Second, "max time a request may wait in an admission queue before being shed with 429 (0 = unbounded)")
+		degradedMode = flag.Bool("degraded-mode", true, "serve reads and shed writes (503) when a graph's durable log fails, self-healing in the background; false restores plain 500s")
+		ckptRetries  = flag.Int("checkpoint-retries", 3, "retries for background checkpoints that fail transiently (ENOSPC etc)")
+		ckptBackoff  = flag.Duration("checkpoint-retry-backoff", 250*time.Millisecond, "initial backoff between background checkpoint retries (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -89,14 +94,18 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		MaxConcurrent:     *maxConc,
-		MaxSessions:       *maxSessions,
-		SolveWorkers:      *workers,
-		DefaultTimeout:    *timeout,
-		DefaultTheta:      *theta,
-		DefaultEvalRounds: *evalRounds,
-		DataDir:           *dataDir,
-		Store:             st,
+		MaxConcurrent:          *maxConc,
+		MaxSessions:            *maxSessions,
+		SolveWorkers:           *workers,
+		DefaultTimeout:         *timeout,
+		DefaultTheta:           *theta,
+		DefaultEvalRounds:      *evalRounds,
+		DataDir:                *dataDir,
+		Store:                  st,
+		MaxQueueWait:           *maxQueueWait,
+		DisableDegraded:        !*degradedMode,
+		CheckpointRetries:      *ckptRetries,
+		CheckpointRetryBackoff: *ckptBackoff,
 	})
 
 	// Recovery runs before preloading: a preload name that already exists

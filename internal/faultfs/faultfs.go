@@ -1,0 +1,93 @@
+// Package faultfs is the filesystem seam under imind's durability layer.
+// Everything in internal/store (and the graph manifest/snapshot helpers it
+// calls) performs its file I/O through the FS interface instead of the os
+// package, so tests can substitute an Injector that fails, tears, or
+// crashes at any chosen operation — EIO on the third fsync, ENOSPC while a
+// snapshot lands, a short write in the middle of a WAL record, or a hard
+// process abort at the Nth matching op — deterministically and without
+// root, loop devices, or a custom kernel.
+//
+// Two implementations ship:
+//
+//   - OS: a zero-cost passthrough to the os package (production).
+//   - Injector: wraps any FS with an ordered rule schedule (see Rule and
+//     ParseSchedule) that decides, per operation, whether to pass through,
+//     return an error, write short, or abort the process.
+//
+// The iminlint analyzer `vfsonly` keeps the seam airtight: direct os file
+// I/O inside internal/store is a lint error, so no code path can bypass
+// injection.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durability layer uses. Sync is the
+// member that earns the interface its keep: fsync failure is the fault
+// class journaling code most often mishandles, and it cannot be provoked
+// on a healthy filesystem.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size (recovery cuts torn WAL tails).
+	Truncate(size int64) error
+	// Seek positions the next read/write.
+	Seek(offset int64, whence int) (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer: every operation
+// internal/store and the graph manifest helpers perform. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// Open opens a file (or directory, for directory fsync) read-only.
+	Open(name string) (File, error)
+	// Create truncates-or-creates a file for writing (0644).
+	Create(name string) (File, error)
+	// OpenFile is the full open: flag and permission controlled.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file; RemoveAll a whole tree (nil if absent).
+	Remove(name string) error
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadFile reads a whole file; WriteFile writes one (not durable —
+	// durable writers go through Create/Write/Sync/Rename themselves).
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the passthrough FS: every call maps 1:1 onto the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }

@@ -1,0 +1,221 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := OS.Stat(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatalf("Stat after rename: %v", err)
+	}
+}
+
+func TestInjectorNthMatch(t *testing.T) {
+	inj := NewInjector(OS)
+	inj.SetRules(Rule{Op: OpSync, Nth: 2})
+
+	dir := t.TempDir()
+	f, err := inj.Create(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second sync: want EIO, got %v", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *os.PathError, got %T", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync should pass again: %v", err)
+	}
+}
+
+func TestInjectorPathFilterAndErrno(t *testing.T) {
+	inj := NewInjector(OS)
+	inj.SetRules(Rule{Op: OpWrite, PathContains: "snap-", Err: syscall.ENOSPC})
+
+	dir := t.TempDir()
+	snap, _ := inj.Create(filepath.Join(dir, "snap-000001.tmp"))
+	wal, _ := inj.Create(filepath.Join(dir, "wal-000001"))
+	defer snap.Close()
+	defer wal.Close()
+
+	if _, err := wal.Write([]byte("x")); err != nil {
+		t.Fatalf("wal write should pass: %v", err)
+	}
+	if _, err := snap.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("snap write: want ENOSPC, got %v", err)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	inj := NewInjector(OS)
+	inj.SetRules(Rule{Op: OpWrite, Nth: 1, Mode: ModeShortWrite})
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write: want EIO, got %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write: n = %d, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "01234" {
+		t.Fatalf("on disk: %q, want first half", data)
+	}
+}
+
+func TestInjectorCrashModes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	// crash-before: the hook fires and the write is absent.
+	inj := NewInjector(OS)
+	var crashed []OpInfo
+	inj.OnCrash(func(i OpInfo) { crashed = append(crashed, i) })
+	inj.SetRules(Rule{Op: OpWrite, Nth: 1, Mode: ModeCrashBefore})
+	f, _ := inj.Create(path)
+	if _, err := f.Write([]byte("abc")); err != nil {
+		// Hook returned: op proceeds. That is the documented contract.
+		t.Fatalf("write after returning hook: %v", err)
+	}
+	f.Close()
+	if len(crashed) != 1 || crashed[0].Op != OpWrite {
+		t.Fatalf("crash hook: %v", crashed)
+	}
+
+	// torn: half the payload lands before the hook fires.
+	inj2 := NewInjector(OS)
+	hit := 0
+	inj2.OnCrash(func(OpInfo) { hit++ })
+	inj2.SetRules(Rule{Op: OpWrite, Nth: 1, Mode: ModeTornWrite})
+	path2 := filepath.Join(dir, "g")
+	g, _ := inj2.Create(path2)
+	g.Write([]byte("0123456789"))
+	g.Close()
+	if hit != 1 {
+		t.Fatalf("torn write: crash hook hit %d times", hit)
+	}
+	data, _ := os.ReadFile(path2)
+	if string(data) != "01234" {
+		t.Fatalf("torn write on disk: %q", data)
+	}
+}
+
+func TestInjectorTrace(t *testing.T) {
+	inj := NewInjector(OS)
+	inj.SetTracing(true)
+	dir := t.TempDir()
+	f, _ := inj.Create(filepath.Join(dir, "t"))
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	tr := inj.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("trace length = %d, want 4: %v", len(tr), tr)
+	}
+	want := []Op{OpCreate, OpWrite, OpSync, OpClose}
+	for i, op := range want {
+		if tr[i].Op != op {
+			t.Fatalf("trace[%d] = %s, want %s", i, tr[i].Op, op)
+		}
+		if tr[i].Seq != int64(i+1) {
+			t.Fatalf("trace[%d].Seq = %d, want %d", i, tr[i].Seq, i+1)
+		}
+	}
+	if inj.Ops() != 4 {
+		t.Fatalf("Ops = %d", inj.Ops())
+	}
+}
+
+func TestInjectorRulesSwappable(t *testing.T) {
+	inj := NewInjector(OS)
+	inj.SetRules(Rule{Op: OpWriteFile})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w")
+	if err := inj.WriteFile(path, []byte("x"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	inj.ClearRules()
+	if err := inj.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("after ClearRules: %v", err)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := ParseSchedule("eio@sync#3; enospc@write~snap-; crash@write#17; torn@write~wal-#5; short@*; crash-after@rename")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := []Rule{
+		{Op: OpSync, Nth: 3, Mode: ModeErr, Err: syscall.EIO},
+		{Op: OpWrite, PathContains: "snap-", Mode: ModeErr, Err: syscall.ENOSPC},
+		{Op: OpWrite, Nth: 17, Mode: ModeCrashBefore},
+		{Op: OpWrite, PathContains: "wal-", Nth: 5, Mode: ModeTornWrite},
+		{Mode: ModeShortWrite, Err: syscall.EIO},
+		{Op: OpRename, Mode: ModeCrashAfter},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{"sync#3", "zap@sync", "eio@sync#0", "eio@sync#x"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Op: OpWrite, PathContains: "wal-", Nth: 5, Mode: ModeTornWrite}
+	if got := r.String(); got != "torn@write~wal-#5" {
+		t.Fatalf("Rule.String() = %q", got)
+	}
+	if got := (Rule{Mode: ModeErr}).String(); got != "err@*" {
+		t.Fatalf("Rule.String() = %q", got)
+	}
+}

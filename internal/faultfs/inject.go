@@ -1,0 +1,496 @@
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op classifies one filesystem operation for schedule matching and traces.
+// FS-level ops carry the method's name; File-level ops (write, sync, ...)
+// carry the path the file was opened with.
+type Op string
+
+const (
+	OpOpen      Op = "open"
+	OpCreate    Op = "create"
+	OpOpenFile  Op = "openfile"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpRemoveAll Op = "removeall"
+	OpMkdirAll  Op = "mkdirall"
+	OpReadFile  Op = "readfile"
+	OpWriteFile Op = "writefile"
+	OpReadDir   Op = "readdir"
+	OpStat      Op = "stat"
+
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpTruncate Op = "truncate"
+	OpSeek     Op = "seek"
+)
+
+// OpInfo identifies one observed operation: its 1-based global sequence
+// number across the whole Injector, its kind, and the path it touched.
+type OpInfo struct {
+	Seq  int64
+	Op   Op
+	Path string
+}
+
+func (i OpInfo) String() string {
+	return fmt.Sprintf("op %d: %s %s", i.Seq, i.Op, i.Path)
+}
+
+// Mode is what a fired rule does to its operation.
+type Mode int
+
+const (
+	// ModeErr returns Err without performing the operation.
+	ModeErr Mode = iota
+	// ModeShortWrite performs half the write, then returns Err — a torn
+	// record the process observes. Non-write operations behave as ModeErr.
+	ModeShortWrite
+	// ModeCrashBefore aborts the process before the operation runs: the
+	// op's effect is entirely absent from disk.
+	ModeCrashBefore
+	// ModeCrashAfter performs the operation, then aborts: the op's effect
+	// is fully present, everything later is absent.
+	ModeCrashAfter
+	// ModeTornWrite writes half, then aborts — the classic torn write a
+	// power cut leaves behind. Non-write operations behave as ModeCrashBefore.
+	ModeTornWrite
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeErr:
+		return "err"
+	case ModeShortWrite:
+		return "short"
+	case ModeCrashBefore:
+		return "crash"
+	case ModeCrashAfter:
+		return "crash-after"
+	case ModeTornWrite:
+		return "torn"
+	}
+	return "unknown"
+}
+
+// Rule is one entry of an injection schedule. A rule matches an operation
+// when Op equals the op's kind ("" or "*" matches any) and PathContains is
+// a substring of its path ("" matches any). Each rule counts its own
+// matches; it fires on the Nth match (1-based), or on every match when
+// Nth is 0. The first firing rule in schedule order decides the op's fate.
+type Rule struct {
+	Op           Op
+	PathContains string
+	Nth          int
+	Mode         Mode
+	// Err is the error ModeErr/ModeShortWrite return, wrapped in an
+	// *os.PathError so errors.Is sees through it. Nil defaults to EIO.
+	Err error
+}
+
+func (r Rule) errno() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return syscall.EIO
+}
+
+func (r Rule) String() string {
+	s := r.Mode.String() + "@"
+	if r.Op == "" {
+		s += "*"
+	} else {
+		s += string(r.Op)
+	}
+	if r.PathContains != "" {
+		s += "~" + r.PathContains
+	}
+	if r.Nth > 0 {
+		s += "#" + strconv.Itoa(r.Nth)
+	}
+	return s
+}
+
+// CrashExitCode is the status the default crash hook exits with, so a
+// parent process can tell a deliberate crash-point abort from any other
+// failure of its child.
+const CrashExitCode = 86
+
+// Injector wraps a base FS with a deterministic fault schedule. Every
+// operation increments a global sequence, is offered to each rule in
+// order, and either passes through, fails, writes short, or aborts the
+// process. Rules and tracing may be swapped at runtime (a test clears the
+// schedule to let a self-heal succeed); all methods are concurrency-safe.
+type Injector struct {
+	base  FS
+	crash func(OpInfo)
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	seq     int64
+	tracing bool
+	trace   []OpInfo
+}
+
+type ruleState struct {
+	Rule
+	hits int
+}
+
+// NewInjector wraps base (nil = OS) with an empty schedule: a passthrough
+// until SetRules installs faults.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{base: base, crash: defaultCrash}
+}
+
+func defaultCrash(info OpInfo) {
+	fmt.Fprintf(os.Stderr, "faultfs: crash point hit: %s\n", info)
+	os.Exit(CrashExitCode)
+}
+
+// OnCrash replaces the process-abort hook (default: exit CrashExitCode).
+// The hook should not return; if it does, the operation proceeds as if no
+// rule had fired.
+func (in *Injector) OnCrash(fn func(OpInfo)) {
+	in.mu.Lock()
+	in.crash = fn
+	in.mu.Unlock()
+}
+
+// SetRules installs a schedule, resetting every rule's match counter. The
+// global op sequence keeps running — rules installed mid-workload count
+// matches only from now on.
+func (in *Injector) SetRules(rules ...Rule) {
+	in.mu.Lock()
+	in.rules = make([]*ruleState, len(rules))
+	for i, r := range rules {
+		in.rules[i] = &ruleState{Rule: r}
+	}
+	in.mu.Unlock()
+}
+
+// ClearRules removes every rule: pure passthrough from here on.
+func (in *Injector) ClearRules() { in.SetRules() }
+
+// SetTracing toggles op recording (for site enumeration).
+func (in *Injector) SetTracing(on bool) {
+	in.mu.Lock()
+	in.tracing = on
+	in.mu.Unlock()
+}
+
+// Trace returns a copy of the ops observed while tracing was on.
+func (in *Injector) Trace() []OpInfo {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]OpInfo, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// Ops returns the total operations observed since construction.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// observe assigns the op its sequence number, records it when tracing, and
+// returns the first rule that fires on it (nil for passthrough).
+func (in *Injector) observe(op Op, path string) (OpInfo, *Rule) {
+	in.mu.Lock()
+	in.seq++
+	info := OpInfo{Seq: in.seq, Op: op, Path: path}
+	if in.tracing {
+		in.trace = append(in.trace, info)
+	}
+	var fired *Rule
+	for _, rs := range in.rules {
+		if rs.Op != "" && rs.Op != "*" && rs.Op != op {
+			continue
+		}
+		if rs.PathContains != "" && !strings.Contains(path, rs.PathContains) {
+			continue
+		}
+		rs.hits++
+		if fired == nil && (rs.Nth == 0 || rs.hits == rs.Nth) {
+			r := rs.Rule
+			fired = &r
+		}
+	}
+	crash := in.crash
+	in.mu.Unlock()
+	if fired != nil && fired.Mode == ModeCrashBefore {
+		crash(info)
+		fired = nil // the hook returned (test override): pass through
+	}
+	return info, fired
+}
+
+// around routes one non-write operation through the schedule. do runs the
+// real operation when the fired rule (if any) allows it.
+func (in *Injector) around(op Op, path string, do func() error) error {
+	info, r := in.observe(op, path)
+	if r == nil {
+		return do()
+	}
+	switch r.Mode {
+	case ModeErr, ModeShortWrite:
+		return &os.PathError{Op: string(op), Path: path, Err: r.errno()}
+	case ModeCrashAfter:
+		err := do()
+		in.crashHook()(info)
+		return err
+	case ModeTornWrite:
+		// Non-write op: nothing to tear, abort before it like ModeCrashBefore.
+		in.crashHook()(info)
+		return do()
+	}
+	return do()
+}
+
+func (in *Injector) crashHook() func(OpInfo) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crash
+}
+
+// --- FS implementation ---
+
+func (in *Injector) Open(name string) (File, error) {
+	f, err := in.aroundFile(OpOpen, name, func() (File, error) { return in.base.Open(name) })
+	return f, err
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	return in.aroundFile(OpCreate, name, func() (File, error) { return in.base.Create(name) })
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return in.aroundFile(OpOpenFile, name, func() (File, error) { return in.base.OpenFile(name, flag, perm) })
+}
+
+func (in *Injector) aroundFile(op Op, name string, open func() (File, error)) (File, error) {
+	info, r := in.observe(op, name)
+	if r != nil {
+		switch r.Mode {
+		case ModeErr, ModeShortWrite:
+			return nil, &os.PathError{Op: string(op), Path: name, Err: r.errno()}
+		case ModeCrashAfter:
+			f, err := open()
+			in.crashHook()(info)
+			if f != nil {
+				return &injFile{f: f, in: in, path: name}, err
+			}
+			return nil, err
+		case ModeTornWrite:
+			in.crashHook()(info)
+		}
+	}
+	f, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in, path: name}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	return in.around(OpRename, oldpath, func() error { return in.base.Rename(oldpath, newpath) })
+}
+
+func (in *Injector) Remove(name string) error {
+	return in.around(OpRemove, name, func() error { return in.base.Remove(name) })
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	return in.around(OpRemoveAll, path, func() error { return in.base.RemoveAll(path) })
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.around(OpMkdirAll, path, func() error { return in.base.MkdirAll(path, perm) })
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	var data []byte
+	err := in.around(OpReadFile, name, func() error {
+		var e error
+		data, e = in.base.ReadFile(name)
+		return e
+	})
+	return data, err
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return in.around(OpWriteFile, name, func() error { return in.base.WriteFile(name, data, perm) })
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	var ents []os.DirEntry
+	err := in.around(OpReadDir, name, func() error {
+		var e error
+		ents, e = in.base.ReadDir(name)
+		return e
+	})
+	return ents, err
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	var fi os.FileInfo
+	err := in.around(OpStat, name, func() error {
+		var e error
+		fi, e = in.base.Stat(name)
+		return e
+	})
+	return fi, err
+}
+
+// injFile routes a wrapped file's operations back through the injector.
+type injFile struct {
+	f    File
+	in   *Injector
+	path string
+}
+
+func (f *injFile) Name() string { return f.path }
+
+func (f *injFile) Read(p []byte) (int, error) {
+	var n int
+	err := f.in.around(OpRead, f.path, func() error {
+		var e error
+		n, e = f.f.Read(p)
+		return e
+	})
+	return n, err
+}
+
+// Write is the one op with tearing semantics: ModeShortWrite and
+// ModeTornWrite persist the first half of p, so a frame's length prefix
+// can land without its payload — exactly the shape a crash mid-append
+// leaves on a real disk.
+func (f *injFile) Write(p []byte) (int, error) {
+	info, r := f.in.observe(OpWrite, f.path)
+	if r == nil {
+		return f.f.Write(p)
+	}
+	switch r.Mode {
+	case ModeErr:
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: r.errno()}
+	case ModeShortWrite:
+		n, err := f.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, &os.PathError{Op: "write", Path: f.path, Err: r.errno()}
+	case ModeCrashAfter:
+		n, err := f.f.Write(p)
+		f.in.crashHook()(info)
+		return n, err
+	case ModeTornWrite:
+		n, err := f.f.Write(p[:len(p)/2])
+		f.in.crashHook()(info)
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	return f.in.around(OpSync, f.path, f.f.Sync)
+}
+
+func (f *injFile) Close() error {
+	return f.in.around(OpClose, f.path, f.f.Close)
+}
+
+func (f *injFile) Truncate(size int64) error {
+	return f.in.around(OpTruncate, f.path, func() error { return f.f.Truncate(size) })
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	var pos int64
+	err := f.in.around(OpSeek, f.path, func() error {
+		var e error
+		pos, e = f.f.Seek(offset, whence)
+		return e
+	})
+	return pos, err
+}
+
+// ParseSchedule parses the compact rule syntax used by env vars, flags and
+// docs:
+//
+//	schedule := rule (';' rule)*
+//	rule     := action '@' op ['~' pathsub] ['#' nth]
+//	action   := eio | enospc | short | crash | crash-after | torn
+//	op       := any Op name, or '*' for every op
+//
+// Examples: "eio@sync#3" (the third fsync fails with EIO),
+// "enospc@write~snap-" (every write to a snapshot file fails ENOSPC),
+// "crash@write#17" (abort the process before the 17th write),
+// "torn@write~wal-#5" (write half of the 5th WAL write, then abort).
+func ParseSchedule(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		action, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultfs: rule %q: want action@op[~path][#nth]", part)
+		}
+		var r Rule
+		switch action {
+		case "eio":
+			r.Mode, r.Err = ModeErr, syscall.EIO
+		case "enospc":
+			r.Mode, r.Err = ModeErr, syscall.ENOSPC
+		case "short":
+			r.Mode, r.Err = ModeShortWrite, syscall.EIO
+		case "crash":
+			r.Mode = ModeCrashBefore
+		case "crash-after":
+			r.Mode = ModeCrashAfter
+		case "torn":
+			r.Mode = ModeTornWrite
+		default:
+			return nil, fmt.Errorf("faultfs: rule %q: unknown action %q", part, action)
+		}
+		opPart := rest
+		if before, nth, ok := cutLast(rest, "#"); ok {
+			n, err := strconv.Atoi(nth)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultfs: rule %q: bad occurrence #%s", part, nth)
+			}
+			r.Nth = n
+			opPart = before
+		}
+		op, path, _ := strings.Cut(opPart, "~")
+		if op != "*" && op != "" {
+			r.Op = Op(op)
+		}
+		r.PathContains = path
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}

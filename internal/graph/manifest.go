@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"github.com/imin-dev/imin/internal/faultfs"
 )
 
 // ManifestVersion is the current on-disk manifest schema version.
@@ -62,11 +64,17 @@ func (m *Manifest) Validate() error {
 	return nil
 }
 
-// WriteManifestFile atomically replaces path with m: the JSON is written to
+// WriteManifestFile atomically replaces path with m on the real
+// filesystem. See WriteManifestFS.
+func WriteManifestFile(path string, m *Manifest) error {
+	return WriteManifestFS(faultfs.OS, path, m)
+}
+
+// WriteManifestFS atomically replaces path with m: the JSON is written to
 // a temporary file in the same directory, fsynced, renamed over path, and
 // the directory is fsynced — so a crash at any point leaves either the old
 // manifest or the new one, never a torn file.
-func WriteManifestFile(path string, m *Manifest) error {
+func WriteManifestFS(fs faultfs.FS, path string, m *Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -76,35 +84,40 @@ func WriteManifestFile(path string, m *Manifest) error {
 	}
 	buf = append(buf, '\n')
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(path))
+	return SyncDirFS(fs, filepath.Dir(path))
 }
 
-// ReadManifestFile loads and validates a manifest written by
-// WriteManifestFile.
+// ReadManifestFile loads and validates a manifest from the real
+// filesystem. See ReadManifestFS.
 func ReadManifestFile(path string) (*Manifest, error) {
-	buf, err := os.ReadFile(path)
+	return ReadManifestFS(faultfs.OS, path)
+}
+
+// ReadManifestFS loads and validates a manifest written by WriteManifestFS.
+func ReadManifestFS(fs faultfs.FS, path string) (*Manifest, error) {
+	buf, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -118,11 +131,16 @@ func ReadManifestFile(path string) (*Manifest, error) {
 	return &m, nil
 }
 
-// SyncDir fsyncs a directory, making recently created or renamed entries
+// SyncDir fsyncs a directory on the real filesystem. See SyncDirFS.
+func SyncDir(dir string) error {
+	return SyncDirFS(faultfs.OS, dir)
+}
+
+// SyncDirFS fsyncs a directory, making recently created or renamed entries
 // durable. Filesystems that reject directory fsync (some network mounts)
 // are tolerated: the rename itself is still atomic there.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
+func SyncDirFS(fs faultfs.FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package lintrules
 
 import (
 	"go/ast"
+	"strings"
 
 	"github.com/imin-dev/imin/internal/lintkit"
 )
@@ -37,6 +38,7 @@ var mustCheck = map[string]bool{
 	"Append": true, "Sync": true, "Rename": true, "Truncate": true,
 	"Flush": true, "WriteBinary": true, "WriteBinaryFile": true,
 	"WriteManifestFile": true, "WriteEdgeListFile": true, "SyncDir": true,
+	"WriteManifestFS": true, "SyncDirFS": true,
 	"Checkpoint": true, "SyncAndCheckpoint": true, "SyncAndCheckpointAll": true,
 	"Replay": true,
 	// Unexported spellings used inside internal/store.
@@ -117,7 +119,7 @@ func checkBlankAssign(pass *lintkit.Pass, as *ast.AssignStmt) {
 func cleanupApplies(pass *lintkit.Pass, call *ast.CallExpr, name, recv string, writable map[string]bool) bool {
 	if name == "Remove" || name == "RemoveAll" {
 		pkg, _, r := calleeName(pass.TypesInfo, call)
-		return pkg == "os" && r == ""
+		return (pkg == "os" && r == "") || strings.HasSuffix(pkg, "internal/faultfs")
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -127,7 +129,7 @@ func cleanupApplies(pass *lintkit.Pass, call *ast.CallExpr, name, recv string, w
 	if !ok {
 		return false
 	}
-	if typeIs(tv.Type, "os", "File") {
+	if typeIs(tv.Type, "os", "File") || faultfsType(tv.Type) {
 		id := identOf(sel.X)
 		return id != nil && writable[id.Name]
 	}
@@ -154,7 +156,10 @@ func writableFiles(pass *lintkit.Pass, decl *ast.FuncDecl) map[string]bool {
 			return true
 		}
 		pkg, name, _ := calleeName(pass.TypesInfo, call)
-		if pkg != "os" || (name != "Create" && name != "OpenFile" && name != "CreateTemp") {
+		if pkg != "os" && !strings.HasSuffix(pkg, "internal/faultfs") {
+			return true
+		}
+		if name != "Create" && name != "OpenFile" && name != "CreateTemp" {
 			return true
 		}
 		if id := identOf(as.Lhs[0]); id != nil {

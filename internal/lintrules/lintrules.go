@@ -38,6 +38,7 @@ func All() []*lintkit.Analyzer {
 		LockIO,
 		EpochOrder,
 		CtxProp,
+		VFSOnly,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"github.com/imin-dev/imin/internal/lintkit"
 )
@@ -56,6 +57,7 @@ var fileIOMethods = map[string]bool{
 // are declared here.
 var knownIOFuncs = map[string]bool{
 	"SyncDir": true, "WriteManifestFile": true, "ReadManifestFile": true,
+	"SyncDirFS": true, "WriteManifestFS": true, "ReadManifestFS": true,
 	"WriteBinaryFile": true, "ReadBinaryFile": true, "WriteEdgeListFile": true,
 	"ReadEdgeListFile": true,
 }
@@ -146,6 +148,13 @@ func runLockIO(pass *lintkit.Pass) error {
 
 // directIO reports whether a call is itself filesystem or network I/O.
 func directIO(info *types.Info, call *ast.CallExpr) bool {
+	// Any method on the faultfs seam (FS, File, or an implementation) is
+	// I/O by definition — the store's disk writes all route through it.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && tv.IsValue() && faultfsType(tv.Type) {
+			return true
+		}
+	}
 	pkg, name, recv := calleeName(info, call)
 	switch {
 	case pkg == "os" && recv == "" && osIOFuncs[name]:
@@ -160,6 +169,25 @@ func directIO(info *types.Info, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
+}
+
+// faultfsType reports whether t is (a pointer to) a type declared in
+// internal/faultfs: values of the filesystem seam's types exist only to
+// perform I/O.
+func faultfsType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/faultfs")
+		default:
+			return false
+		}
+	}
 }
 
 // calleeFunc resolves a call to its *types.Func when it is a plain

@@ -1,0 +1,50 @@
+// Negative vfsonly fixture: routing I/O through an FS-interface seam is
+// exactly what the rule wants, and non-I/O uses of the os package (flag
+// constants, sentinel errors, FileMode, environment reads) stay legal.
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+type seamFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type seam interface {
+	Create(name string) (seamFile, error)
+	Rename(oldpath, newpath string) error
+	Stat(name string) (os.FileInfo, error)
+}
+
+func writeTmp(fs seam, path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(path, path+".done")
+}
+
+func exists(fs seam, path string) bool {
+	_, err := fs.Stat(path)
+	return !errors.Is(err, os.ErrNotExist)
+}
+
+func openFlags() (int, os.FileMode) {
+	_ = os.Getenv("IMIND_DATA")
+	return os.O_CREATE | os.O_EXCL | os.O_WRONLY, os.FileMode(0o644)
+}

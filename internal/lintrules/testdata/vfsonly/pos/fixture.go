@@ -1,0 +1,33 @@
+// Positive vfsonly fixture: the shapes of direct filesystem access the
+// durable store must not contain — every one of these paths would dodge
+// fault injection.
+package fixture
+
+import "os"
+
+func writeTmp(path string, data []byte) error {
+	f, err := os.Create(path) // want "direct os.Create bypasses the faultfs seam"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil { // want "bypasses the faultfs seam"
+		return err
+	}
+	if err := f.Sync(); err != nil { // want "bypasses the faultfs seam"
+		return err
+	}
+	if err := f.Close(); err != nil { // want "bypasses the faultfs seam"
+		return err
+	}
+	return os.Rename(path, path+".done") // want "direct os.Rename bypasses the faultfs seam"
+}
+
+func readState(dir string) ([]byte, error) {
+	if _, err := os.Stat(dir + "/manifest.json"); err != nil { // want "direct os.Stat bypasses the faultfs seam"
+		return nil, err
+	}
+	if err := os.MkdirAll(dir+"/graphs", 0o755); err != nil { // want "direct os.MkdirAll bypasses the faultfs seam"
+		return nil, err
+	}
+	return os.ReadFile(dir + "/manifest.json") // want "direct os.ReadFile bypasses the faultfs seam"
+}

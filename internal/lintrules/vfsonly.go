@@ -1,0 +1,59 @@
+package lintrules
+
+import (
+	"go/ast"
+
+	"github.com/imin-dev/imin/internal/lintkit"
+)
+
+// VFSPackages are the packages whose file I/O must route through the
+// internal/faultfs seam. Only the durable store is scoped today: it is the
+// layer whose failure paths the fault-injection suite exercises, and one
+// direct os call would make that coverage a lie — the injected EIO never
+// reaches the path that bypasses the seam.
+var VFSPackages = []string{"internal/store"}
+
+// VFSOnly forbids direct os-package file I/O (and any *os.File method use)
+// inside VFSPackages: everything must go through faultfs.FS, keeping the
+// injection seam airtight. Non-I/O os uses (os.O_CREATE flags, os.ErrNotExist,
+// os.FileMode, os.Getenv, ...) stay legal.
+var VFSOnly = &lintkit.Analyzer{
+	Name: "vfsonly",
+	Doc:  "forbids direct os file I/O in faultfs-seamed packages (internal/store): use the store's faultfs.FS instead",
+	Run:  runVFSOnly,
+}
+
+// osVFSFuncs are the os package-level calls that touch the filesystem and
+// have a faultfs.FS equivalent (or no business in the store at all).
+var osVFSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "ReadFile": true, "WriteFile": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+	"Readlink": true, "NewFile": true,
+}
+
+func runVFSOnly(pass *lintkit.Pass) error {
+	if !scopedTo(pass.PkgPath, VFSPackages) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, recv := calleeName(info, call)
+			switch {
+			case pkg == "os" && recv == "" && osVFSFuncs[name]:
+				pass.Reportf(call.Pos(), "direct os.%s bypasses the faultfs seam: route the I/O through the store's faultfs.FS", name)
+			case pkg == "os" && recv == "File":
+				pass.Reportf(call.Pos(), "(*os.File).%s bypasses the faultfs seam: hold a faultfs.File instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

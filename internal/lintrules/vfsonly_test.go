@@ -1,0 +1,22 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"github.com/imin-dev/imin/internal/lintkit/linttest"
+	"github.com/imin-dev/imin/internal/lintrules"
+)
+
+func TestVFSOnlyPositive(t *testing.T) {
+	linttest.Run(t, "testdata/vfsonly/pos", lintrules.VFSOnly, storePath)
+}
+
+func TestVFSOnlyNegative(t *testing.T) {
+	linttest.MustBeCleanDir(t, "testdata/vfsonly/neg", lintrules.VFSOnly, storePath)
+}
+
+func TestVFSOnlyScoping(t *testing.T) {
+	// The same direct-os fixture outside internal/store: other packages
+	// (the service, the CLIs) may use os freely, so the rule stays silent.
+	linttest.MustBeCleanDir(t, "testdata/vfsonly/pos", lintrules.VFSOnly, otherPath)
+}

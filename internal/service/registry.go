@@ -23,7 +23,16 @@ var (
 	ErrDuplicate = errors.New("graph already registered")
 	ErrFull      = errors.New("graph registry full")
 	ErrPersist   = errors.New("durable store write failed")
+	// ErrDegraded rejects mutations of a graph whose durable log failed:
+	// the graph keeps serving reads from its in-memory epoch while a
+	// background self-heal checkpoint restores writability (503, retryable).
+	ErrDegraded = errors.New("graph is degraded (read-only until self-heal completes)")
 )
+
+// errCheckpointBusy distinguishes "another checkpoint is already running"
+// from a completed checkpoint — the self-heal loop must not mistake a
+// skipped attempt for a successful rescue.
+var errCheckpointBusy = errors.New("checkpoint already in progress")
 
 // Registry is the concurrent store of named graphs. The graph behind a
 // name is an epoch-versioned dynamic.Graph, so topology evolves through
@@ -63,6 +72,48 @@ type GraphEntry struct {
 	// lastCheckpoint tracks the epoch of the last completed checkpoint, so
 	// shutdown can skip graphs with no WAL tail.
 	lastCheckpoint atomic.Uint64
+
+	// degMu guards the degraded flag and its reason. While degraded, Commit
+	// fast-fails with ErrDegraded — the in-memory epoch must not drift
+	// further from the durable one while no log can accept appends.
+	degMu     sync.Mutex
+	degraded  bool
+	degReason string
+	degSince  time.Time
+}
+
+// DegradedState reports whether the entry is in degraded read-only mode,
+// and the persist failure that put it there.
+func (e *GraphEntry) DegradedState() (bool, string) {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	return e.degraded, e.degReason
+}
+
+// markDegraded transitions the entry into degraded mode, reporting whether
+// this call made the transition (false: it already was degraded).
+func (e *GraphEntry) markDegraded(reason string) bool {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	if e.degraded {
+		return false
+	}
+	e.degraded = true
+	e.degReason = reason
+	e.degSince = time.Now()
+	return true
+}
+
+// clearDegraded restores writability. Only the self-heal path calls it,
+// strictly after a checkpoint has durably covered the in-memory epoch —
+// clearing any earlier would let fresh appends land beyond an epoch gap
+// that recovery would truncate.
+func (e *GraphEntry) clearDegraded() {
+	e.degMu.Lock()
+	e.degraded = false
+	e.degReason = ""
+	e.degSince = time.Time{}
+	e.degMu.Unlock()
 }
 
 // Current returns the immutable snapshot of the entry's present epoch,
@@ -85,6 +136,9 @@ func (e *GraphEntry) Durable() bool { return e.gs != nil }
 func (e *GraphEntry) Commit(muts []dynamic.Mutation) (dynamic.CommitInfo, error) {
 	if e.gs == nil {
 		return e.Dyn.Commit(muts)
+	}
+	if deg, reason := e.DegradedState(); deg {
+		return dynamic.CommitInfo{}, fmt.Errorf("graph %q: %w: %s", e.Name, ErrDegraded, reason)
 	}
 	batch, err := dynamic.EncodeBatch(nil, muts)
 	if err != nil {
@@ -116,11 +170,20 @@ func (e *GraphEntry) NeedsCheckpoint() bool {
 // commits — rotation synchronizes with them through commitMu, the snapshot
 // write runs unlocked.
 func (e *GraphEntry) Checkpoint() error {
+	if err := e.checkpoint(); err != nil && !errors.Is(err, errCheckpointBusy) {
+		return err
+	}
+	return nil
+}
+
+// checkpoint is Checkpoint with the busy case surfaced as errCheckpointBusy
+// instead of folded into success — the self-heal loop needs the distinction.
+func (e *GraphEntry) checkpoint() error {
 	if e.gs == nil {
 		return nil
 	}
 	if !e.gs.TryStartCheckpoint() {
-		return nil
+		return errCheckpointBusy
 	}
 	defer e.gs.FinishCheckpoint()
 	e.commitMu.Lock()
@@ -139,35 +202,44 @@ func (e *GraphEntry) Checkpoint() error {
 
 // SyncAndCheckpoint is the shutdown hook: force pending WAL bytes to disk,
 // then take a final checkpoint if any batch landed since the last one (so
-// restart replays nothing).
+// restart replays nothing). A failed Sync (e.g. a poisoned WAL) does not
+// abort the attempt: a checkpoint supersedes the broken log entirely, so a
+// successful rescue checkpoint makes the Sync failure moot.
 func (e *GraphEntry) SyncAndCheckpoint() error {
 	if e.gs == nil {
 		return nil
 	}
-	if err := e.gs.Sync(); err != nil {
-		return err
-	}
-	if e.Dyn.Epoch() == e.lastCheckpoint.Load() {
+	syncErr := e.gs.Sync()
+	if syncErr == nil && e.Dyn.Epoch() == e.lastCheckpoint.Load() {
 		return nil
 	}
-	return e.Checkpoint()
+	if err := e.Checkpoint(); err != nil {
+		if syncErr != nil {
+			return syncErr
+		}
+		return err
+	}
+	return nil
 }
 
 // Info summarizes the entry for the listing API.
 func (e *GraphEntry) Info() GraphInfo {
 	g, epoch := e.Dyn.Snapshot()
 	st := e.Dyn.Stats()
+	deg, reason := e.DegradedState()
 	return GraphInfo{
-		Name:          e.Name,
-		Vertices:      g.N(),
-		Edges:         g.M(),
-		Epoch:         epoch,
-		PendingDeltas: st.DeltasSinceCompact,
-		Compactions:   st.Compactions,
-		Source:        e.Source,
-		RegisteredAt:  e.RegisteredAt,
-		Durable:       e.Durable(),
-		Recovered:     e.Recovered,
+		Degraded:       deg,
+		DegradedReason: reason,
+		Name:           e.Name,
+		Vertices:       g.N(),
+		Edges:          g.M(),
+		Epoch:          epoch,
+		PendingDeltas:  st.DeltasSinceCompact,
+		Compactions:    st.Compactions,
+		Source:         e.Source,
+		RegisteredAt:   e.RegisteredAt,
+		Durable:        e.Durable(),
+		Recovered:      e.Recovered,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,26 @@ type Config struct {
 	// committed atomically, so its tentative state is held in memory in
 	// full. Default 100000.
 	MaxMutations int
+	// MaxQueueWait bounds how long a solve or mutate request may sit in an
+	// admission queue (the per-graph session queue and the bounded solve
+	// pool). Past the bound the request is shed with 429 + Retry-After
+	// instead of holding a connection open indefinitely. 0 = unbounded.
+	MaxQueueWait time.Duration
+	// CheckpointRetries and CheckpointRetryBackoff govern background
+	// checkpoints that fail with a transient error (ENOSPC and friends):
+	// up to CheckpointRetries extra attempts, doubling the backoff between
+	// them. Permanent errors are never retried. Defaults 3 and 250ms.
+	CheckpointRetries      int
+	CheckpointRetryBackoff time.Duration
+	// HealBackoff and HealMaxBackoff pace the self-heal loop of a degraded
+	// graph: the first heal attempt runs after HealBackoff, doubling up to
+	// HealMaxBackoff until a checkpoint succeeds. Defaults 100ms and 5s.
+	HealBackoff    time.Duration
+	HealMaxBackoff time.Duration
+	// DisableDegraded restores the legacy behavior for persistence
+	// failures: a plain 500 with no degraded read-only mode and no
+	// self-heal. Kept as an escape hatch; degraded mode is the default.
+	DisableDegraded bool
 	// DataDir is the only directory path-based graph registration may read
 	// from; empty disables file loading entirely.
 	DataDir string
@@ -109,6 +130,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxMutations <= 0 {
 		c.MaxMutations = 100_000
 	}
+	if c.CheckpointRetries <= 0 {
+		c.CheckpointRetries = 3
+	}
+	if c.CheckpointRetryBackoff <= 0 {
+		c.CheckpointRetryBackoff = 250 * time.Millisecond
+	}
+	if c.HealBackoff <= 0 {
+		c.HealBackoff = 100 * time.Millisecond
+	}
+	if c.HealMaxBackoff <= 0 {
+		c.HealMaxBackoff = 5 * time.Second
+	}
 	return c
 }
 
@@ -129,6 +162,18 @@ type Server struct {
 	sessionsAdvanced, sessionsReset atomic.Int64
 	poolsRepaired, poolsDropped     atomic.Int64
 	samplesRedrawn, samplesKept     atomic.Int64
+
+	// Robustness accounting and background-goroutine lifecycle: stopHeal
+	// cancels self-heal and checkpoint-retry loops at Close, bgWG waits for
+	// them so Close never races a checkpoint against Store.Close.
+	stopHeal chan struct{}
+	closed   atomic.Bool
+	bgWG     sync.WaitGroup
+
+	sheds          atomic.Int64 // requests shed with 429 at an admission queue
+	panics         atomic.Int64 // handler panics converted to 500s
+	degradedEnters atomic.Int64 // graph transitions into degraded mode
+	selfHeals      atomic.Int64 // degraded graphs restored to writable
 }
 
 // New builds a Server from cfg.
@@ -142,6 +187,7 @@ func New(cfg Config) *Server {
 		regSem:   make(chan struct{}, 1),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
+		stopHeal: make(chan struct{}),
 	}
 	if cfg.Store != nil {
 		s.registry.AttachStore(cfg.Store)
@@ -154,6 +200,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /graphs/{id}/solve-batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /graphs/{id}/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
@@ -182,6 +229,12 @@ func (s *Server) Recover() ([]*store.Recovered, error) {
 // handlers append to the WAL, and anything they acknowledged must be on
 // disk before the process exits. Without a store it is a no-op.
 func (s *Server) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stopHeal)
+	}
+	// Wait out self-heal and checkpoint-retry goroutines: they hold graph
+	// stores that are about to close underneath them.
+	s.bgWG.Wait()
 	if s.cfg.Store == nil {
 		return nil
 	}
@@ -192,8 +245,141 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Handler returns the route table.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the route table wrapped in the panic-recovery middleware:
+// a panicking handler becomes a logged 500 instead of tearing down the
+// whole connection (and, under http.Serve, leaking a broken keep-alive).
+func (s *Server) Handler() http.Handler { return s.withRecovery(s.mux) }
+
+// withRecovery converts handler panics into 500s. http.ErrAbortHandler is
+// re-raised — it is the sanctioned way to abort a response mid-stream and
+// net/http handles it quietly.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// If the handler already started the response this only logs;
+			// the client sees a truncated body, which is all that is left.
+			writeErr(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// degrade flips entry into degraded read-only mode and starts its
+// self-heal loop. Idempotent: concurrent persistence failures of the same
+// graph start exactly one healer.
+func (s *Server) degrade(entry *GraphEntry, cause error) {
+	if s.cfg.DisableDegraded {
+		return
+	}
+	if !entry.markDegraded(cause.Error()) {
+		return
+	}
+	s.degradedEnters.Add(1)
+	log.Printf("service: graph %q entered degraded read-only mode: %v", entry.Name, cause)
+	s.bgWG.Add(1)
+	go s.healLoop(entry)
+}
+
+// healLoop restores a degraded graph to writable: it retries a full
+// checkpoint (fresh snapshot + new WAL generation, superseding the poisoned
+// log) with doubling backoff until one succeeds. Writability is restored
+// strictly AFTER the checkpoint's manifest durably covers the in-memory
+// epoch — clearing earlier would let new appends land in a log whose base
+// epoch recovery cannot reach, and the epoch-continuity check would then
+// truncate acknowledged batches.
+func (s *Server) healLoop(entry *GraphEntry) {
+	defer s.bgWG.Done()
+	backoff := s.cfg.HealBackoff
+	for {
+		select {
+		case <-s.stopHeal:
+			return
+		case <-time.After(backoff):
+		}
+		if cur, ok := s.registry.Get(entry.Name); !ok || cur != entry {
+			return // deleted or replaced while degraded; nothing left to heal
+		}
+		err := entry.checkpoint()
+		if err == nil {
+			entry.clearDegraded()
+			s.selfHeals.Add(1)
+			log.Printf("service: graph %q self-healed: fresh checkpoint on a new WAL generation, writable again", entry.Name)
+			return
+		}
+		if errors.Is(err, errCheckpointBusy) {
+			continue // someone else's checkpoint may heal us; re-check soon
+		}
+		log.Printf("service: self-heal checkpoint of %q: %v (next attempt in %v)", entry.Name, err, backoff)
+		if backoff *= 2; backoff > s.cfg.HealMaxBackoff {
+			backoff = s.cfg.HealMaxBackoff
+		}
+	}
+}
+
+// backgroundCheckpoint runs a threshold-triggered checkpoint off the
+// request path, retrying transient failures (ENOSPC and friends) a bounded
+// number of times with doubling backoff. Permanent failures are not
+// retried. Either way, if the attempts left the WAL poisoned the graph is
+// degraded so the self-heal loop takes over.
+func (s *Server) backgroundCheckpoint(entry *GraphEntry) {
+	s.bgWG.Add(1)
+	go func() {
+		defer s.bgWG.Done()
+		backoff := s.cfg.CheckpointRetryBackoff
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = entry.Checkpoint()
+			if err == nil {
+				return
+			}
+			log.Printf("service: background checkpoint of %q (attempt %d, %s): %v",
+				entry.Name, attempt+1, store.Classify(err), err)
+			if attempt >= s.cfg.CheckpointRetries || !store.IsTransient(err) {
+				break
+			}
+			select {
+			case <-s.stopHeal:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if entry.gs != nil && entry.gs.Poisoned() {
+			s.degrade(entry, fmt.Errorf("background checkpoint poisoned the WAL: %w", err))
+		}
+	}()
+}
+
+// queueContext bounds admission-queue waits per MaxQueueWait. The returned
+// cancel must run once the request is admitted — the bound applies to
+// queueing only, never to the solve itself.
+func (s *Server) queueContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.MaxQueueWait <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.MaxQueueWait)
+}
+
+// shedOrCanceled classifies an admission-queue failure: the client gave up
+// (503, their context died) versus the server shed the request because the
+// queue wait exceeded MaxQueueWait (429 — the server is saturated and the
+// client should back off and retry).
+func (s *Server) shedOrCanceled(ctx context.Context, what string) *apiError {
+	if ctx.Err() != nil {
+		return apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for %s", what)
+	}
+	s.sheds.Add(1)
+	return apiErrorf(http.StatusTooManyRequests, "overloaded: wait for %s exceeded %v; retry later", what, s.cfg.MaxQueueWait)
+}
 
 // Registry exposes the graph registry, e.g. for preloading at startup.
 func (s *Server) Registry() *Registry { return s.registry }
@@ -217,6 +403,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer probe: 200 only when every graph is
+// fully writable. A degraded graph still serves reads (healthz stays 200,
+// the process is alive), but routers that need full service can drain on
+// the 503 here until self-heal completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	degraded := s.degradedGraphs()
+	if len(degraded) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":          "degraded",
+		"degraded_graphs": degraded,
+	})
+}
+
+func (s *Server) degradedGraphs() []string {
+	var names []string
+	for _, info := range s.registry.List() {
+		if info.Degraded {
+			names = append(names, info.Name)
+		}
+	}
+	return names
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	batches, mutations, compactions := s.registry.MutationTotals()
 	var persist *PersistStats
@@ -232,9 +445,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoveredGraphs:    st.RecoveredGraphs,
 			ReplayedBatches:    st.ReplayedBatches,
 			TruncatedTails:     st.TruncatedTails,
+			DegradedGraphs:     s.degradedGraphs(),
+			DegradedEnters:     s.degradedEnters.Load(),
+			SelfHeals:          s.selfHeals.Load(),
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Sheds:         s.sheds.Load(),
+		Panics:        s.panics.Load(),
 		Graphs:        s.registry.Len(),
 		Sessions:      s.sessions.Stats(),
 		Persist:       persist,
@@ -553,11 +771,27 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Write-through: the batch is committed in memory AND appended to the
 	// write-ahead log (fsynced per policy) before the 200 goes out. A
-	// persistence failure is a 500 — the commit is in memory but this
-	// process can no longer promise durability for it.
+	// persistence failure flips the graph into degraded read-only mode:
+	// the in-memory commit already happened and the self-heal checkpoint
+	// will carry it into the next durable snapshot, but the server could
+	// not promise durability at ack time, so the client gets a 503 +
+	// Retry-After rather than a 200. Further mutations are rejected with
+	// the same 503 until self-heal restores writability. DisableDegraded
+	// keeps the legacy plain 500 instead.
 	info, err := entry.Commit(muts)
+	if errors.Is(err, ErrDegraded) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	if errors.Is(err, ErrPersist) {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		if s.cfg.DisableDegraded {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.degrade(entry, err)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v (graph is now degraded read-only while a self-heal checkpoint runs)", err)
 		return
 	}
 	if err != nil {
@@ -569,11 +803,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// snapshot covers. At most one checkpoint per graph runs at a time
 	// (Checkpoint self-limits); the mutate path never waits on it.
 	if entry.NeedsCheckpoint() {
-		go func() {
-			if err := entry.Checkpoint(); err != nil {
-				log.Printf("service: background checkpoint of %q: %v", entry.Name, err)
-			}
-		}()
+		s.backgroundCheckpoint(entry)
 	}
 
 	// Eagerly migrate the graph's warm sessions so the repair cost is paid
@@ -586,13 +816,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// Lock order matches the solve path — session first, then solve slot —
 	// so a mutate migration can never hold the slot a session-holding solve
 	// is waiting for.
+	// The waits run under the queue bound like solve admission, but a
+	// timeout here is not a shed: the batch is already committed and acked
+	// below, so an overloaded pool just skips the eager migration.
 	var rep RepairStats
+	queueCtx, cancelQueue := s.queueContext(r.Context())
 	for _, diffusion := range []core.Diffusion{core.DiffusionIC, core.DiffusionLT} {
 		sess, ok := s.sessions.Lookup(SessionKey{Graph: entry.Name, Diffusion: diffusion})
 		if !ok {
 			continue
 		}
-		lh, err := sess.Acquire(r.Context())
+		lh, err := sess.Acquire(queueCtx)
 		if err != nil {
 			break
 		}
@@ -600,10 +834,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		case s.sem <- struct{}{}:
 			s.migrateSession(lh, entry, &rep)
 			<-s.sem
-		case <-r.Context().Done():
+		case <-queueCtx.Done():
 		}
 		lh.Release()
 	}
+	cancelQueue()
 
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Graph:           entry.Name,
@@ -675,6 +910,16 @@ func apiErrorf(code int, format string, args ...any) *apiError {
 	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
+// writeAPIErr sends an apiError, attaching Retry-After to the retryable
+// statuses (shed 429s and degraded/overload 503s) so well-behaved clients
+// back off instead of hammering.
+func writeAPIErr(w http.ResponseWriter, aerr *apiError) {
+	if aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeErr(w, aerr.code, "%s", aerr.msg)
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.registry.Get(r.PathValue("id"))
 	if !ok {
@@ -688,7 +933,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, aerr := s.solveOne(r.Context(), entry, &req)
 	if aerr != nil {
-		writeErr(w, aerr.code, "%s", aerr.msg)
+		writeAPIErr(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -814,13 +1059,19 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	key := SessionKey{Graph: entry.Name, Diffusion: diffusion}
 	sess, hit := s.sessions.Acquire(key, g, epoch)
 
+	// Both admission waits run under queueCtx so a saturated server sheds
+	// queued work (429) after MaxQueueWait instead of accumulating an
+	// unbounded backlog of parked requests.
+	queueCtx, cancelQueue := s.queueContext(ctx)
+	defer cancelQueue()
+
 	// Queue for the (graph, model) session first: sessions serialize their
 	// callers, and the wait costs no CPU, so it must not occupy a solve
 	// slot — otherwise one hot graph's queue would hold every slot and
 	// starve requests for all other graphs (head-of-line blocking).
-	lh, err := sess.Acquire(ctx)
+	lh, err := sess.Acquire(queueCtx)
 	if err != nil {
-		return nil, apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for the graph session")
+		return nil, s.shedOrCanceled(ctx, "the graph session")
 	}
 	defer lh.Release()
 
@@ -830,9 +1081,10 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		return nil, apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for a solve slot")
+	case <-queueCtx.Done():
+		return nil, s.shedOrCanceled(ctx, "a solve slot")
 	}
+	cancelQueue() // admitted; the queue bound must not cut the solve short
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 

@@ -79,6 +79,12 @@ type GraphInfo struct {
 	// than registered over the API.
 	Durable   bool `json:"durable,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
+	// Degraded marks a graph whose durable log failed: reads and solves
+	// keep serving from the in-memory epoch, mutates return 503 until the
+	// background self-heal checkpoints onto a fresh WAL generation.
+	// DegradedReason is the persist failure that caused the transition.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // DeleteResponse reports DELETE /graphs/{id}: the graph is unregistered,
@@ -277,6 +283,12 @@ type PersistStats struct {
 	RecoveredGraphs int64 `json:"recovered_graphs"`
 	ReplayedBatches int64 `json:"replayed_batches"`
 	TruncatedTails  int64 `json:"truncated_tails"`
+	// DegradedGraphs lists graphs currently in degraded read-only mode;
+	// DegradedEnters counts transitions into it since startup, SelfHeals
+	// how many background rescue checkpoints restored writability.
+	DegradedGraphs []string `json:"degraded_graphs,omitempty"`
+	DegradedEnters int64    `json:"degraded_enters"`
+	SelfHeals      int64    `json:"self_heals"`
 }
 
 // StatsResponse is GET /stats: registry size, session-cache counters,
@@ -289,6 +301,11 @@ type StatsResponse struct {
 	InFlight      int64         `json:"in_flight"`
 	MaxConcurrent int           `json:"max_concurrent"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
+	// Sheds counts requests answered 429 because their admission wait
+	// exceeded the queue bound; Panics counts handler panics recovered by
+	// the middleware (each one a 500 instead of a dead daemon).
+	Sheds  int64 `json:"sheds"`
+	Panics int64 `json:"panics"`
 }
 
 // ErrorResponse is the JSON error envelope for every non-2xx response.

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+)
+
+// The durability layer splits I/O failures into two classes, because the
+// right response differs:
+//
+//   - Transient: the operation may succeed if simply retried later —
+//     classically ENOSPC (space can be freed), plus scheduling-flavored
+//     errnos. Background work (checkpoints) retries these with backoff;
+//     the serving layer keeps the graph writable through a short outage.
+//
+//   - Permanent: retrying the same bytes is pointless or dangerous — EIO
+//     (the medium misbehaved; what actually landed is unknown), corruption
+//     detected by CRC, or anything unclassified. The WAL poisons itself on
+//     any append/fsync failure regardless of class (acked-means-durable
+//     admits no optimism about a half-written tail); the serving layer's
+//     answer to a permanent fault is degraded mode plus a self-heal
+//     checkpoint onto a fresh generation, not a retry of the failed write.
+
+// FaultClass is the retry classification of a storage error.
+type FaultClass int
+
+const (
+	// FaultNone classifies nil.
+	FaultNone FaultClass = iota
+	// FaultTransient errors may clear on their own; bounded retry is sound.
+	FaultTransient
+	// FaultPermanent errors will not clear by retrying the same operation.
+	FaultPermanent
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	}
+	return "permanent"
+}
+
+// transientErrnos are the kernel errors worth retrying: resource
+// exhaustion and contention, not medium failure.
+var transientErrnos = []syscall.Errno{
+	syscall.ENOSPC,
+	syscall.EDQUOT,
+	syscall.EAGAIN,
+	syscall.EINTR,
+	syscall.EBUSY,
+	syscall.ETIMEDOUT,
+	syscall.EMFILE,
+	syscall.ENFILE,
+}
+
+// Classify maps a storage error to its fault class. Unknown errors are
+// permanent: optimistic retries against an unclassified disk fault are how
+// durability bugs hide.
+func Classify(err error) FaultClass {
+	if err == nil {
+		return FaultNone
+	}
+	for _, errno := range transientErrnos {
+		if errors.Is(err, errno) {
+			return FaultTransient
+		}
+	}
+	return FaultPermanent
+}
+
+// IsTransient reports whether err is worth a bounded retry.
+func IsTransient(err error) bool { return Classify(err) == FaultTransient }

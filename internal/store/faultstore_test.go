@@ -1,0 +1,186 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/dynamic"
+	"github.com/imin-dev/imin/internal/faultfs"
+	"github.com/imin-dev/imin/internal/rng"
+)
+
+// TestCheckpointENOSPCKeepsOldGeneration fills the disk (injected ENOSPC)
+// during a checkpoint's snapshot write: the checkpoint must fail cleanly —
+// superseded generation intact and still serving appends, no orphaned tmp
+// file — classify as transient, and succeed when retried with space back.
+func TestCheckpointENOSPCKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil)
+	st, err := Open(dir, Config{Fsync: FsyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(50, 200, 9)
+	gs, err := st.Create("g", g, 0, "src", "TR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynamic.Config{})
+	r := rng.New(17)
+	for i := 0; i < 3; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	}
+
+	inj.SetRules(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "snap-1", Err: syscall.ENOSPC})
+	snap, epoch := live.Snapshot()
+	gen, err := gs.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = gs.CompleteCheckpoint(gen, snap, epoch)
+	if err == nil {
+		t.Fatal("checkpoint succeeded despite ENOSPC on the snapshot write")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("ENOSPC classified %v, want transient (err: %v)", Classify(err), err)
+	}
+
+	gdir := filepath.Join(dir, "graphs", "g")
+	entries, err := os.ReadDir(gdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("orphaned %s after the failed checkpoint", e.Name())
+		}
+	}
+	for _, name := range []string{"wal-0.log", "snap-0.bin", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(gdir, name)); err != nil {
+			t.Errorf("superseded generation file %s: %v", name, err)
+		}
+	}
+
+	// The failed checkpoint must not block writes: appends land in the
+	// rotated generation, and with the manifest still pointing at gen 0,
+	// recovery replays both logs.
+	commitAndLog(t, live, gs, randomBatch(live, 4, r))
+
+	// Space comes back: the retried checkpoint (a fresh generation) wins.
+	inj.ClearRules()
+	snap, epoch = live.Snapshot()
+	gen, err = gs.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+		t.Fatalf("retried checkpoint: %v", err)
+	}
+	commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 5 {
+		t.Fatalf("recovered %+v", recs)
+	}
+	want, _ := live.Snapshot()
+	got, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, want, got)
+}
+
+// TestFsyncFailurePoisonsThenCheckpointHeals is the store half of the
+// service's degraded/self-heal cycle: an injected fsync failure poisons the
+// WAL (appends fail until further notice), and a later checkpoint — writing
+// a fresh snapshot and rotating to a new WAL generation — supersedes the
+// poisoned log entirely, restoring writability without a restart.
+func TestFsyncFailurePoisonsThenCheckpointHeals(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil)
+	st, err := Open(dir, Config{Fsync: FsyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(50, 200, 10)
+	gs, err := st.Create("g", g, 0, "src", "TR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dynamic.New(g, dynamic.Config{})
+	r := rng.New(19)
+	for i := 0; i < 2; i++ {
+		commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	}
+
+	// The device starts failing fsyncs on the WAL.
+	inj.SetRules(faultfs.Rule{Op: faultfs.OpSync, PathContains: "wal-"})
+	muts := randomBatch(live, 4, r)
+	batch, err := dynamic.EncodeBatch(nil, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := live.Commit(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Append(info.Epoch, batch); err == nil {
+		t.Fatal("append succeeded despite the failing fsync")
+	}
+	if !gs.Poisoned() {
+		t.Fatal("WAL not poisoned after the fsync failure")
+	}
+
+	// Heal: the device recovers and a checkpoint of the CURRENT in-memory
+	// epoch (3 — including the batch whose append failed) rotates to a
+	// fresh WAL generation. The poisoned log is superseded wholesale.
+	inj.ClearRules()
+	snap, epoch := live.Snapshot()
+	if epoch != info.Epoch {
+		t.Fatalf("epoch %d, want %d", epoch, info.Epoch)
+	}
+	gen, err := gs.BeginCheckpoint()
+	if err != nil {
+		t.Fatalf("BeginCheckpoint on a poisoned log: %v", err)
+	}
+	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Poisoned() {
+		t.Fatal("still poisoned after rotating to a fresh generation")
+	}
+
+	// Writable again: new appends land and everything recovers, including
+	// the batch that never reached the poisoned log.
+	commitAndLog(t, live, gs, randomBatch(live, 4, r))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch() != 4 || recs[0].SnapshotEpoch != 3 {
+		t.Fatalf("recovered %+v", recs)
+	}
+	want, _ := live.Snapshot()
+	got, _ := recs[0].Dyn.Snapshot()
+	assertSameGraph(t, want, got)
+}

@@ -27,6 +27,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"github.com/imin-dev/imin/internal/dynamic"
+	"github.com/imin-dev/imin/internal/faultfs"
 	"github.com/imin-dev/imin/internal/graph"
 )
 
@@ -55,11 +57,17 @@ type Config struct {
 	CheckpointWALBytes int64
 	// Dynamic configures the dynamic graphs recovery builds.
 	Dynamic dynamic.Config
+	// FS is the filesystem every store I/O goes through. Default the real
+	// one (faultfs.OS); tests substitute a faultfs.Injector.
+	FS faultfs.FS
 }
 
 func (c Config) withDefaults() Config {
 	if c.Fsync == "" {
 		c.Fsync = FsyncInterval
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS
 	}
 	if c.FsyncInterval <= 0 {
 		c.FsyncInterval = 100 * time.Millisecond
@@ -87,6 +95,7 @@ type Stats struct {
 type Store struct {
 	root string
 	cfg  Config
+	fs   faultfs.FS // == cfg.FS, resolved
 
 	mu       sync.Mutex
 	graphs   map[string]*GraphStore
@@ -105,12 +114,13 @@ type Store struct {
 // state is not loaded until Recover is called.
 func Open(root string, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
-	if err := os.MkdirAll(filepath.Join(root, "graphs"), 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(filepath.Join(root, "graphs"), 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		root:     root,
 		cfg:      cfg,
+		fs:       cfg.FS,
 		graphs:   make(map[string]*GraphStore),
 		creating: make(map[string]bool),
 	}
@@ -227,21 +237,21 @@ func (s *Store) Create(name string, g *graph.Graph, epoch uint64, source, probMo
 		s.mu.Unlock()
 	}()
 	dir := s.graphDir(name)
-	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+	if _, err := s.fs.Stat(filepath.Join(dir, "manifest.json")); err == nil {
 		return nil, fmt.Errorf("store: graph %q has on-disk state but is not recovered", name)
 	}
 	// A leftover directory without a manifest is the debris of a crashed
 	// Create (or an aborted Remove): recovery skips it, so wipe and rebuild.
-	if err := os.RemoveAll(dir); err != nil {
+	if err := s.fs.RemoveAll(dir); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := writeSnapshotFile(filepath.Join(dir, snapName(0)), g); err != nil {
+	if err := writeSnapshotFile(s.fs, filepath.Join(dir, snapName(0)), g); err != nil {
 		return nil, err
 	}
-	w, err := createWAL(filepath.Join(dir, walName(0)), s.cfg.Fsync)
+	w, err := createWAL(s.fs, filepath.Join(dir, walName(0)), s.cfg.Fsync)
 	if err != nil {
 		return nil, err
 	}
@@ -250,15 +260,15 @@ func (s *Store) Create(name string, g *graph.Graph, epoch uint64, source, probMo
 		Epoch: epoch, WALGen: 0, Snapshot: snapName(0),
 		N: g.N(), M: g.M(), UpdatedAt: time.Now().UTC(),
 	}
-	if err := graph.WriteManifestFile(filepath.Join(dir, "manifest.json"), man); err != nil {
+	if err := graph.WriteManifestFS(s.fs, filepath.Join(dir, "manifest.json"), man); err != nil {
 		_ = w.close()
 		return nil, err
 	}
-	if err := graph.SyncDir(dir); err != nil {
+	if err := graph.SyncDirFS(s.fs, dir); err != nil {
 		_ = w.close()
 		return nil, err
 	}
-	if err := graph.SyncDir(filepath.Join(s.root, "graphs")); err != nil {
+	if err := graph.SyncDirFS(s.fs, filepath.Join(s.root, "graphs")); err != nil {
 		_ = w.close()
 		return nil, err
 	}
@@ -285,38 +295,38 @@ func (s *Store) Remove(name string) error {
 	if gs != nil {
 		_ = gs.close()
 	}
-	if err := os.RemoveAll(s.graphDir(name)); err != nil {
+	if err := s.fs.RemoveAll(s.graphDir(name)); err != nil {
 		return err
 	}
-	return graph.SyncDir(filepath.Join(s.root, "graphs"))
+	return graph.SyncDirFS(s.fs, filepath.Join(s.root, "graphs"))
 }
 
 // writeSnapshotFile writes g's binary CSR durably: tmp file, fsync, rename.
-func writeSnapshotFile(path string, g *graph.Graph) error {
+func writeSnapshotFile(fs faultfs.FS, path string, g *graph.Graph) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := g.WriteBinary(f); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return graph.SyncDir(filepath.Dir(path))
+	return graph.SyncDirFS(fs, filepath.Dir(path))
 }
 
 // GraphStore is one graph's durable state: its open WAL, current
@@ -367,6 +377,16 @@ func (gs *GraphStore) Append(epoch uint64, batch []byte) error {
 		gs.store.walFsyncs.Add(1)
 	}
 	return nil
+}
+
+// Poisoned reports whether the current WAL generation has been disabled
+// by a failed append or fsync. Rotating to a fresh generation (a self-heal
+// checkpoint) clears the condition.
+func (gs *GraphStore) Poisoned() bool {
+	gs.mu.Lock()
+	w := gs.wal
+	gs.mu.Unlock()
+	return w != nil && w.poisoned()
 }
 
 // WALSize returns the current generation's byte size (0 once closed).
@@ -422,18 +442,31 @@ func (gs *GraphStore) beginCheckpoint() (uint64, error) {
 	// all under gs.mu, or a concurrent Append could land in a WAL that
 	// recovery will never replay.
 	//lint:ignore lockio generation swap is atomic under gs.mu by design (see comment above)
-	w, err := createWAL(filepath.Join(gs.dir, walName(newGen)), gs.store.cfg.Fsync)
+	w, err := createWAL(gs.store.fs, filepath.Join(gs.dir, walName(newGen)), gs.store.cfg.Fsync)
 	if err != nil {
 		return 0, err
 	}
-	//lint:ignore lockio generation swap is atomic under gs.mu by design
-	if err := graph.SyncDir(gs.dir); err != nil {
-		_ = w.close() //lint:ignore lockio error path under the generation-swap lock; the new log has no other referents yet
-		return 0, err
+	// On any failure past this point the fresh log file must go away again:
+	// the generation did not advance, so a retried rotation re-creates the
+	// same name with O_EXCL — a leftover file would wedge every future
+	// checkpoint (and with it the degraded-mode self-heal) on EEXIST.
+	abort := func() {
+		_ = w.close()
+		_ = gs.store.fs.Remove(filepath.Join(gs.dir, walName(newGen)))
 	}
 	//lint:ignore lockio generation swap is atomic under gs.mu by design
-	if err := gs.wal.close(); err != nil {
-		_ = w.close() //lint:ignore lockio error path under the generation-swap lock; the new log has no other referents yet
+	if err := graph.SyncDirFS(gs.store.fs, gs.dir); err != nil {
+		abort()
+		return 0, err
+	}
+	// A poisoned old log is exactly what a self-heal checkpoint rotates
+	// away from: its durable tail is unknown, but the snapshot about to be
+	// written covers every epoch the in-memory graph has, so its close
+	// failing (or having nothing left to flush) must not abort the rescue.
+	poisoned := gs.wal.poisoned()
+	//lint:ignore lockio generation swap is atomic under gs.mu by design
+	if err := gs.wal.close(); err != nil && !poisoned {
+		abort()
 		return 0, err
 	}
 	gs.gen = newGen
@@ -456,7 +489,7 @@ func (gs *GraphStore) CompleteCheckpoint(gen uint64, g *graph.Graph, epoch uint6
 }
 
 func (gs *GraphStore) completeCheckpoint(gen uint64, g *graph.Graph, epoch uint64) error {
-	if err := writeSnapshotFile(filepath.Join(gs.dir, snapName(gen)), g); err != nil {
+	if err := writeSnapshotFile(gs.store.fs, filepath.Join(gs.dir, snapName(gen)), g); err != nil {
 		return err
 	}
 	gs.mu.Lock()
@@ -467,7 +500,7 @@ func (gs *GraphStore) completeCheckpoint(gen uint64, g *graph.Graph, epoch uint6
 	man.Snapshot = snapName(gen)
 	man.N, man.M = g.N(), g.M()
 	man.UpdatedAt = time.Now().UTC()
-	if err := graph.WriteManifestFile(filepath.Join(gs.dir, "manifest.json"), &man); err != nil {
+	if err := graph.WriteManifestFS(gs.store.fs, filepath.Join(gs.dir, "manifest.json"), &man); err != nil {
 		return err
 	}
 	gs.mu.Lock()
@@ -480,14 +513,14 @@ func (gs *GraphStore) completeCheckpoint(gen uint64, g *graph.Graph, epoch uint6
 }
 
 func (gs *GraphStore) removeGenerationsBelow(gen uint64) {
-	entries, err := os.ReadDir(gs.dir)
+	entries, err := gs.store.fs.ReadDir(gs.dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if g, kind, ok := parseGenFile(e.Name()); ok && g < gen {
 			_ = kind
-			_ = os.Remove(filepath.Join(gs.dir, e.Name()))
+			_ = gs.store.fs.Remove(filepath.Join(gs.dir, e.Name()))
 		}
 	}
 }
@@ -565,7 +598,7 @@ func (r *Recovered) Epoch() uint64 { return r.Dyn.Epoch() }
 // silently dropping a durable graph is worse than refusing to start.
 func (s *Store) Recover() ([]*Recovered, error) {
 	dirRoot := filepath.Join(s.root, "graphs")
-	entries, err := os.ReadDir(dirRoot)
+	entries, err := s.fs.ReadDir(dirRoot)
 	if err != nil {
 		return nil, err
 	}
@@ -576,7 +609,7 @@ func (s *Store) Recover() ([]*Recovered, error) {
 		}
 		name := e.Name()
 		manPath := filepath.Join(dirRoot, name, "manifest.json")
-		if _, err := os.Stat(manPath); errors.Is(err, os.ErrNotExist) {
+		if _, err := s.fs.Stat(manPath); errors.Is(err, os.ErrNotExist) {
 			continue
 		}
 		rec, err := s.recoverGraph(name)
@@ -591,14 +624,18 @@ func (s *Store) Recover() ([]*Recovered, error) {
 
 func (s *Store) recoverGraph(name string) (*Recovered, error) {
 	dir := s.graphDir(name)
-	man, err := graph.ReadManifestFile(filepath.Join(dir, "manifest.json"))
+	man, err := graph.ReadManifestFS(s.fs, filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, err
 	}
 	if man.Name != name {
 		return nil, fmt.Errorf("manifest names %q", man.Name)
 	}
-	g, err := graph.ReadBinaryFile(filepath.Join(dir, man.Snapshot))
+	snapData, err := s.fs.ReadFile(filepath.Join(dir, man.Snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", man.Snapshot, err)
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(snapData))
 	if err != nil {
 		return nil, fmt.Errorf("snapshot %s: %w", man.Snapshot, err)
 	}
@@ -609,7 +646,7 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 	dyn := dynamic.NewAtEpoch(g, s.cfg.Dynamic, man.Epoch)
 
 	// Collect WAL generations the manifest has not superseded, in order.
-	dents, err := os.ReadDir(dir)
+	dents, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -623,11 +660,11 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 	if len(gens) == 0 {
 		// No WAL at all (lost with its directory entry before any fsync):
 		// recover to the snapshot and start a fresh log at the manifest gen.
-		w, err := createWAL(filepath.Join(dir, walName(man.WALGen)), s.cfg.Fsync)
+		w, err := createWAL(s.fs, filepath.Join(dir, walName(man.WALGen)), s.cfg.Fsync)
 		if err != nil {
 			return nil, err
 		}
-		if err := graph.SyncDir(dir); err != nil {
+		if err := graph.SyncDirFS(s.fs, dir); err != nil {
 			_ = w.close()
 			return nil, err
 		}
@@ -648,7 +685,7 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 	var lastValidLen int64
 	for _, gen := range gens {
 		path := filepath.Join(dir, walName(gen))
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
@@ -687,13 +724,13 @@ func (s *Store) recoverGraph(name string) (*Recovered, error) {
 		// never be replayed now.
 		for _, gen := range gens {
 			if gen > lastGen {
-				_ = os.Remove(filepath.Join(dir, walName(gen)))
+				_ = s.fs.Remove(filepath.Join(dir, walName(gen)))
 			}
 		}
 	}
 	// Re-open the last surviving generation for appends, truncating the
 	// bad tail if any.
-	w, err := openWAL(filepath.Join(dir, walName(lastGen)), lastValidLen, s.cfg.Fsync)
+	w, err := openWAL(s.fs, filepath.Join(dir, walName(lastGen)), lastValidLen, s.cfg.Fsync)
 	if err != nil {
 		return nil, err
 	}

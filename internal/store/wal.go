@@ -8,6 +8,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"github.com/imin-dev/imin/internal/faultfs"
 )
 
 // The write-ahead log is a flat file of framed records, one per committed
@@ -130,7 +132,7 @@ type wal struct {
 	// not stall the appends racing it (see syncIfDirty).
 	syncMu sync.Mutex
 	mu     sync.Mutex
-	f      *os.File
+	f      faultfs.File
 	path   string
 	size   int64
 	dirty  bool // bytes written since the last fsync
@@ -141,8 +143,8 @@ type wal struct {
 
 // createWAL creates an empty WAL file, failing if it already exists. The
 // caller fsyncs the directory once the surrounding structure is complete.
-func createWAL(path string, policy FsyncPolicy) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+func createWAL(fs faultfs.FS, path string, policy FsyncPolicy) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -151,8 +153,8 @@ func createWAL(path string, policy FsyncPolicy) (*wal, error) {
 
 // openWAL opens an existing WAL for appending at offset size (the scanned
 // valid length); anything beyond it is a torn tail and is cut off first.
-func openWAL(path string, size int64, policy FsyncPolicy) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func openWAL(fs faultfs.FS, path string, size int64, policy FsyncPolicy) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +247,15 @@ func (w *wal) close() error {
 	}
 	w.f = nil
 	return err
+}
+
+// poisoned reports whether a failed append or fsync has permanently
+// disabled this log. The serving layer uses it to decide between a plain
+// transient failure and entering degraded mode.
+func (w *wal) poisoned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
 }
 
 // interval flusher support: the Store runs one flusher goroutine over all
