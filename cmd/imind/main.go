@@ -20,6 +20,9 @@
 //	GET    /healthz                 liveness
 //	GET    /readyz                  readiness: 503 while any graph is degraded (read-only, self-healing)
 //	GET    /stats                   registry size, session-cache, mutation/repair and durability counters
+//	GET    /metrics                 Prometheus text exposition of the same instruments /stats reads
+//	GET    /debug/traces            ring of recent solve traces (phase spans, per-round timings)
+//	GET    /version                 module version, VCS revision, go version
 //
 // Example:
 //
@@ -28,7 +31,8 @@
 //	curl -s -X POST localhost:8080/graphs/Wiki-Vote/solve \
 //	     -d '{"num_seeds": 10, "budget": 20, "algorithm": "greedy-replace", "seed": 1}'
 //
-// See README.md for the full API reference.
+// See README.md for the full API reference and docs/OBSERVABILITY.md for
+// the metric catalog, trace span glossary, and request-ID semantics.
 package main
 
 import (
@@ -36,45 +40,63 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // profiling handlers, served only when -pprof is set
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	imin "github.com/imin-dev/imin"
+	"github.com/imin-dev/imin/internal/obs"
 	"github.com/imin-dev/imin/internal/service"
 	"github.com/imin-dev/imin/internal/store"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		dataDir      = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
-		stateDir     = flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty runs in-memory only")
-		fsyncMode    = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval or none")
-		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
-		ckptWALMB    = flag.Int("checkpoint-wal-mb", 16, "WAL megabytes per graph that trigger a background checkpoint")
-		maxConc      = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxSessions  = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
-		workers      = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
-		timeout      = flag.Duration("timeout", 0, "default per-solve timeout (0 = none; requests may set timeout_ms)")
-		theta        = flag.Int("theta", 10000, "default sampled graphs per estimation round")
-		evalRounds   = flag.Int("eval", 2000, "default Monte-Carlo rounds for spread reports")
-		preload      = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
-		scale        = flag.Float64("scale", 0.02, "scale for -preload datasets")
-		rngSeed      = flag.Uint64("rng", 1, "seed for -preload generation")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
-		shutdownTO   = flag.Duration("shutdown-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight solves to drain before closing their connections")
-		maxQueueWait = flag.Duration("max-queue-wait", 5*time.Second, "max time a request may wait in an admission queue before being shed with 429 (0 = unbounded)")
-		degradedMode = flag.Bool("degraded-mode", true, "serve reads and shed writes (503) when a graph's durable log fails, self-healing in the background; false restores plain 500s")
-		ckptRetries  = flag.Int("checkpoint-retries", 3, "retries for background checkpoints that fail transiently (ENOSPC etc)")
-		ckptBackoff  = flag.Duration("checkpoint-retry-backoff", 250*time.Millisecond, "initial backoff between background checkpoint retries (doubles per attempt)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		dataDir       = flag.String("data", "", "directory graph files may be loaded from (empty disables file loading)")
+		stateDir      = flag.String("data-dir", "", "directory for durable graph state (WAL + snapshots); empty runs in-memory only")
+		fsyncMode     = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval or none")
+		fsyncEvery    = flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+		ckptWALMB     = flag.Int("checkpoint-wal-mb", 16, "WAL megabytes per graph that trigger a background checkpoint")
+		maxConc       = flag.Int("max-concurrent", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxSessions   = flag.Int("max-sessions", 8, "warm solver sessions kept in the LRU cache")
+		workers       = flag.Int("workers", 0, "parallel workers per solve (0 = all cores)")
+		timeout       = flag.Duration("timeout", 0, "default per-solve timeout (0 = none; requests may set timeout_ms)")
+		theta         = flag.Int("theta", 10000, "default sampled graphs per estimation round")
+		evalRounds    = flag.Int("eval", 2000, "default Monte-Carlo rounds for spread reports")
+		preload       = flag.String("preload", "", "comma-separated dataset stand-ins to register at startup")
+		scale         = flag.Float64("scale", 0.02, "scale for -preload datasets")
+		rngSeed       = flag.Uint64("rng", 1, "seed for -preload generation")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (empty disables)")
+		mutexFraction = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction for the -pprof mutex profile (0 disables)")
+		blockRate     = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate in ns for the -pprof block profile (0 disables)")
+		traceRing     = flag.Int("trace-ring", 256, "solve traces kept for GET /debug/traces (negative disables tracing entirely)")
+		logFormat     = flag.String("log-format", "text", "structured log output: text or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (per-request lines log at debug)")
+		shutdownTO    = flag.Duration("shutdown-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight solves to drain before closing their connections")
+		maxQueueWait  = flag.Duration("max-queue-wait", 5*time.Second, "max time a request may wait in an admission queue before being shed with 429 (0 = unbounded)")
+		degradedMode  = flag.Bool("degraded-mode", true, "serve reads and shed writes (503) when a graph's durable log fails, self-healing in the background; false restores plain 500s")
+		ckptRetries   = flag.Int("checkpoint-retries", 3, "retries for background checkpoints that fail transiently (ENOSPC etc)")
+		ckptBackoff   = flag.Duration("checkpoint-retry-backoff", 250*time.Millisecond, "initial backoff between background checkpoint retries (doubles per attempt)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
+	// One registry serves the whole process: the store's WAL/checkpoint
+	// histograms and the service's instruments land on the same
+	// GET /metrics scrape.
+	metrics := obs.NewRegistry()
 
 	var st *store.Store
 	if *stateDir != "" {
@@ -86,11 +108,12 @@ func main() {
 			Fsync:              policy,
 			FsyncInterval:      *fsyncEvery,
 			CheckpointWALBytes: int64(*ckptWALMB) << 20,
+			Metrics:            metrics,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("durable store at %s (fsync %s)", *stateDir, policy)
+		logger.Info("durable store opened", "dir", *stateDir, "fsync", string(policy))
 	}
 
 	srv := service.New(service.Config{
@@ -106,6 +129,9 @@ func main() {
 		DisableDegraded:        !*degradedMode,
 		CheckpointRetries:      *ckptRetries,
 		CheckpointRetryBackoff: *ckptBackoff,
+		Metrics:                metrics,
+		Logger:                 logger,
+		TraceRing:              *traceRing,
 	})
 
 	// Recovery runs before preloading: a preload name that already exists
@@ -117,12 +143,11 @@ func main() {
 			fatal(fmt.Errorf("recovering durable graphs: %w", err))
 		}
 		for _, rec := range recs {
-			extra := ""
-			if rec.TruncatedTail {
-				extra = " (torn WAL tail truncated)"
-			}
-			log.Printf("recovered %s: epoch %d (snapshot @ %d, %d batches replayed)%s",
-				rec.Name, rec.Epoch(), rec.SnapshotEpoch, rec.ReplayedBatches, extra)
+			logger.Info("recovered graph",
+				"graph", rec.Name, "epoch", rec.Epoch(),
+				"snapshot_epoch", rec.SnapshotEpoch,
+				"replayed_batches", rec.ReplayedBatches,
+				"truncated_tail", rec.TruncatedTail)
 		}
 	}
 
@@ -133,7 +158,7 @@ func main() {
 				continue
 			}
 			if _, ok := srv.Registry().Get(name); ok {
-				log.Printf("preload %s: already recovered, skipping", name)
+				logger.Info("preload skipped: already recovered", "graph", name)
 				continue
 			}
 			g, err := imin.GenerateDataset(name, *scale, *rngSeed)
@@ -144,18 +169,29 @@ func main() {
 			if _, err := srv.Registry().Register(name, g, fmt.Sprintf("preload %s @ %g, TR", name, *scale), "TR"); err != nil {
 				fatal(err)
 			}
-			log.Printf("preloaded %s: %d vertices, %d edges", name, g.N(), g.M())
+			logger.Info("preloaded graph", "graph", name, "vertices", g.N(), "edges", g.M())
 		}
 	}
 
-	// The profiler gets its own listener (and the default mux, where the
-	// blank pprof import registers) so profiling endpoints are never exposed
-	// on the service address.
+	// The profiler gets its own listener and its own explicit mux, so the
+	// profiling endpoints are never exposed on the service address and the
+	// global DefaultServeMux stays empty. The mutex/block profiles are
+	// useless at their zero sampling defaults — the companion flags turn
+	// them on for shard-contention investigations.
 	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+		runtime.SetBlockProfileRate(*blockRate)
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
+			logger.Info("pprof listening", "addr", *pprofAddr,
+				"mutex_profile_fraction", *mutexFraction, "block_profile_rate", *blockRate)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof server failed", "error", err.Error())
 			}
 		}()
 	}
@@ -171,7 +207,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("imind listening on %s", *addr)
+	logger.Info("imind listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
@@ -186,35 +222,52 @@ func main() {
 	// handler that acknowledged a mutation has appended it by then, so the
 	// final WAL fsync and checkpoint below cover all acknowledged batches —
 	// -shutdown-timeout can expire without losing any of them.
-	log.Printf("shutting down (draining in-flight solves for up to %v)", *shutdownTO)
+	logger.Info("shutting down", "drain_timeout", *shutdownTO)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) {
-			flushStore(srv, st)
+			flushStore(logger, srv, st)
 			fatal(err)
 		}
-		log.Printf("shutdown timeout %v expired; closing remaining connections", *shutdownTO)
+		logger.Warn("shutdown timeout expired; closing remaining connections", "timeout", *shutdownTO)
 		if err := httpSrv.Close(); err != nil {
-			flushStore(srv, st)
+			flushStore(logger, srv, st)
 			fatal(err)
 		}
 	}
-	flushStore(srv, st)
+	flushStore(logger, srv, st)
+}
+
+// buildLogger constructs the process logger from -log-format/-log-level.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 // flushStore fsyncs WALs and takes final checkpoints after the HTTP drain.
 // Failures are logged, not fatal'd: at this point exiting is the only
 // remaining action either way, and recovery replays the WAL regardless.
-func flushStore(srv *service.Server, st *store.Store) {
+func flushStore(logger *slog.Logger, srv *service.Server, st *store.Store) {
 	if st == nil {
 		return
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("flushing durable store: %v", err)
+		logger.Error("flushing durable store failed", "error", err.Error())
 		return
 	}
-	log.Printf("durable store flushed (final checkpoints written)")
+	logger.Info("durable store flushed (final checkpoints written)")
 }
 
 func fatal(err error) {

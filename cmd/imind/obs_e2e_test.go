@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end observability test: boot the real daemon with JSON logs and a
+// durable store, drive one solve and one mutation, then scrape /metrics,
+// /debug/traces and /version over the wire and check the log stream is
+// parseable JSON with request ids.
+func TestDaemonMetricsScrape(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "imind")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", t.TempDir(),
+		"-preload", "EmailCore", "-scale", "0.05", "-theta", "200", "-eval", "0",
+		"-log-format", "json", "-log-level", "debug", "-shutdown-timeout", "5s")
+	var logs syncBuffer
+	cmd.Stdout, cmd.Stderr = &logs, &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+	}
+
+	solve := `{"num_seeds": 3, "budget": 3, "algorithm": "advanced-greedy", "theta": 200, "seed": 1, "trace": true}`
+	req, err := http.NewRequest(http.MethodPost, base+"/graphs/EmailCore/solve", bytes.NewReader([]byte(solve)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "e2e-solve-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Blockers  []int  `json:"blockers"`
+		RequestID string `json:"request_id"`
+		Trace     *struct {
+			Op string `json:"op"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(sr.Blockers) != 3 {
+		t.Fatalf("solve: status %d, %+v", resp.StatusCode, sr)
+	}
+	if sr.RequestID != "e2e-solve-1" || sr.Trace == nil || sr.Trace.Op != "solve" {
+		t.Errorf("solve response lacks request id or inline trace: %+v", sr)
+	}
+
+	mut := "{\"op\":\"add-vertex\"}\n"
+	resp, err = http.Post(base+"/graphs/EmailCore/mutate", "application/x-ndjson", bytes.NewReader([]byte(mut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d", resp.StatusCode)
+	}
+
+	// Scrape /metrics and require the families a dashboard needs. This is
+	// the same gate CI runs against a booted daemon.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	families := make(map[string]bool)
+	for _, line := range strings.Split(string(expo), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if f := strings.Fields(line); len(f) == 4 {
+				families[f[2]] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"imind_http_requests_total", "imind_solve_seconds", "imind_solve_rounds_total",
+		"imind_mutate_commit_seconds", "imind_mutations_total",
+		"imind_wal_appends_total", "imind_wal_append_seconds", "imind_checkpoints_total",
+		"imind_degraded_graphs", "imind_build_info", "imind_panics_total",
+	} {
+		if !families[want] {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+	if !strings.Contains(string(expo), `warm="cold"`) {
+		t.Error("/metrics has no cold-solve sample")
+	}
+
+	// The solve must be visible in the trace ring.
+	resp, err = http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Traces []struct {
+			Op        string `json:"op"`
+			Graph     string `json:"graph"`
+			RequestID string `json:"request_id"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(traces.Traces) == 0 || traces.Traces[0].Graph != "EmailCore" || traces.Traces[0].RequestID != "e2e-solve-1" {
+		t.Errorf("/debug/traces = %+v, want the solve just run", traces.Traces)
+	}
+
+	// /version reports build provenance.
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ver struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ver.Module == "" || ver.GoVersion == "" {
+		t.Errorf("/version incomplete: %+v", ver)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down; logs:\n%s", logs.String())
+	}
+
+	// Every -log-format json line must be parseable JSON, and the solve's
+	// request log line must carry the client's request id.
+	var sawSolveLine bool
+	sc := bufio.NewScanner(strings.NewReader(logs.String()))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line with -log-format json: %q", line)
+		}
+		if rec["request_id"] == "e2e-solve-1" {
+			sawSolveLine = true
+		}
+	}
+	if !sawSolveLine {
+		t.Errorf("no log line carries request_id e2e-solve-1; logs:\n%s", logs.String())
+	}
+}

@@ -113,3 +113,16 @@ func (b *estBackend) decreaseES(src graph.V, blocked []bool, round uint64) []flo
 // run (a freshly built pool counts once, a warm pool counts zero, fresh
 // sampling counts per round).
 func (b *estBackend) samplesDrawn() int64 { return b.drawn }
+
+// workSnapshot returns cumulative (samples processed, samples stolen)
+// counters; Options.OnRound emitters delta two snapshots to charge work to
+// a single round. Incremental backends report reprocessed dirty samples
+// and shard steals, fresh backends report samples drawn; the plain pooled
+// backend (tests only) reports nothing.
+func (b *estBackend) workSnapshot() (processed, stolen int64) {
+	if b.incr != nil {
+		st := b.incr.Stats()
+		return st.SamplesReprocessed, st.SamplesStolen
+	}
+	return b.drawn, 0
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"github.com/imin-dev/imin/internal/graph"
 )
@@ -47,6 +48,12 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		if halt.stop() {
 			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
 		}
+		var roundStart time.Time
+		var proc0, stole0 int64
+		if opt.OnRound != nil {
+			roundStart = time.Now()
+			proc0, stole0 = est.workSnapshot()
+		}
 		delta := est.decreaseES(in.src, blocked, round)
 		round++
 
@@ -66,6 +73,7 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		blocked[best] = true
 		est.noteFlip(best)
 		blockers = append(blockers, best)
+		emitRound(opt, int(round)-1, "select", best, roundStart, est, proc0, stole0)
 	}
 
 	// Phase 2: replacement in reverse insertion order over the full
@@ -73,6 +81,12 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 	for i := len(blockers) - 1; i >= 0; i-- {
 		if halt.stop() {
 			return halt.abort(Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()})
+		}
+		var roundStart time.Time
+		var proc0, stole0 int64
+		if opt.OnRound != nil {
+			roundStart = time.Now()
+			proc0, stole0 = est.workSnapshot()
 		}
 		u := blockers[i]
 		blocked[u] = false // B ← B \ {u}
@@ -84,11 +98,13 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		if best == -1 {
 			blocked[u] = true // nothing to swap in; keep u
 			est.noteFlip(u)
+			emitRound(opt, int(round)-1, "replace", u, roundStart, est, proc0, stole0)
 			continue
 		}
 		blocked[best] = true
 		est.noteFlip(best)
 		blockers[i] = best
+		emitRound(opt, int(round)-1, "replace", best, roundStart, est, proc0, stole0)
 		if best == u {
 			// Early termination: the removed blocker is its own best
 			// replacement, so earlier (stronger) picks won't be replaced
@@ -97,4 +113,21 @@ func solveGreedyReplace(halt stopper, in *instance, est *estBackend, b int, opt 
 		}
 	}
 	return Result{Blockers: blockers, SampledGraphs: est.samplesDrawn()}
+}
+
+// emitRound fires Options.OnRound with deltas against the snapshot taken at
+// the top of the round. No-op when the hook is unset.
+func emitRound(opt Options, round int, phase string, chosen graph.V, start time.Time, est *estBackend, proc0, stole0 int64) {
+	if opt.OnRound == nil {
+		return
+	}
+	proc1, stole1 := est.workSnapshot()
+	opt.OnRound(RoundInfo{
+		Round:         round,
+		Phase:         phase,
+		Chosen:        chosen,
+		Duration:      time.Since(start),
+		SamplesDirty:  proc1 - proc0,
+		SamplesStolen: stole1 - stole0,
+	})
 }

@@ -75,6 +75,35 @@ type Options struct {
 	// limit. (The paper caps runs at 24 hours; Figure 7/8 report BG timing
 	// out on most datasets.)
 	Timeout time.Duration
+	// OnRound, when non-nil, is invoked after each greedy round of
+	// AdvancedGreedy and GreedyReplace with that round's timing and
+	// estimator work counts. It is a pure observer: the selection is
+	// bit-identical whether or not it is set, the callback runs on the
+	// solving goroutine (keep it cheap), and a nil hook costs nothing —
+	// the loops take no timestamps when it is unset. BaselineGreedy and
+	// the Rand/OutDegree baselines do not emit rounds.
+	OnRound func(RoundInfo)
+}
+
+// RoundInfo describes one completed greedy round for Options.OnRound.
+type RoundInfo struct {
+	// Round is the 0-based index of the round within the run; GreedyReplace
+	// keeps counting across its two phases.
+	Round int
+	// Phase is "select" for AdvancedGreedy rounds and GreedyReplace's
+	// out-neighbor phase, "replace" for GreedyReplace's replacement pass.
+	Phase string
+	// Chosen is the vertex blocked (or kept, in a replacement round that
+	// found no swap) this round.
+	Chosen graph.V
+	// Duration is the wall-clock time of the round.
+	Duration time.Duration
+	// SamplesDirty counts the live-edge samples the estimator processed
+	// this round: reprocessed dirty samples for the incremental pooled
+	// estimator, freshly drawn samples otherwise. SamplesStolen counts how
+	// many of those a work-stealing shard took from a neighbor.
+	SamplesDirty  int64
+	SamplesStolen int64
 }
 
 func (o Options) withDefaults() Options {

@@ -25,6 +25,7 @@ import (
 	"github.com/imin-dev/imin/internal/datasets"
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/obs"
 	"github.com/imin-dev/imin/internal/rng"
 	"github.com/imin-dev/imin/internal/store"
 )
@@ -187,6 +188,26 @@ type BenchCorePersist struct {
 	Recovery []BenchCoreRecoveryPoint `json:"recovery"`
 }
 
+// BenchCoreInstrumentation is the observability tax measurement: the same
+// AdvancedGreedy solve run with Options.OnRound nil versus wired to the
+// serving layer's instrument set (one histogram observation and three
+// counter adds per round, the exact work internal/service's hook does).
+// The acceptance bar is OverheadPct <= 2.
+type BenchCoreInstrumentation struct {
+	UninstrumentedNsPerRound float64 `json:"uninstrumented_ns_per_round"`
+	InstrumentedNsPerRound   float64 `json:"instrumented_ns_per_round"`
+	// OverheadPct is the instrumented slowdown in percent; small negative
+	// values are measurement noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// RoundsObserved is how many OnRound callbacks actually fired during
+	// the instrumented timing (sanity: > 0 or the hook never ran).
+	RoundsObserved int64 `json:"rounds_observed"`
+	// BlockersIdentical records that hooked and unhooked solves selected
+	// the same blockers — the observer-purity contract at serving size.
+	BlockersIdentical bool `json:"blockers_identical"`
+	Workers           int  `json:"workers"`
+}
+
 // BenchCoreReport is the BENCH_core.json schema.
 type BenchCoreReport struct {
 	Graph struct {
@@ -232,11 +253,14 @@ type BenchCoreReport struct {
 	MutateRepair []BenchCoreMutatePoint `json:"mutate_repair"`
 	// Persist measures the durable store: WAL append overhead per mutate at
 	// each fsync policy, and recovery time vs WAL length.
-	Persist                    *BenchCorePersist `json:"persist,omitempty"`
-	SpeedupPooledVsFresh       float64           `json:"speedup_pooled_vs_fresh"`
-	SpeedupIncrementalVsPooled float64           `json:"speedup_incremental_vs_pooled"`
-	SpeedupIncrementalVsFresh  float64           `json:"speedup_incremental_vs_fresh"`
-	SpeedupIncremental4WVs1W   float64           `json:"speedup_incremental_4w_vs_1w"`
+	Persist *BenchCorePersist `json:"persist,omitempty"`
+	// Instrumentation measures the per-round cost of the OnRound
+	// observability hook against the identical unhooked solve.
+	Instrumentation            *BenchCoreInstrumentation `json:"instrumentation,omitempty"`
+	SpeedupPooledVsFresh       float64                   `json:"speedup_pooled_vs_fresh"`
+	SpeedupIncrementalVsPooled float64                   `json:"speedup_incremental_vs_pooled"`
+	SpeedupIncrementalVsFresh  float64                   `json:"speedup_incremental_vs_fresh"`
+	SpeedupIncremental4WVs1W   float64                   `json:"speedup_incremental_4w_vs_1w"`
 }
 
 // sweepWorkers returns the deduplicated ascending worker counts to sweep:
@@ -662,6 +686,12 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 	}
 	rep.Persist = persist
 
+	instr, err := measureInstrumentation(g, seeds, cfg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("benchcore: instrumentation measurements: %v", err)
+	}
+	rep.Instrumentation = instr
+
 	if cfg.Out != nil {
 		fmt.Fprintf(cfg.Out, "graph: PA n=%d epv=%g (%d edges), %d seeds; θ=%d b=%d workers=%d (effective %d, gomaxprocs %d, num_cpu %d)\n",
 			opt.N, opt.EdgesPerVertex, g.M(), cfg.NumSeeds, cfg.Theta, opt.Budget, cfg.Workers, mainWorkers, rep.GoMaxProcs, rep.NumCPU)
@@ -710,6 +740,10 @@ func RunBenchCore(cfg Config, opt BenchCoreOptions) (*BenchCoreReport, error) {
 			fmt.Fprintf(cfg.Out, "  wal=%-5d batches (%8d bytes) recover %8.1f ms (replayed %d)\n",
 				p.WALBatches, p.WALBytes, p.RecoverMS, p.ReplayedBatches)
 		}
+		fmt.Fprintf(cfg.Out, "instrumentation (OnRound hook, workers=%d): off %0.f ns/round, on %0.f ns/round, overhead %+.2f%% (rounds observed %d, blockers identical %v)\n",
+			rep.Instrumentation.Workers, rep.Instrumentation.UninstrumentedNsPerRound,
+			rep.Instrumentation.InstrumentedNsPerRound, rep.Instrumentation.OverheadPct,
+			rep.Instrumentation.RoundsObserved, rep.Instrumentation.BlockersIdentical)
 	}
 
 	if opt.JSONPath != "" {
@@ -905,4 +939,67 @@ func measureBenchPersist(g *graph.Graph, seed uint64, minTime time.Duration) (*B
 		out.Recovery = append(out.Recovery, pt)
 	}
 	return out, nil
+}
+
+// measureInstrumentation times the same warm-pool AdvancedGreedy solve with
+// the OnRound hook absent and present. The hooked variant performs exactly
+// the metric work internal/service's observer does per round — one latency
+// histogram observation, a labeled-counter resolve + increment, and two
+// counter adds — so the measured delta is the real serving-path tax of
+// turning metrics on.
+func measureInstrumentation(g *graph.Graph, seeds []graph.V, cfg Config, opt BenchCoreOptions) (*BenchCoreInstrumentation, error) {
+	reg := obs.NewRegistry()
+	roundSeconds := reg.Histogram("bench_solve_round_seconds", "per-round latency", obs.DefTimeBuckets)
+	rounds := reg.CounterVec("bench_solve_rounds_total", "rounds by phase", "phase")
+	dirty := reg.Counter("bench_solve_dirty_samples_total", "dirty samples")
+	stolen := reg.Counter("bench_solve_stolen_samples_total", "stolen samples")
+
+	var observed int64
+	hook := func(ri core.RoundInfo) {
+		observed++
+		roundSeconds.Observe(ri.Duration.Seconds())
+		rounds.With(ri.Phase).Inc()
+		dirty.Add(float64(ri.SamplesDirty))
+		stolen.Add(float64(ri.SamplesStolen))
+	}
+
+	solveOpt := core.Options{
+		Theta: cfg.Theta, Seed: cfg.Seed, Workers: cfg.Workers, ReuseSamples: true,
+	}
+	run := func(onRound func(core.RoundInfo)) (nsPerRound float64, blockers []graph.V, err error) {
+		o := solveOpt
+		o.OnRound = onRound
+		var elapsed time.Duration
+		var timedRounds int64
+		for elapsed < opt.MinTime/2 {
+			t0 := time.Now()
+			res, err := core.Solve(g, seeds, opt.Budget, core.AdvancedGreedy, o)
+			if err != nil {
+				return 0, nil, err
+			}
+			elapsed += time.Since(t0)
+			timedRounds += int64(opt.Budget)
+			if blockers == nil {
+				blockers = res.Blockers
+			}
+		}
+		return float64(elapsed.Nanoseconds()) / float64(timedRounds), blockers, nil
+	}
+
+	offNs, offBlockers, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	onNs, onBlockers, err := run(hook)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchCoreInstrumentation{
+		UninstrumentedNsPerRound: offNs,
+		InstrumentedNsPerRound:   onNs,
+		OverheadPct:              100 * (onNs - offNs) / offNs,
+		RoundsObserved:           observed,
+		BlockersIdentical:        slices.Equal(offBlockers, onBlockers),
+		Workers:                  effectiveWorkers(cfg.Workers, cfg.Theta),
+	}, nil
 }

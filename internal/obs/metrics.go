@@ -1,0 +1,473 @@
+// Package obs is imind's observability toolkit: a dependency-free metrics
+// registry with Prometheus text exposition, and a nil-safe span tracer with
+// a bounded in-memory ring.
+//
+// The registry holds counters, gauges and histograms — plain and labeled —
+// plus function-backed variants that sample another subsystem's counters at
+// scrape time. Everything is safe for concurrent use; the hot-path write
+// operations (Counter.Add, Gauge.Set, Histogram.Observe) are a handful of
+// atomic operations and never allocate or take the registry lock.
+//
+// The serving layer's /stats JSON and /metrics exposition both read from
+// the same instruments, so the two views cannot drift.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricName and labelName are the Prometheus data-model legality rules.
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// atomicFloat is a float64 updated with CAS on its bit pattern, so counter
+// and gauge writes never take a lock.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter by v; negative deltas are programmer error and
+// are dropped rather than corrupting the monotonic contract.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Int returns the current count truncated to int64, for JSON stats views.
+func (c *Counter) Int() int64 { return int64(c.v.load()) }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Inc and Dec shift the gauge by ±1.
+func (g *Gauge) Inc() { g.v.add(1) }
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Int returns the current value truncated to int64.
+func (g *Gauge) Int() int64 { return int64(g.v.load()) }
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+type Histogram struct {
+	bounds []float64 // sorted ascending, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			h.sum.add(v)
+			return
+		}
+	}
+	h.inf.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	n := h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// DefTimeBuckets are the default latency buckets, in seconds: 100µs to
+// ~100s in roughly 3x steps — wide enough for WAL fsyncs and cold
+// million-vertex solves on one scale.
+var DefTimeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// family is one exposition family: a name, type, help text, and either a
+// fixed set of instruments keyed by label values or a sample function.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	bounds   []float64
+
+	// fn samples a function-backed family at scrape time; fnLabels carries
+	// the pre-rendered label block ("" for unlabeled).
+	fn       func() float64
+	fnLabels string
+}
+
+// Registry is a set of metric families. Create with NewRegistry; register
+// every instrument once at startup and share the handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family, panicking on an illegal or duplicate name —
+// registration happens once at startup, so both are programmer errors
+// better caught loudly than silently aliased.
+func (r *Registry) register(name, help string, typ metricType, labels []string) *family {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: illegal metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelName.MatchString(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("obs: illegal label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, nil)
+	c := &Counter{}
+	f.counters = map[string]*Counter{"": c}
+	return c
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time — the bridge for subsystems that already keep their own counters.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, typeCounter, nil)
+	f.fn = fn
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, nil)
+	g := &Gauge{}
+	f.gauges = map[string]*Gauge{"": g}
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, typeGauge, nil)
+	f.fn = fn
+}
+
+// Histogram registers and returns an unlabeled histogram over the given
+// bucket upper bounds (sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, nil)
+	f.bounds = checkBounds(name, bounds)
+	h := newHistogram(f.bounds)
+	f.hists = map[string]*Histogram{"": h}
+	return h
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.register(name, help, typeCounter, mustLabels(name, labels))
+	f.counters = make(map[string]*Counter)
+	return &CounterVec{f: f}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := r.register(name, help, typeGauge, mustLabels(name, labels))
+	f.gauges = make(map[string]*Gauge)
+	return &GaugeVec{f: f}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	f := r.register(name, help, typeHistogram, mustLabels(name, labels))
+	f.bounds = checkBounds(name, bounds)
+	f.hists = make(map[string]*Histogram)
+	return &HistogramVec{f: f}
+}
+
+func mustLabels(name string, labels []string) []string {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec metric %q needs at least one label", name))
+	}
+	return labels
+}
+
+func checkBounds(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	return bounds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// CounterVec is a labeled counter family; resolve children with With.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values (one per registered
+// label, in order), creating it on first use. Children are cached; hot
+// paths should resolve once and keep the handle.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.f.childKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.counters[key]
+	if !ok {
+		c = &Counter{}
+		v.f.counters[key] = c
+	}
+	return c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := v.f.childKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	g, ok := v.f.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		v.f.gauges[key] = g
+	}
+	return g
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.f.childKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.hists[key]
+	if !ok {
+		h = newHistogram(v.f.bounds)
+		v.f.hists[key] = h
+	}
+	return h
+}
+
+// childKey renders the label block for a child ({a="x",b="y"}), which
+// doubles as the cache key. Panics on arity mismatch — a vec resolved with
+// the wrong number of values is a programmer error.
+func (f *family) childKey(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escaping rules.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order, children
+// sorted by label block, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if f.fn != nil {
+		writeSample(b, f.name, f.fnLabels, f.fn())
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.typ {
+	case typeCounter:
+		for _, key := range sortedKeys(f.counters) {
+			writeSample(b, f.name, key, f.counters[key].Value())
+		}
+	case typeGauge:
+		for _, key := range sortedKeys(f.gauges) {
+			writeSample(b, f.name, key, f.gauges[key].Value())
+		}
+	case typeHistogram:
+		for _, key := range sortedKeys(f.hists) {
+			h := f.hists[key]
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", mergeLE(key, formatBound(bound)), float64(cum))
+			}
+			cum += h.inf.Load()
+			writeSample(b, f.name+"_bucket", mergeLE(key, "+Inf"), float64(cum))
+			writeSample(b, f.name+"_sum", key, h.Sum())
+			writeSample(b, f.name+"_count", key, float64(cum))
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mergeLE splices the le label into an existing label block.
+func mergeLE(key, bound string) string {
+	le := `le="` + bound + `"`
+	if key == "" {
+		return "{" + le + "}"
+	}
+	return key[:len(key)-1] + "," + le + "}"
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	switch {
+	case math.IsInf(v, 1):
+		b.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		b.WriteString("-Inf")
+	case math.IsNaN(v):
+		b.WriteString("NaN")
+	default:
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte('\n')
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w) // status line already out; nothing to do on error
+	})
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	if got := c.Int(); got != 3 {
+		t.Fatalf("counter int = %v, want 3", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge value = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-55.55) > 1e-9 {
+		t.Fatalf("sum = %v, want 55.55", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="10"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		`test_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "help", "method", "code")
+	cv.With("GET", "200").Add(3)
+	cv.With("POST", "500").Inc()
+	if cv.With("GET", "200") != cv.With("GET", "200") {
+		t.Fatal("With not cached")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`req_total{method="GET",code="200"} 3`,
+		`req_total{method="POST",code="500"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "help", []float64{1}, "model")
+	hv.With("ag").Observe(0.5)
+	hv.With("ag").Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{model="ag",le="1"} 1`,
+		`lat_seconds_bucket{model="ag",le="+Inf"} 2`,
+		`lat_seconds_sum{model="ag"} 2.5`,
+		`lat_seconds_count{model="ag"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("dyn_gauge", "help", func() float64 { return 42 })
+	r.CounterFunc("dyn_total", "help", func() float64 { return 7 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "dyn_gauge 42") || !strings.Contains(text, "dyn_total 7") {
+		t.Fatalf("func instruments missing:\n%s", text)
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "help")
+	mustPanic(t, func() { r.Counter("dup_total", "help") })
+	mustPanic(t, func() { r.Counter("9bad", "help") })
+	mustPanic(t, func() { r.CounterVec("v_total", "help", "bad-label") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("esc_total", "help", "p")
+	cv.With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{p="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, sb.String())
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "help")
+	h := r.Histogram("conc_seconds", "help", DefTimeBuckets)
+	cv := r.CounterVec("conc_vec_total", "help", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				cv.With("a").Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Int() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Int())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

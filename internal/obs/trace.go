@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is the span tree of one operation (normally one solve request).
+// Build spans with StartSpan/StartChild, finish with Finish, then hand the
+// resulting TraceOut to a TraceRing or a response body.
+//
+// Every method is safe on a nil *Trace or nil *Span and does nothing —
+// the "tracing disabled" path is a nil check, with zero allocations, so
+// instrumented code never branches on a config flag itself.
+//
+// A Trace is built by a single goroutine (the request handler chain); it
+// is not safe for concurrent span creation.
+type Trace struct {
+	op    string
+	id    string // request id
+	graph string
+	start time.Time
+	root  *Span
+}
+
+// Span is one timed phase inside a Trace.
+type Span struct {
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	trace    *Trace
+}
+
+// Attr is one key/value annotation on a span. Values are kept as the
+// concrete types callers pass (strings, ints, floats, bools) and rendered
+// by encoding/json.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// NewTrace starts a trace for op (e.g. "solve") on the named graph, tagged
+// with the request id.
+func NewTrace(op, graph, requestID string) *Trace {
+	now := time.Now()
+	t := &Trace{op: op, id: requestID, graph: graph, start: now}
+	t.root = &Span{name: op, start: now, trace: t}
+	return t
+}
+
+// StartSpan opens a direct child of the trace root.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root.StartChild(name)
+}
+
+// SetAttr annotates the trace's root span.
+func (t *Trace) SetAttr(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.root.SetAttr(key, value)
+}
+
+// StartChild opens a sub-span under sp.
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now(), trace: sp.trace}
+	sp.children = append(sp.children, child)
+	return child
+}
+
+// AddTimedChild appends an already-completed child span of the given
+// duration ending now — for callbacks that learn about a phase only after
+// it finished (e.g. per-round solver hooks).
+func (sp *Span) AddTimedChild(name string, d time.Duration) *Span {
+	if sp == nil {
+		return nil
+	}
+	now := time.Now()
+	child := &Span{name: name, start: now.Add(-d), end: now, trace: sp.trace}
+	sp.children = append(sp.children, child)
+	return child
+}
+
+// End closes the span at the current time. Ending twice keeps the first
+// end time.
+func (sp *Span) End() {
+	if sp == nil || !sp.end.IsZero() {
+		return
+	}
+	sp.end = time.Now()
+}
+
+// SetAttr annotates the span.
+func (sp *Span) SetAttr(key string, value any) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// ChildCount reports how many children sp has (bounding helpers).
+func (sp *Span) ChildCount() int {
+	if sp == nil {
+		return 0
+	}
+	return len(sp.children)
+}
+
+// SpanOut is the JSON-ready form of a span: offsets and durations in
+// microseconds relative to the trace start.
+type SpanOut struct {
+	Name       string     `json:"name"`
+	StartUS    int64      `json:"start_us"`
+	DurationUS int64      `json:"duration_us"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []*SpanOut `json:"children,omitempty"`
+}
+
+// TraceOut is the JSON-ready form of a finished trace.
+type TraceOut struct {
+	Op        string    `json:"op"`
+	RequestID string    `json:"request_id,omitempty"`
+	Graph     string    `json:"graph,omitempty"`
+	Start     time.Time `json:"start"`
+	Root      *SpanOut  `json:"spans"`
+}
+
+// Finish closes the root span and converts the trace to its output form.
+// Unended spans are closed at the finish time.
+func (t *Trace) Finish() *TraceOut {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &TraceOut{
+		Op:        t.op,
+		RequestID: t.id,
+		Graph:     t.graph,
+		Start:     t.start,
+		Root:      t.root.out(t.start, now),
+	}
+}
+
+func (sp *Span) out(traceStart, finish time.Time) *SpanOut {
+	end := sp.end
+	if end.IsZero() {
+		end = finish
+	}
+	o := &SpanOut{
+		Name:       sp.name,
+		StartUS:    sp.start.Sub(traceStart).Microseconds(),
+		DurationUS: end.Sub(sp.start).Microseconds(),
+		Attrs:      sp.attrs,
+	}
+	for _, c := range sp.children {
+		o.Children = append(o.Children, c.out(traceStart, finish))
+	}
+	return o
+}
+
+// TraceRing is a bounded ring of finished traces: the newest capacity
+// traces are kept, older ones overwritten. A nil ring accepts and returns
+// nothing, so "tracing off" needs no call-site branches.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*TraceOut
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring holding up to capacity traces, or nil when
+// capacity <= 0 (tracing disabled).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TraceRing{buf: make([]*TraceOut, capacity)}
+}
+
+// Enabled reports whether the ring records anything.
+func (r *TraceRing) Enabled() bool { return r != nil }
+
+// Add records a finished trace. Nil rings and nil traces are no-ops.
+func (r *TraceRing) Add(t *TraceOut) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the recorded traces, newest first.
+func (r *TraceRing) Snapshot() []*TraceOut {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceOut, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

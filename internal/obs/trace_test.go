@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil trace produced a span")
+	}
+	sp.End()
+	sp.SetAttr("k", 1)
+	child := sp.StartChild("y")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if tr.Finish() != nil {
+		t.Fatal("nil trace produced output")
+	}
+	if sp.ChildCount() != 0 {
+		t.Fatal("nil span has children")
+	}
+}
+
+func TestTraceTreeAndJSON(t *testing.T) {
+	tr := NewTrace("solve", "g1", "req-1")
+	q := tr.StartSpan("queue")
+	q.End()
+	s := tr.StartSpan("solve")
+	r0 := s.StartChild("round")
+	r0.SetAttr("round", 0)
+	r0.SetAttr("dirty", int64(12))
+	r0.End()
+	r1 := s.StartChild("round")
+	r1.SetAttr("round", 1)
+	r1.End()
+	s.End()
+	out := tr.Finish()
+	if out == nil || out.Root == nil {
+		t.Fatal("nil output")
+	}
+	if out.Op != "solve" || out.RequestID != "req-1" || out.Graph != "g1" {
+		t.Fatalf("trace metadata wrong: %+v", out)
+	}
+	if len(out.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(out.Root.Children))
+	}
+	solve := out.Root.Children[1]
+	if solve.Name != "solve" || len(solve.Children) != 2 {
+		t.Fatalf("solve span wrong: %+v", solve)
+	}
+	if solve.Children[0].Attrs[0].Key != "round" {
+		t.Fatalf("round attr missing: %+v", solve.Children[0])
+	}
+	if _, err := json.Marshal(out); err != nil {
+		t.Fatalf("trace not JSON-marshalable: %v", err)
+	}
+	for _, c := range out.Root.Children {
+		if c.DurationUS < 0 || c.StartUS < 0 {
+			t.Fatalf("negative timing: %+v", c)
+		}
+	}
+}
+
+func TestUnendedSpansClosedAtFinish(t *testing.T) {
+	tr := NewTrace("solve", "g", "")
+	tr.StartSpan("never-ended")
+	out := tr.Finish()
+	if out.Root.Children[0].DurationUS < 0 {
+		t.Fatal("unended span has negative duration")
+	}
+}
+
+func TestTraceRingBoundsAndOrder(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace("solve", "g", "")
+		out := tr.Finish()
+		out.RequestID = string(rune('a' + i))
+		r.Add(out)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring size = %d, want 3", len(snap))
+	}
+	// Newest first: e, d, c.
+	want := []string{"e", "d", "c"}
+	for i, w := range want {
+		if snap[i].RequestID != w {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, snap[i].RequestID, w)
+		}
+	}
+}
+
+func TestNilTraceRing(t *testing.T) {
+	r := NewTraceRing(0)
+	if r != nil {
+		t.Fatal("capacity 0 should give nil ring")
+	}
+	if r.Enabled() {
+		t.Fatal("nil ring enabled")
+	}
+	r.Add(&TraceOut{})
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil ring snapshot = %v", got)
+	}
+}

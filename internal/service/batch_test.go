@@ -198,9 +198,9 @@ func TestSolveBatchStopsOnClientDisconnect(t *testing.T) {
 	// feeder stops handing out the ~14 untouched items. Running the batch
 	// to completion here would take tens of seconds.
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.inFlight.Load() != 0 {
+	for srv.metrics.inFlight.Int() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("still %d solves in flight long after the client disconnected", srv.inFlight.Load())
+			t.Fatalf("still %d solves in flight long after the client disconnected", srv.metrics.inFlight.Int())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -1,0 +1,525 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/imin-dev/imin/internal/obs"
+	"github.com/imin-dev/imin/internal/store"
+)
+
+// Exposition-format legality, from the Prometheus text format spec.
+var (
+	expoHelpRE    = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	expoTypeRE    = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	expoLabelPair = `[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"`
+	expoSampleRE  = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{` + expoLabelPair + `(?:,` + expoLabelPair + `)*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+)
+
+// scrapeMetrics fetches /metrics, validates every line against the text
+// exposition format, and returns the family type map plus all samples keyed
+// by full name (with any label block) summed across duplicate keys.
+func scrapeMetrics(t *testing.T, baseURL string) (map[string]string, map[string]float64) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	types := make(map[string]string)    // family name -> counter|gauge|histogram
+	samples := make(map[string]float64) // name{labels} -> value
+	var curFamily string
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := expoHelpRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed HELP comment: %q", i+1, line)
+			}
+			curFamily = m[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			m := expoTypeRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE comment: %q", i+1, line)
+			}
+			if m[1] != curFamily {
+				t.Fatalf("line %d: TYPE for %q without preceding HELP (last HELP %q)", i+1, m[1], curFamily)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("line %d: family %q exposed twice", i+1, m[1])
+			}
+			types[m[1]] = m[2]
+		default:
+			m := expoSampleRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample line: %q", i+1, line)
+			}
+			name, labels, valStr := m[1], m[2], m[3]
+			base := name
+			if typ, ok := types[base]; !ok || typ == "histogram" {
+				// Histogram series use the family name plus a suffix.
+				base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+					"_bucket"), "_sum"), "_count")
+			}
+			typ, ok := types[base]
+			if !ok {
+				t.Fatalf("line %d: sample %q has no TYPE line", i+1, name)
+			}
+			if typ == "histogram" && name == base {
+				t.Fatalf("line %d: histogram %q exposed a bare series", i+1, name)
+			}
+			var v float64
+			if _, err := fmt.Sscanf(valStr, "%g", &v); err != nil && valStr != "NaN" && !strings.HasSuffix(valStr, "Inf") {
+				t.Fatalf("line %d: bad value %q", i+1, valStr)
+			}
+			samples[name+labels] += v
+		}
+	}
+	return types, samples
+}
+
+// sumSamples adds every sample whose series name (before any label block)
+// is exactly name.
+func sumSamples(samples map[string]float64, name string) float64 {
+	var total float64
+	for k, v := range samples {
+		base, _, _ := strings.Cut(k, "{")
+		if base == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestMetricsExposition drives a durable server through registration, warm
+// and cold solves, and a mutation batch, then scrapes /metrics and checks
+// (a) every line is legal exposition format and (b) the catalog covers the
+// solve, mutate, WAL, checkpoint, and degraded-mode surfaces with values
+// consistent with the traffic just served.
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Config{Fsync: store.FsyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Store: st, Metrics: reg})
+	registerTestGraphs(t, ts)
+
+	solveReq := SolveRequest{Seeds: []int{1, 7}, Budget: 3, Algorithm: "advanced-greedy", Theta: 150, Seed: 5, EvalRounds: -1}
+	for i := 0; i < 2; i++ { // cold then warm
+		if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", solveReq, nil); code != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, code, body)
+		}
+	}
+	mut := `{"op":"add-vertex"}
+{"op":"add-vertex"}
+{"op":"add-edge","u":0,"v":1,"p":0.3}
+`
+	if code, body := postNDJSON(t, ts.URL+"/graphs/g2/mutate", mut, nil); code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+
+	types, samples := scrapeMetrics(t, ts.URL)
+
+	wantFamilies := map[string]string{
+		// HTTP / request surface.
+		"imind_http_requests_total":  "counter",
+		"imind_http_request_seconds": "histogram",
+		"imind_panics_total":         "counter",
+		"imind_sheds_total":          "counter",
+		// Solve surface.
+		"imind_solve_seconds":             "histogram",
+		"imind_solve_round_seconds":       "histogram",
+		"imind_solve_rounds_total":        "counter",
+		"imind_solve_dirty_samples_total": "counter",
+		"imind_queue_wait_seconds":        "histogram",
+		"imind_solves_in_flight":          "gauge",
+		"imind_sessions_cached":           "gauge",
+		"imind_session_pool_bytes":        "gauge",
+		// Mutation / repair surface.
+		"imind_mutate_commit_seconds":  "histogram",
+		"imind_session_repair_seconds": "histogram",
+		"imind_mutations_total":        "counter",
+		"imind_mutation_batches_total": "counter",
+		// Durability surface.
+		"imind_wal_appends_total":  "counter",
+		"imind_wal_bytes_total":    "counter",
+		"imind_wal_fsyncs_total":   "counter",
+		"imind_wal_append_seconds": "histogram",
+		"imind_wal_fsync_seconds":  "histogram",
+		"imind_checkpoints_total":  "counter",
+		"imind_checkpoint_seconds": "histogram",
+		// Degraded-mode surface.
+		"imind_degraded_graphs":       "gauge",
+		"imind_degraded_enters_total": "counter",
+		"imind_self_heals_total":      "counter",
+		// Build provenance.
+		"imind_build_info": "gauge",
+		"imind_graphs":     "gauge",
+	}
+	for name, typ := range wantFamilies {
+		if got, ok := types[name]; !ok {
+			t.Errorf("family %s missing from /metrics", name)
+		} else if got != typ {
+			t.Errorf("family %s has type %s, want %s", name, got, typ)
+		}
+	}
+
+	// Values must reflect the traffic above.
+	if got := sumSamples(samples, "imind_graphs"); got != 2 {
+		t.Errorf("imind_graphs = %g, want 2", got)
+	}
+	if got := sumSamples(samples, "imind_solve_seconds_count"); got != 2 {
+		t.Errorf("imind_solve_seconds_count = %g, want 2", got)
+	}
+	if got := samples[`imind_solve_seconds_count{model="IC",warm="cold",encoding="none"}`]; got != 1 {
+		t.Errorf("cold IC solve count = %g, want 1", got)
+	}
+	if got := samples[`imind_solve_seconds_count{model="IC",warm="warm",encoding="none"}`]; got != 1 {
+		t.Errorf("warm IC solve count = %g, want 1", got)
+	}
+	if got := sumSamples(samples, "imind_solve_rounds_total"); got < 6 {
+		t.Errorf("imind_solve_rounds_total = %g, want >= 6 (2 solves x budget 3)", got)
+	}
+	if got := sumSamples(samples, "imind_mutations_total"); got != 3 {
+		t.Errorf("imind_mutations_total = %g, want 3", got)
+	}
+	if got := sumSamples(samples, "imind_mutate_commit_seconds_count"); got != 1 {
+		t.Errorf("imind_mutate_commit_seconds_count = %g, want 1", got)
+	}
+	// Registrations persist via checkpoint; only the mutation batch hits
+	// the WAL. Under FsyncAlways the fsync is inline in the append, so
+	// imind_wal_fsync_seconds stays a registered-but-empty family here.
+	if got := sumSamples(samples, "imind_wal_appends_total"); got != 1 {
+		t.Errorf("imind_wal_appends_total = %g, want 1 (the mutation batch)", got)
+	}
+	if got := sumSamples(samples, "imind_wal_append_seconds_count"); got != 1 {
+		t.Errorf("imind_wal_append_seconds_count = %g, want 1", got)
+	}
+	if got := sumSamples(samples, "imind_build_info"); got != 1 {
+		t.Errorf("imind_build_info = %g, want constant 1", got)
+	}
+	if got := sumSamples(samples, "imind_degraded_graphs"); got != 0 {
+		t.Errorf("imind_degraded_graphs = %g on a healthy store", got)
+	}
+
+	// The JSON stats view reads the same instruments; spot-check it agrees.
+	stats := getStats(t, ts.URL)
+	if int64(sumSamples(samples, "imind_mutations_total")) != stats.Mutations.Mutations {
+		t.Errorf("/metrics mutations %g != /stats %d",
+			sumSamples(samples, "imind_mutations_total"), stats.Mutations.Mutations)
+	}
+
+	// Closing the server takes a final checkpoint per graph; the timing
+	// histogram and snapshot-size gauge must reflect it (only graphs with
+	// WAL records since their last snapshot need one). /metrics keeps
+	// serving: it reads instruments, not the store.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, samples = scrapeMetrics(t, ts.URL)
+	if got := sumSamples(samples, "imind_checkpoint_seconds_count"); got < 1 {
+		t.Errorf("imind_checkpoint_seconds_count = %g, want >= 1 after close", got)
+	}
+	if got := sumSamples(samples, "imind_checkpoints_total"); got < 1 {
+		t.Errorf("imind_checkpoints_total = %g, want >= 1 after close", got)
+	}
+	if got := sumSamples(samples, "imind_checkpoint_snapshot_bytes"); got <= 0 {
+		t.Errorf("imind_checkpoint_snapshot_bytes = %g, want > 0 after close", got)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers one server with concurrent solves,
+// mutation batches, and /metrics + /stats scrapes. Run under -race this
+// checks the whole instrument plumbing for data races; the final scrape
+// must still be well-formed.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	defer srv.Close()
+	registerTestGraphs(t, ts)
+
+	const iters = 6
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req := SolveRequest{Seeds: []int{1 + w}, Budget: 2, Algorithm: "advanced-greedy",
+				Theta: 100, Seed: uint64(w + 1), EvalRounds: -1, ReuseSamples: w%2 == 0}
+			for i := 0; i < iters; i++ {
+				if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", req, nil); code != http.StatusOK {
+					t.Errorf("solver %d iter %d: %d %s", w, i, code, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if code, body := postNDJSON(t, ts.URL+"/graphs/g2/mutate", `{"op":"add-vertex"}`+"\n", nil); code != http.StatusOK {
+				t.Errorf("mutate iter %d: %d %s", i, code, body)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters*2; i++ {
+			scrapeMetrics(t, ts.URL)
+			getStats(t, ts.URL)
+		}
+	}()
+	wg.Wait()
+
+	_, samples := scrapeMetrics(t, ts.URL)
+	if got := sumSamples(samples, "imind_solve_seconds_count"); got != 3*iters {
+		t.Errorf("imind_solve_seconds_count = %g, want %d", got, 3*iters)
+	}
+	if got := sumSamples(samples, "imind_mutation_batches_total"); got != iters {
+		t.Errorf("imind_mutation_batches_total = %g, want %d", got, iters)
+	}
+	if got := sumSamples(samples, "imind_solves_in_flight"); got != 0 {
+		t.Errorf("imind_solves_in_flight = %g after drain, want 0", got)
+	}
+}
+
+// postJSONWithHeader is postJSON plus request headers, returning the parsed
+// response and the http.Response for header assertions.
+func postJSONWithHeader(t *testing.T, url string, body any, hdr map[string]string, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s: %v (body %s)", url, err, raw)
+		}
+	}
+	return resp
+}
+
+// TestTracedSolveBitIdentity is the acceptance check for the tracer: a
+// solve with "trace": true must return byte-for-byte the same blockers and
+// spread as the identical untraced solve, plus a span tree.
+func TestTracedSolveBitIdentity(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	defer srv.Close()
+	registerTestGraphs(t, ts)
+
+	req := SolveRequest{Seeds: []int{2, 9}, Budget: 4, Algorithm: "greedy-replace", Theta: 200, Seed: 11}
+	var plain, traced SolveResponse
+	if code, body := postJSON(t, ts.URL+"/graphs/g1/solve", req, &plain); code != http.StatusOK {
+		t.Fatalf("untraced solve: %d %s", code, body)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced solve returned an inline trace")
+	}
+
+	req.Trace = true
+	resp := postJSONWithHeader(t, ts.URL+"/graphs/g1/solve", req,
+		map[string]string{"X-Request-Id": "trace-identity-1"}, &traced)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced solve: %d", resp.StatusCode)
+	}
+
+	if !reflect.DeepEqual(traced.Blockers, plain.Blockers) {
+		t.Errorf("traced blockers %v != untraced %v", traced.Blockers, plain.Blockers)
+	}
+	if !reflect.DeepEqual(traced.SpreadBefore, plain.SpreadBefore) ||
+		!reflect.DeepEqual(traced.SpreadAfter, plain.SpreadAfter) {
+		t.Errorf("traced spreads (%v, %v) != untraced (%v, %v)",
+			deref(traced.SpreadBefore), deref(traced.SpreadAfter),
+			deref(plain.SpreadBefore), deref(plain.SpreadAfter))
+	}
+
+	// The trace must carry the request id and a solve span with one child
+	// per greedy round.
+	if traced.RequestID != "trace-identity-1" {
+		t.Errorf("response request_id = %q, want trace-identity-1", traced.RequestID)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-identity-1" {
+		t.Errorf("X-Request-Id header = %q", got)
+	}
+	if traced.Trace == nil || traced.Trace.Root == nil {
+		t.Fatalf("traced solve returned no span tree: %+v", traced.Trace)
+	}
+	if traced.Trace.RequestID != "trace-identity-1" {
+		t.Errorf("trace request_id = %q", traced.Trace.RequestID)
+	}
+	var solveSpan *obs.SpanOut
+	names := make(map[string]bool)
+	for _, sp := range traced.Trace.Root.Children {
+		names[sp.Name] = true
+		if sp.Name == "solve" {
+			solveSpan = sp
+		}
+	}
+	for _, want := range []string{"queue.session", "queue.slot", "solve", "eval.before", "eval.after"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span (have %v)", want, names)
+		}
+	}
+	if solveSpan == nil {
+		t.Fatal("no solve span")
+	}
+	rounds := 0
+	for _, sp := range solveSpan.Children {
+		if sp.Name == "round" {
+			rounds++
+		}
+	}
+	if rounds < req.Budget {
+		t.Errorf("solve span has %d round children, want >= %d", rounds, req.Budget)
+	}
+}
+
+// TestDebugTracesRing: untagged solves land in the ring newest-first;
+// a disabled ring turns the endpoint off.
+func TestDebugTracesRing(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TraceRing: 4})
+	defer srv.Close()
+	registerTestGraphs(t, ts)
+
+	req := SolveRequest{Seeds: []int{3}, Budget: 2, Algorithm: "advanced-greedy", Theta: 100, Seed: 2, EvalRounds: -1}
+	for i := 0; i < 2; i++ {
+		if code, body := postJSON(t, ts.URL+"/graphs/g2/solve", req, nil); code != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, code, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", resp.StatusCode)
+	}
+	var tr TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Traces) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(tr.Traces))
+	}
+	for i, out := range tr.Traces {
+		if out.Op != "solve" || out.Graph != "g2" || out.Root == nil {
+			t.Errorf("trace %d = op %q graph %q", i, out.Op, out.Graph)
+		}
+		if out.RequestID == "" {
+			t.Errorf("trace %d has no request id", i)
+		}
+	}
+	if tr.Traces[0].Start.Before(tr.Traces[1].Start) {
+		t.Error("traces not newest-first")
+	}
+
+	_, tsOff := newTestServer(t, Config{TraceRing: -1})
+	if code := probeCode(t, tsOff.URL+"/debug/traces"); code != http.StatusNotFound {
+		t.Errorf("/debug/traces with tracing disabled = %d, want 404", code)
+	}
+}
+
+// TestVersionEndpoint: /version reports build provenance and carries the
+// request-id header like every other route.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/version status %d", resp.StatusCode)
+	}
+	var v VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Module == "" {
+		t.Errorf("version response incomplete: %+v", v)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("/version response missing X-Request-Id")
+	}
+}
+
+// TestRequestIDPropagation: a sane client id is echoed, a hostile one is
+// replaced with a generated id, and distinct requests get distinct ids.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	get := func(hdr string) string {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if hdr != "" {
+			req.Header.Set("X-Request-Id", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-Id")
+	}
+
+	if got := get("client-abc-123"); got != "client-abc-123" {
+		t.Errorf("sane client id not echoed: %q", got)
+	}
+	if got := get("evil\tid"); got == "" || got == "evil\tid" {
+		t.Errorf("non-printable client id not replaced: %q", got)
+	}
+	if got := get(strings.Repeat("x", 200)); len(got) > 64 {
+		t.Errorf("oversized id accepted: %d bytes", len(got))
+	}
+	a, b := get(""), get("")
+	if a == "" || a == b {
+		t.Errorf("generated ids not unique: %q vs %q", a, b)
+	}
+}
+
+func deref(p *float64) float64 {
+	if p == nil {
+		return -1
+	}
+	return *p
+}

@@ -240,6 +240,32 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	if stats := getStats(t, ts.URL); stats.Panics != 1 {
 		t.Fatalf("panics = %d, want 1", stats.Panics)
 	}
+
+	// The 500 body names the failed route and carries the request id, so a
+	// client error report can be joined against the server's panic log line.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "panic-corr-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatalf("500 body is not JSON: %v", err)
+	}
+	if eresp.RequestID != "panic-corr-7" {
+		t.Errorf("500 body request_id = %q, want panic-corr-7", eresp.RequestID)
+	}
+	if !strings.Contains(eresp.Error, "GET /boom") {
+		t.Errorf("500 body error %q does not name the failed route", eresp.Error)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "panic-corr-7" {
+		t.Errorf("500 X-Request-Id header = %q", got)
+	}
 }
 
 // TestReadyzWithoutStore: a store-less server is trivially ready.

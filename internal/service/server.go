@@ -6,11 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +19,7 @@ import (
 	"github.com/imin-dev/imin/internal/datasets"
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/obs"
 	"github.com/imin-dev/imin/internal/rng"
 	"github.com/imin-dev/imin/internal/store"
 )
@@ -94,6 +94,19 @@ type Config struct {
 	// before they are acknowledged, and Recover restores graphs from it
 	// at startup. Nil keeps the server fully in-memory.
 	Store *store.Store
+	// Metrics is the registry GET /metrics exposes and every instrument
+	// registers into. Pass the same registry to store.Config.Metrics so the
+	// WAL timing histograms land on the same scrape. Nil creates a private
+	// registry.
+	Metrics *obs.Registry
+	// Logger receives the structured request/operational log lines. Nil
+	// uses slog.Default().
+	Logger *slog.Logger
+	// TraceRing is the capacity of the in-memory ring of recent solve
+	// traces served by GET /debug/traces. 0 uses the default (256);
+	// negative disables tracing entirely, which also makes the per-solve
+	// span bookkeeping allocation-free.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +155,12 @@ func (c Config) withDefaults() Config {
 	if c.HealMaxBackoff <= 0 {
 		c.HealMaxBackoff = 5 * time.Second
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -155,13 +174,13 @@ type Server struct {
 	regSem   chan struct{} // serializes graph builds: N concurrent registrations must not hold N graphs transiently
 	mux      *http.ServeMux
 	started  time.Time
-	inFlight atomic.Int64
 
-	// Epoch-migration counters for /stats: how warm sessions crossed graph
-	// mutations — repaired in place (advanced) versus rebuilt from scratch.
-	sessionsAdvanced, sessionsReset atomic.Int64
-	poolsRepaired, poolsDropped     atomic.Int64
-	samplesRedrawn, samplesKept     atomic.Int64
+	// metrics holds every runtime instrument; /stats and /metrics both
+	// read from it, so the two views cannot drift. traces is the bounded
+	// ring behind /debug/traces (nil when tracing is disabled).
+	metrics *serverMetrics
+	logger  *slog.Logger
+	traces  *obs.TraceRing
 
 	// Robustness accounting and background-goroutine lifecycle: stopHeal
 	// cancels self-heal and checkpoint-retry loops at Close, bgWG waits for
@@ -169,11 +188,6 @@ type Server struct {
 	stopHeal chan struct{}
 	closed   atomic.Bool
 	bgWG     sync.WaitGroup
-
-	sheds          atomic.Int64 // requests shed with 429 at an admission queue
-	panics         atomic.Int64 // handler panics converted to 500s
-	degradedEnters atomic.Int64 // graph transitions into degraded mode
-	selfHeals      atomic.Int64 // degraded graphs restored to writable
 }
 
 // New builds a Server from cfg.
@@ -188,10 +202,15 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 		stopHeal: make(chan struct{}),
+		metrics:  newServerMetrics(cfg.Metrics),
+		logger:   cfg.Logger,
+		traces:   obs.NewTraceRing(cfg.TraceRing),
 	}
 	if cfg.Store != nil {
 		s.registry.AttachStore(cfg.Store)
 	}
+	s.metrics.registerDerived(s)
+	registerBuildInfo(s.metrics.reg)
 	s.mux.HandleFunc("POST /graphs", s.handleRegister)
 	s.mux.HandleFunc("GET /graphs", s.handleList)
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGet)
@@ -202,6 +221,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	return s
 }
 
@@ -245,33 +267,15 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Handler returns the route table wrapped in the panic-recovery middleware:
-// a panicking handler becomes a logged 500 instead of tearing down the
-// whole connection (and, under http.Serve, leaking a broken keep-alive).
-func (s *Server) Handler() http.Handler { return s.withRecovery(s.mux) }
+// Handler returns the route table wrapped in the observability middleware:
+// request-ID assignment, structured request logs, HTTP metrics, and panic
+// recovery — a panicking handler becomes a logged, correlatable 500 instead
+// of tearing down the whole connection (and, under http.Serve, leaking a
+// broken keep-alive).
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
 
-// withRecovery converts handler panics into 500s. http.ErrAbortHandler is
-// re-raised — it is the sanctioned way to abort a response mid-stream and
-// net/http handles it quietly.
-func (s *Server) withRecovery(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			rec := recover()
-			if rec == nil {
-				return
-			}
-			if rec == http.ErrAbortHandler {
-				panic(rec)
-			}
-			s.panics.Add(1)
-			log.Printf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			// If the handler already started the response this only logs;
-			// the client sees a truncated body, which is all that is left.
-			writeErr(w, http.StatusInternalServerError, "internal server error")
-		}()
-		next.ServeHTTP(w, r)
-	})
-}
+// Metrics exposes the instrument registry (tests, embedding servers).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // degrade flips entry into degraded read-only mode and starts its
 // self-heal loop. Idempotent: concurrent persistence failures of the same
@@ -283,8 +287,8 @@ func (s *Server) degrade(entry *GraphEntry, cause error) {
 	if !entry.markDegraded(cause.Error()) {
 		return
 	}
-	s.degradedEnters.Add(1)
-	log.Printf("service: graph %q entered degraded read-only mode: %v", entry.Name, cause)
+	s.metrics.degradedEnters.Inc()
+	s.logger.Error("graph entered degraded read-only mode", "graph", entry.Name, "cause", cause.Error())
 	s.bgWG.Add(1)
 	go s.healLoop(entry)
 }
@@ -311,14 +315,14 @@ func (s *Server) healLoop(entry *GraphEntry) {
 		err := entry.checkpoint()
 		if err == nil {
 			entry.clearDegraded()
-			s.selfHeals.Add(1)
-			log.Printf("service: graph %q self-healed: fresh checkpoint on a new WAL generation, writable again", entry.Name)
+			s.metrics.selfHeals.Inc()
+			s.logger.Info("graph self-healed: fresh checkpoint on a new WAL generation, writable again", "graph", entry.Name)
 			return
 		}
 		if errors.Is(err, errCheckpointBusy) {
 			continue // someone else's checkpoint may heal us; re-check soon
 		}
-		log.Printf("service: self-heal checkpoint of %q: %v (next attempt in %v)", entry.Name, err, backoff)
+		s.logger.Warn("self-heal checkpoint failed", "graph", entry.Name, "error", err.Error(), "next_attempt_in", backoff)
 		if backoff *= 2; backoff > s.cfg.HealMaxBackoff {
 			backoff = s.cfg.HealMaxBackoff
 		}
@@ -341,8 +345,9 @@ func (s *Server) backgroundCheckpoint(entry *GraphEntry) {
 			if err == nil {
 				return
 			}
-			log.Printf("service: background checkpoint of %q (attempt %d, %s): %v",
-				entry.Name, attempt+1, store.Classify(err), err)
+			s.logger.Warn("background checkpoint failed",
+				"graph", entry.Name, "attempt", attempt+1,
+				"class", store.Classify(err).String(), "error", err.Error())
 			if attempt >= s.cfg.CheckpointRetries || !store.IsTransient(err) {
 				break
 			}
@@ -377,7 +382,7 @@ func (s *Server) shedOrCanceled(ctx context.Context, what string) *apiError {
 	if ctx.Err() != nil {
 		return apiErrorf(http.StatusServiceUnavailable, "request canceled while queued for %s", what)
 	}
-	s.sheds.Add(1)
+	s.metrics.sheds.Inc()
 	return apiErrorf(http.StatusTooManyRequests, "overloaded: wait for %s exceeded %v; retry later", what, s.cfg.MaxQueueWait)
 }
 
@@ -430,7 +435,11 @@ func (s *Server) degradedGraphs() []string {
 	return names
 }
 
+// handleStats answers GET /stats. Every event-driven number is read from
+// the same obs instruments GET /metrics exposes — the JSON view is a
+// projection of the metrics registry, never a second set of counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
 	batches, mutations, compactions := s.registry.MutationTotals()
 	var persist *PersistStats
 	if s.cfg.Store != nil {
@@ -446,29 +455,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayedBatches:    st.ReplayedBatches,
 			TruncatedTails:     st.TruncatedTails,
 			DegradedGraphs:     s.degradedGraphs(),
-			DegradedEnters:     s.degradedEnters.Load(),
-			SelfHeals:          s.selfHeals.Load(),
+			DegradedEnters:     m.degradedEnters.Int(),
+			SelfHeals:          m.selfHeals.Int(),
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Sheds:         s.sheds.Load(),
-		Panics:        s.panics.Load(),
+		Sheds:         m.sheds.Int(),
+		Panics:        m.panics.Int(),
 		Graphs:        s.registry.Len(),
 		Sessions:      s.sessions.Stats(),
 		Persist:       persist,
-		InFlight:      s.inFlight.Load(),
+		InFlight:      m.inFlight.Int(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Mutations: MutationStats{
 			Batches:          batches,
 			Mutations:        mutations,
 			Compactions:      compactions,
-			SessionsAdvanced: s.sessionsAdvanced.Load(),
-			SessionsReset:    s.sessionsReset.Load(),
-			PoolsRepaired:    s.poolsRepaired.Load(),
-			PoolsDropped:     s.poolsDropped.Load(),
-			SamplesRedrawn:   s.samplesRedrawn.Load(),
-			SamplesKept:      s.samplesKept.Load(),
+			SessionsAdvanced: m.sessionsAdvanced.Int(),
+			SessionsReset:    m.sessionsReset.Int(),
+			PoolsRepaired:    m.poolsRepaired.Int(),
+			PoolsDropped:     m.poolsDropped.Int(),
+			SamplesRedrawn:   m.samplesRedrawn.Int(),
+			SamplesKept:      m.samplesKept.Int(),
 		},
 	})
 }
@@ -778,7 +787,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// Retry-After rather than a 200. Further mutations are rejected with
 	// the same 503 until self-heal restores writability. DisableDegraded
 	// keeps the legacy plain 500 instead.
+	commitStart := time.Now()
 	info, err := entry.Commit(muts)
+	s.metrics.mutateSeconds.Observe(time.Since(commitStart).Seconds())
 	if errors.Is(err, ErrDegraded) {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -869,11 +880,13 @@ func (s *Server) migrateSession(lh *core.LockedSession, entry *GraphEntry, rep *
 	if lh.Epoch() >= epoch {
 		return
 	}
+	start := time.Now()
+	defer func() { s.metrics.repairSeconds.Observe(time.Since(start).Seconds()) }()
 	sources, targets, ok := entry.Dyn.ChangedSince(lh.Epoch())
 	if !ok {
 		lh.Reset(g, epoch)
 		rep.SessionsReset++
-		s.sessionsReset.Add(1)
+		s.metrics.sessionsReset.Inc()
 		return
 	}
 	st := lh.Advance(g, epoch, sources, targets)
@@ -882,11 +895,11 @@ func (s *Server) migrateSession(lh *core.LockedSession, entry *GraphEntry, rep *
 	rep.PoolsDropped += st.PoolsDropped
 	rep.SamplesRedrawn += st.SamplesRedrawn
 	rep.SamplesKept += st.SamplesKept
-	s.sessionsAdvanced.Add(1)
-	s.poolsRepaired.Add(int64(st.PoolsRepaired))
-	s.poolsDropped.Add(int64(st.PoolsDropped))
-	s.samplesRedrawn.Add(st.SamplesRedrawn)
-	s.samplesKept.Add(st.SamplesKept)
+	s.metrics.sessionsAdvanced.Inc()
+	s.metrics.poolsRepaired.Add(float64(st.PoolsRepaired))
+	s.metrics.poolsDropped.Add(float64(st.PoolsDropped))
+	s.metrics.samplesRedrawn.Add(float64(st.SamplesRedrawn))
+	s.metrics.samplesKept.Add(float64(st.SamplesKept))
 }
 
 var validAlgorithms = map[core.Algorithm]bool{
@@ -977,7 +990,9 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for idx := range idxCh {
 				item := BatchItemResult{Index: idx}
+				itemStart := time.Now()
 				resp, aerr := s.solveOne(ctx, entry, &req.Items[idx])
+				s.metrics.batchItems.Observe(time.Since(itemStart).Seconds())
 				if aerr != nil {
 					item.Error = aerr.msg
 				} else {
@@ -1022,11 +1037,37 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxRoundSpans caps the per-round children of one solve trace: a
+// b=10000 solve must not turn every trace into a ten-thousand-node tree.
+// Truncation is recorded as a "rounds_truncated" attr on the solve span.
+const maxRoundSpans = 128
+
 // solveOne validates one solve request and runs it against entry with
 // warm-session reuse: the shared core of the solve and solve-batch
 // endpoints. ctx queues and cancels exactly like a single request's.
-func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequest) (*SolveResponse, *apiError) {
+//
+// When tracing is on (ring enabled, or the request asked for an inline
+// trace) the solve's phases are recorded as spans: queue.session →
+// queue.slot → migrate → eval.before → solve (with per-round children) →
+// eval.after. The finished trace lands in the ring even when the solve
+// fails — shed and canceled requests are exactly the ones worth debugging.
+func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequest) (resp *SolveResponse, aerr *apiError) {
 	t0 := time.Now()
+	var tr *obs.Trace
+	if req.Trace || s.traces.Enabled() {
+		tr = obs.NewTrace("solve", entry.Name, RequestID(ctx))
+		defer func() {
+			if aerr != nil {
+				tr.SetAttr("error", aerr.msg)
+				tr.SetAttr("status", aerr.code)
+			}
+			out := tr.Finish()
+			s.traces.Add(out)
+			if req.Trace && resp != nil {
+				resp.Trace = out
+			}
+		}()
+	}
 	if req.Budget < 0 {
 		return nil, apiErrorf(http.StatusBadRequest, "negative budget %d", req.Budget)
 	}
@@ -1069,7 +1110,11 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	// callers, and the wait costs no CPU, so it must not occupy a solve
 	// slot — otherwise one hot graph's queue would hold every slot and
 	// starve requests for all other graphs (head-of-line blocking).
+	sessionQueued := time.Now()
+	sessionSpan := tr.StartSpan("queue.session")
 	lh, err := sess.Acquire(queueCtx)
+	sessionSpan.End()
+	s.metrics.queueWait.With("session").Observe(time.Since(sessionQueued).Seconds())
 	if err != nil {
 		return nil, s.shedOrCanceled(ctx, "the graph session")
 	}
@@ -1078,15 +1123,21 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	// CPU admission: the bounded pool of actually-running solves. Safe to
 	// wait while holding the session: slot holders are running, never
 	// queued on a session themselves.
+	slotQueued := time.Now()
+	slotSpan := tr.StartSpan("queue.slot")
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-queueCtx.Done():
+		slotSpan.End()
+		s.metrics.queueWait.With("slot").Observe(time.Since(slotQueued).Seconds())
 		return nil, s.shedOrCanceled(ctx, "a solve slot")
 	}
+	slotSpan.End()
+	s.metrics.queueWait.With("slot").Observe(time.Since(slotQueued).Seconds())
 	cancelQueue() // admitted; the queue bound must not cut the solve short
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.metrics.inFlight.Inc()
+	defer s.metrics.inFlight.Dec()
 
 	// A session behind the graph's epoch migrates before solving — inside
 	// the admission slot, since pool repair is CPU work like the solve
@@ -1095,7 +1146,14 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	// the snapshot it reports.
 	if lh.Epoch() != epoch {
 		var rep RepairStats
+		migrateSpan := tr.StartSpan("migrate")
 		s.migrateSession(lh, entry, &rep)
+		migrateSpan.SetAttr("sessions_advanced", rep.SessionsAdvanced)
+		migrateSpan.SetAttr("sessions_reset", rep.SessionsReset)
+		migrateSpan.SetAttr("pools_repaired", rep.PoolsRepaired)
+		migrateSpan.SetAttr("samples_redrawn", rep.SamplesRedrawn)
+		migrateSpan.SetAttr("samples_kept", rep.SamplesKept)
+		migrateSpan.End()
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -1118,6 +1176,27 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		ReuseSamples: req.ReuseSamples,
 		PoolEncoding: enc,
 	}
+	// Per-round observer: metrics always, spans when tracing. The hook is
+	// read-only — core guarantees the selection is bit-identical with or
+	// without it (asserted by TestTracedSolveBitIdentity).
+	var solveSpan *obs.Span // set right before lh.Solve; rounds attach to it
+	m := s.metrics
+	opt.OnRound = func(ri core.RoundInfo) {
+		m.roundSeconds.Observe(ri.Duration.Seconds())
+		m.rounds.With(ri.Phase).Inc()
+		m.dirtySamples.Add(float64(ri.SamplesDirty))
+		m.stolenSamples.Add(float64(ri.SamplesStolen))
+		if solveSpan != nil && solveSpan.ChildCount() < maxRoundSpans {
+			sp := solveSpan.AddTimedChild("round", ri.Duration)
+			sp.SetAttr("round", ri.Round)
+			sp.SetAttr("phase", ri.Phase)
+			sp.SetAttr("chosen", int(ri.Chosen))
+			sp.SetAttr("dirty_samples", ri.SamplesDirty)
+			if ri.SamplesStolen > 0 {
+				sp.SetAttr("stolen_samples", ri.SamplesStolen)
+			}
+		}
+	}
 
 	evalRounds := req.EvalRounds
 	if evalRounds == 0 {
@@ -1127,7 +1206,7 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		evalRounds = s.cfg.MaxEvalRounds
 	}
 
-	resp := &SolveResponse{
+	resp = &SolveResponse{
 		Graph:           entry.Name,
 		Algorithm:       string(alg),
 		Model:           diffusionName(diffusion),
@@ -1136,20 +1215,35 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		MCSRounds:       mcs,
 		Workers:         workers,
 		SessionCacheHit: hit,
+		RequestID:       RequestID(ctx),
 	}
 
 	var before float64
 	if evalRounds > 0 {
+		evalSpan := tr.StartSpan("eval.before")
 		before, err = evaluateSpread(ctx, lh, seeds, nil, evalRounds, opt)
+		evalSpan.End()
 		if err != nil {
 			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}
 	}
 
+	solveSpan = tr.StartSpan("solve")
 	res, err := lh.Solve(ctx, seeds, req.Budget, alg, opt)
+	if solveSpan != nil {
+		solveSpan.SetAttr("algorithm", string(alg))
+		if res.Blockers != nil && len(res.Blockers) > maxRoundSpans {
+			solveSpan.SetAttr("rounds_truncated", true)
+		}
+		solveSpan.End()
+		solveSpan = nil // rounds of a later retry must not attach to an ended span
+	}
 	if err != nil {
 		return nil, apiErrorf(evalStatus(ctx), "solve: %v", err)
 	}
+	m.solveSeconds.
+		With(resp.Model, warmLabel(hit), encodingLabel(req.ReuseSamples, req.PoolEncoding)).
+		Observe(res.Runtime.Seconds())
 	resp.Blockers = verticesToInts(res.Blockers)
 	resp.SampledGraphs = res.SampledGraphs
 	resp.MCSSimulations = res.MCSSimulations
@@ -1158,7 +1252,9 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	resp.Canceled = res.Canceled
 
 	if evalRounds > 0 && !resp.Canceled {
+		evalSpan := tr.StartSpan("eval.after")
 		after, err := evaluateSpread(ctx, lh, seeds, res.Blockers, evalRounds, opt)
+		evalSpan.End()
 		if err != nil {
 			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}

@@ -21,7 +21,11 @@
 // background, and recovered to the exact pre-crash epoch at startup.
 package service
 
-import "time"
+import (
+	"time"
+
+	"github.com/imin-dev/imin/internal/obs"
+)
 
 // RegisterGraphRequest is the body of POST /graphs. Name is required, plus
 // exactly one graph source: Path (an edge-list or .bin file under the
@@ -205,6 +209,11 @@ type SolveRequest struct {
 	// TimeoutMS caps the solve; 0 uses the server default. On expiry the
 	// partial blocker set is returned with timed_out set.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace returns the solve's phase-span tree inline in the response
+	// (queue waits, session migration, per-greedy-round timings with
+	// dirty-sample counts). Purely observational: the blocker output is
+	// bit-identical with or without it.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SolveResponse reports a solve.
@@ -240,6 +249,12 @@ type SolveResponse struct {
 	// hit skips all setup only when this seed set was solved recently; a
 	// new seed set still pays instance+estimator construction once.
 	SessionCacheHit bool `json:"session_cache_hit"`
+	// RequestID echoes the X-Request-Id the middleware accepted or
+	// generated, matching the structured log lines and trace entries.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the solve's span tree, present when the request set
+	// "trace": true.
+	Trace *obs.TraceOut `json:"trace,omitempty"`
 }
 
 // BatchSolveRequest is the body of POST /graphs/{id}/solve-batch: a list
@@ -309,6 +324,15 @@ type StatsResponse struct {
 }
 
 // ErrorResponse is the JSON error envelope for every non-2xx response.
+// RequestID is set on errors the observability middleware writes (panic
+// 500s), correlating the body with the X-Request-Id header and log lines.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TracesResponse is GET /debug/traces: the bounded in-memory ring of
+// recent solve traces, newest first.
+type TracesResponse struct {
+	Traces []*obs.TraceOut `json:"traces"`
 }

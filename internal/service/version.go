@@ -1,0 +1,62 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+
+	"github.com/imin-dev/imin/internal/obs"
+)
+
+// VersionResponse is GET /version: build provenance for correlating a
+// running daemon with a source revision.
+type VersionResponse struct {
+	// Module and Version come from the main module's build info; Version is
+	// "(devel)" for plain `go build` trees.
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Revision/RevisionTime/Dirty are the VCS stamp when the binary was
+	// built inside a checkout (vcs.revision / vcs.time / vcs.modified).
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	Dirty        bool   `json:"dirty,omitempty"`
+	GoVersion    string `json:"go_version"`
+}
+
+// buildVersion reads the binary's build info once at startup.
+var buildVersion = func() VersionResponse {
+	v := VersionResponse{Module: "unknown", Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			v.Revision = kv.Value
+		case "vcs.time":
+			v.RevisionTime = kv.Value
+		case "vcs.modified":
+			v.Dirty = kv.Value == "true"
+		}
+	}
+	return v
+}()
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildVersion)
+}
+
+// registerBuildInfo exposes the same fields as the conventional constant-1
+// "imind_build_info" gauge, so dashboards can join metrics to a revision.
+func registerBuildInfo(reg *obs.Registry) {
+	v := buildVersion
+	reg.GaugeVec("imind_build_info",
+		"Build provenance of the running binary; constant 1.",
+		"version", "revision", "go_version").
+		With(v.Version, v.Revision, v.GoVersion).Set(1)
+}

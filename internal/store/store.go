@@ -42,6 +42,7 @@ import (
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/faultfs"
 	"github.com/imin-dev/imin/internal/graph"
+	"github.com/imin-dev/imin/internal/obs"
 )
 
 // Config tunes a Store. The zero value is serviceable: interval fsync every
@@ -60,6 +61,11 @@ type Config struct {
 	// FS is the filesystem every store I/O goes through. Default the real
 	// one (faultfs.OS); tests substitute a faultfs.Injector.
 	FS faultfs.FS
+	// Metrics, when set, receives the store's timing histograms (WAL
+	// append, WAL fsync, checkpoint) and snapshot-size gauge. Pass the
+	// serving layer's registry so one GET /metrics scrape covers both.
+	// Nil records nothing; the Stats counters work either way.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +82,35 @@ func (c Config) withDefaults() Config {
 		c.CheckpointWALBytes = 16 << 20
 	}
 	return c
+}
+
+// storeMetrics holds the store's timing instruments. The Stats counters
+// stay the source of totals (exported as Func instruments by the serving
+// layer); these histograms add the duration distributions that only the
+// I/O call sites can observe.
+type storeMetrics struct {
+	appendSeconds     *obs.Histogram
+	fsyncSeconds      *obs.Histogram
+	checkpointSeconds *obs.Histogram
+	snapshotBytes     *obs.Gauge
+}
+
+// newStoreMetrics registers the timing instruments, or returns nil when no
+// registry is configured (observations become no-ops).
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &storeMetrics{
+		appendSeconds: reg.Histogram("imind_wal_append_seconds",
+			"WAL append latency, including the inline fsync under the always policy.", obs.DefTimeBuckets),
+		fsyncSeconds: reg.Histogram("imind_wal_fsync_seconds",
+			"WAL fsync latency (interval flusher and shutdown syncs).", obs.DefTimeBuckets),
+		checkpointSeconds: reg.Histogram("imind_checkpoint_seconds",
+			"Checkpoint completion latency: snapshot write, manifest commit, old-generation cleanup.", obs.DefTimeBuckets),
+		snapshotBytes: reg.Gauge("imind_checkpoint_snapshot_bytes",
+			"Size of the most recently written checkpoint snapshot."),
+	}
 }
 
 // Stats is a counter snapshot for the /stats endpoint.
@@ -105,6 +140,10 @@ type Store struct {
 	stopFlush chan struct{}
 	flushWG   sync.WaitGroup
 
+	// met is set once at Open (before flushLoop starts) and nil when no
+	// registry was configured; every observation point is nil-guarded.
+	met *storeMetrics
+
 	walAppends, walBytes, walFsyncs     atomic.Int64
 	checkpoints, checkpointFailures     atomic.Int64
 	recovered, replayed, truncatedTails atomic.Int64
@@ -123,6 +162,7 @@ func Open(root string, cfg Config) (*Store, error) {
 		fs:       cfg.FS,
 		graphs:   make(map[string]*GraphStore),
 		creating: make(map[string]bool),
+		met:      newStoreMetrics(cfg.Metrics),
 	}
 	if cfg.Fsync == FsyncInterval {
 		s.stopFlush = make(chan struct{})
@@ -154,8 +194,12 @@ func (s *Store) flushLoop() {
 			}
 			s.mu.Unlock()
 			for _, gs := range gss {
+				syncStart := time.Now()
 				if synced, err := gs.syncWAL(); err == nil && synced {
 					s.walFsyncs.Add(1)
+					if s.met != nil {
+						s.met.fsyncSeconds.Observe(time.Since(syncStart).Seconds())
+					}
 				}
 			}
 		}
@@ -367,9 +411,13 @@ func (gs *GraphStore) Append(epoch uint64, batch []byte) error {
 	if w == nil {
 		return fmt.Errorf("store: graph %q is closed", gs.name)
 	}
+	appendStart := time.Now()
 	n, err := w.append(epoch, batch)
 	if err != nil {
 		return err
+	}
+	if m := gs.store.met; m != nil {
+		m.appendSeconds.Observe(time.Since(appendStart).Seconds())
 	}
 	gs.store.walAppends.Add(1)
 	gs.store.walBytes.Add(n)
@@ -479,12 +527,19 @@ func (gs *GraphStore) beginCheckpoint() (uint64, error) {
 // older generations it supersedes. Runs without any graph lock — commits
 // proceed concurrently into the rotated WAL.
 func (gs *GraphStore) CompleteCheckpoint(gen uint64, g *graph.Graph, epoch uint64) error {
+	ckptStart := time.Now()
 	err := gs.completeCheckpoint(gen, g, epoch)
 	if err != nil {
 		gs.store.checkpointFailures.Add(1)
 		return err
 	}
 	gs.store.checkpoints.Add(1)
+	if m := gs.store.met; m != nil {
+		m.checkpointSeconds.Observe(time.Since(ckptStart).Seconds())
+		if fi, err := gs.store.fs.Stat(filepath.Join(gs.dir, snapName(gen))); err == nil {
+			m.snapshotBytes.Set(float64(fi.Size()))
+		}
+	}
 	return nil
 }
 
@@ -540,9 +595,13 @@ func parseGenFile(name string) (gen uint64, kind string, ok bool) {
 
 // Sync forces pending WAL writes to stable storage (shutdown path).
 func (gs *GraphStore) Sync() error {
+	syncStart := time.Now()
 	synced, err := gs.syncWAL()
 	if err == nil && synced {
 		gs.store.walFsyncs.Add(1)
+		if m := gs.store.met; m != nil {
+			m.fsyncSeconds.Observe(time.Since(syncStart).Seconds())
+		}
 	}
 	return err
 }
