@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-fix bench clean
+.PHONY: all build test lint lint-fix bench bench-baseline bench-diff clean
 
 all: build
 
@@ -31,6 +31,19 @@ lint-fix:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-baseline regenerates the committed benchcore baseline. Pass
+# FORCE=1 when the worker configuration changed (benchcore's provenance
+# guard refuses a silent overwrite otherwise).
+bench-baseline:
+	$(GO) run ./cmd/experiments -exp benchcore -bench-out BENCH_core.json \
+		$(if $(FORCE),-force,)
+
+# bench-diff is the perf-trajectory regression gate: measure a fresh
+# benchcore report and compare it against the committed baseline (exits
+# nonzero on regression; appends BENCH_history.jsonl).
+bench-diff:
+	$(GO) run ./cmd/experiments -exp benchdiff
 
 clean:
 	$(GO) clean ./...

@@ -33,7 +33,7 @@ func (e *expFlag) Set(v string) error { *e = append(*e, strings.ToLower(v)); ret
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable): table3, table5, table6, table7, fig5, fig7, fig8, fig9, fig10, fig11, all, benchcore (explicit only, not in all)")
+	flag.Var(&exps, "exp", "experiment to run (repeatable): table3, table5, table6, table7, fig5, fig7, fig8, fig9, fig10, fig11, all, benchcore, benchdiff (explicit only, not in all)")
 	var (
 		scale      = flag.Float64("scale", 0.02, "dataset scale")
 		theta      = flag.Int("theta", 1000, "sampled graphs per round")
@@ -50,6 +50,12 @@ func main() {
 		benchMin   = flag.Duration("bench-mintime", 2*time.Second, "minimum measuring time per benchcore mode and sweep point")
 		benchForce = flag.Bool("force", false, "overwrite an existing -bench-out measured under a different worker configuration")
 		benchFloor = flag.Float64("bench-scaling-floor", 0, "fail benchcore if the 4-worker speedup over 1 worker is below this (only on >=4-CPU machines; 0 disables)")
+
+		benchBaseline  = flag.String("bench-baseline", "BENCH_core.json", "committed baseline report for -exp benchdiff")
+		benchCandidate = flag.String("bench-candidate", "", "candidate report for -exp benchdiff (empty = measure a fresh one now)")
+		benchHistory   = flag.String("bench-history", "BENCH_history.jsonl", "JSONL perf-trajectory ledger benchdiff appends to (empty disables)")
+		benchTimingTol = flag.Float64("bench-timing-tolerance", 10, "allowed worsening of absolute timing metrics in percent before benchdiff fails")
+		benchRatioTol  = flag.Float64("bench-ratio-tolerance", 10, "allowed worsening of dimensionless ratio metrics in percent before benchdiff fails")
 	)
 	flag.Parse()
 	if len(exps) == 0 {
@@ -152,6 +158,45 @@ func main() {
 		if *benchOut != "" {
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
+	}
+	// benchdiff is the perf-trajectory regression gate: compare a candidate
+	// benchcore report (fresh by default) against the committed baseline and
+	// exit nonzero on regression. Explicit only, like benchcore.
+	if want["benchdiff"] {
+		section("Benchmark regression gate (candidate vs committed baseline)")
+		base, err := harness.LoadBenchCoreReport(*benchBaseline)
+		if err != nil {
+			fail(fmt.Errorf("loading baseline: %v", err))
+		}
+		var cand *harness.BenchCoreReport
+		if *benchCandidate != "" {
+			if cand, err = harness.LoadBenchCoreReport(*benchCandidate); err != nil {
+				fail(fmt.Errorf("loading candidate: %v", err))
+			}
+		} else {
+			cand, err = harness.RunBenchCore(cfg, harness.BenchCoreOptions{
+				Budget:  *benchB,
+				MinTime: *benchMin,
+			})
+			failIf(err)
+		}
+		res, err := harness.RunBenchDiff(base, cand, harness.BenchDiffOptions{
+			TimingTolerancePct: *benchTimingTol,
+			RatioTolerancePct:  *benchRatioTol,
+			Out:                os.Stdout,
+		})
+		failIf(err)
+		if *benchHistory != "" {
+			if err := harness.AppendBenchHistory(*benchHistory, cand, res); err != nil {
+				fail(fmt.Errorf("appending %s: %v", *benchHistory, err))
+			}
+			fmt.Printf("(history appended to %s)\n", *benchHistory)
+		}
+		if len(res.Regressions) > 0 {
+			fail(fmt.Errorf("%d benchmark regression(s):\n  %s",
+				len(res.Regressions), strings.Join(res.Regressions, "\n  ")))
+		}
+		fmt.Println("benchdiff: no regressions")
 	}
 	if run("fig11") {
 		section("Figure 11 (time vs seeds, WC)")

@@ -21,7 +21,9 @@
 //	GET    /readyz                  readiness: 503 while any graph is degraded (read-only, self-healing)
 //	GET    /stats                   registry size, session-cache, mutation/repair and durability counters
 //	GET    /metrics                 Prometheus text exposition of the same instruments /stats reads
-//	GET    /debug/traces            ring of recent solve traces (phase spans, per-round timings)
+//	GET    /debug/traces            ring of recent solve traces (?min_duration_ms=, ?route= filters)
+//	GET    /debug/bundles           diagnostic bundles the flight recorder captured (-diag-dir)
+//	GET    /debug/bundles/{id}      one bundle: offending trace, trace ring, metrics, profiles
 //	GET    /version                 module version, VCS revision, go version
 //
 // Example:
@@ -84,6 +86,10 @@ func main() {
 		degradedMode  = flag.Bool("degraded-mode", true, "serve reads and shed writes (503) when a graph's durable log fails, self-healing in the background; false restores plain 500s")
 		ckptRetries   = flag.Int("checkpoint-retries", 3, "retries for background checkpoints that fail transiently (ENOSPC etc)")
 		ckptBackoff   = flag.Duration("checkpoint-retry-backoff", 250*time.Millisecond, "initial backoff between background checkpoint retries (doubles per attempt)")
+		sloSolveMS    = flag.Int("slo-solve-ms", 0, "solve latency objective in ms; breaches log, count imind_slo_breaches_total and capture a diagnostic bundle (0 disables)")
+		sloMutateMS   = flag.Int("slo-mutate-ms", 0, "mutate latency objective in ms (0 disables)")
+		diagDir       = flag.String("diag-dir", "", "directory for SLO/degraded-mode diagnostic bundles served at GET /debug/bundles (empty disables the flight recorder)")
+		diagMax       = flag.Int("diag-max-bundles", 16, "diagnostic bundles retained in -diag-dir before the oldest are deleted")
 	)
 	flag.Parse()
 
@@ -109,6 +115,7 @@ func main() {
 			FsyncInterval:      *fsyncEvery,
 			CheckpointWALBytes: int64(*ckptWALMB) << 20,
 			Metrics:            metrics,
+			Logger:             logger,
 		})
 		if err != nil {
 			fatal(err)
@@ -132,6 +139,10 @@ func main() {
 		Metrics:                metrics,
 		Logger:                 logger,
 		TraceRing:              *traceRing,
+		SLOSolve:               time.Duration(*sloSolveMS) * time.Millisecond,
+		SLOMutate:              time.Duration(*sloMutateMS) * time.Millisecond,
+		DiagDir:                *diagDir,
+		DiagMaxBundles:         *diagMax,
 	})
 
 	// Recovery runs before preloading: a preload name that already exists

@@ -1,0 +1,323 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/imin-dev/imin/internal/obs"
+)
+
+// ErrNotFound reports a bundle id that does not exist in the recorder's
+// directory.
+var ErrNotFound = errors.New("diag: bundle not found")
+
+// Trigger records why a bundle was captured: an SLO breach ("slo_solve",
+// "slo_mutate") or a degraded-mode entry ("degraded").
+type Trigger struct {
+	Reason    string  `json:"reason"`
+	Route     string  `json:"route,omitempty"`
+	Graph     string  `json:"graph,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
+	SLOMS     float64 `json:"slo_ms,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Bundle is the on-disk diagnostic bundle: everything needed to explain one
+// slow or failing request after the fact, in a single JSON document.
+type Bundle struct {
+	ID         string    `json:"id"`
+	CapturedAt time.Time `json:"captured_at"`
+	Trigger    Trigger   `json:"trigger"`
+	// Build carries the server's build/config info (module, version,
+	// revision, Go version).
+	Build any `json:"build,omitempty"`
+	// Trace is the offending request's span tree, when one was recorded.
+	Trace *obs.TraceOut `json:"trace,omitempty"`
+	// RecentTraces is the trace ring at capture time, newest first — the
+	// requests that surrounded the offender.
+	RecentTraces []*obs.TraceOut `json:"recent_traces,omitempty"`
+	// Metrics is a Prometheus text-exposition snapshot of the process
+	// registry at capture time.
+	Metrics    string `json:"metrics,omitempty"`
+	MetricsErr string `json:"metrics_error,omitempty"`
+	// Goroutine and Heap are text-format runtime profiles
+	// (pprof.Lookup debug=2 and debug=1 respectively).
+	Goroutine string `json:"goroutine_profile,omitempty"`
+	Heap      string `json:"heap_profile,omitempty"`
+}
+
+// BundleInfo is the listing entry served by GET /debug/bundles.
+type BundleInfo struct {
+	ID         string    `json:"id"`
+	Reason     string    `json:"reason,omitempty"`
+	CapturedAt time.Time `json:"captured_at"`
+	SizeBytes  int64     `json:"size_bytes"`
+}
+
+// Config configures a Recorder.
+type Config struct {
+	// Dir is where bundles are written. Created on first capture.
+	Dir string
+	// MaxBundles bounds retention: once exceeded, the oldest bundles are
+	// deleted. Default 16.
+	MaxBundles int
+	// Cooldown spaces captures so a persistent breach storm cannot churn
+	// the directory with near-identical bundles. 0 means the default 30 s;
+	// negative disables the cooldown (tests).
+	Cooldown time.Duration
+	// Metrics, when set, supplies a registry snapshot (Prometheus text)
+	// for each bundle.
+	Metrics func() ([]byte, error)
+	// Build is embedded verbatim in every bundle (build/config info).
+	Build any
+	// Logger receives capture/retention errors. nil discards.
+	Logger *slog.Logger
+}
+
+// Recorder captures diagnostic bundles into a bounded directory. All methods
+// are safe for concurrent use; at most one capture runs at a time and
+// captures inside the cooldown window are suppressed, not queued.
+type Recorder struct {
+	cfg Config
+
+	mu        sync.Mutex
+	seq       uint64
+	last      time.Time
+	capturing bool
+}
+
+// NewRecorder returns a Recorder writing under cfg.Dir. It never touches the
+// filesystem; directory creation is deferred to the first capture so a
+// misconfigured path degrades to capture errors, not a failed server start.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 16
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Capture writes one bundle and enforces retention. It returns the new
+// bundle's id, or "" when the capture was suppressed (cooldown still open or
+// another capture in flight). Suppression is not an error: the caller counts
+// it separately.
+func (r *Recorder) Capture(trig Trigger, trace *obs.TraceOut, ring []*obs.TraceOut) (string, error) {
+	now := time.Now()
+	r.mu.Lock()
+	if r.capturing || (r.cfg.Cooldown > 0 && !r.last.IsZero() && now.Sub(r.last) < r.cfg.Cooldown) {
+		r.mu.Unlock()
+		return "", nil
+	}
+	r.capturing = true
+	r.seq++
+	// UTC timestamp + sequence makes ids lexically sortable in capture
+	// order, which is what retention and the listing sort on.
+	id := fmt.Sprintf("bundle-%s.%04d-%s", now.UTC().Format("20060102T150405"), r.seq, sanitize(trig.Reason))
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.capturing = false
+		r.last = time.Now()
+		r.mu.Unlock()
+	}()
+
+	b := &Bundle{
+		ID:           id,
+		CapturedAt:   now,
+		Trigger:      trig,
+		Build:        r.cfg.Build,
+		Trace:        trace,
+		RecentTraces: ring,
+		Goroutine:    profileText("goroutine", 2),
+		Heap:         profileText("heap", 1),
+	}
+	if r.cfg.Metrics != nil {
+		if m, err := r.cfg.Metrics(); err != nil {
+			b.MetricsErr = err.Error()
+		} else {
+			b.Metrics = string(m)
+		}
+	}
+	if err := r.write(id, b); err != nil {
+		return "", err
+	}
+	r.enforceRetention()
+	return id, nil
+}
+
+// write lands the bundle atomically: full write + fsync to a temp name, then
+// rename — a torn capture never leaves a half bundle behind.
+func (r *Recorder) write(id string, b *Bundle) error {
+	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("diag: creating bundle dir: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("diag: encoding bundle: %w", err)
+	}
+	final := filepath.Join(r.cfg.Dir, id+".json")
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("diag: creating bundle: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diag: writing bundle: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diag: syncing bundle: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diag: closing bundle: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diag: publishing bundle: %w", err)
+	}
+	return nil
+}
+
+// enforceRetention deletes the oldest bundles past MaxBundles. Failures are
+// logged, never returned: a capture that landed should report success even
+// if cleanup hiccuped.
+func (r *Recorder) enforceRetention() {
+	ids, err := r.ids()
+	if err != nil {
+		r.cfg.Logger.Warn("diag: retention scan failed", "dir", r.cfg.Dir, "error", err.Error())
+		return
+	}
+	for len(ids) > r.cfg.MaxBundles {
+		oldest := ids[len(ids)-1]
+		if err := os.Remove(filepath.Join(r.cfg.Dir, oldest+".json")); err != nil {
+			r.cfg.Logger.Warn("diag: retention delete failed", "bundle", oldest, "error", err.Error())
+			return
+		}
+		ids = ids[:len(ids)-1]
+	}
+}
+
+// ids returns all bundle ids, newest first.
+func (r *Recorder) ids() ([]string, error) {
+	ents, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "bundle-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	return ids, nil
+}
+
+// List returns the recorder's bundles, newest first.
+func (r *Recorder) List() ([]BundleInfo, error) {
+	ids, err := r.ids()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]BundleInfo, 0, len(ids))
+	for _, id := range ids {
+		info := BundleInfo{ID: id, Reason: reasonOf(id)}
+		if st, err := os.Stat(filepath.Join(r.cfg.Dir, id+".json")); err == nil {
+			info.CapturedAt = st.ModTime()
+			info.SizeBytes = st.Size()
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// Read returns the raw JSON of one bundle. The id is validated against the
+// recorder's own naming scheme before touching the filesystem, so a
+// path-traversal id cannot escape the bundle directory.
+func (r *Recorder) Read(id string) ([]byte, error) {
+	if !validID(id) {
+		return nil, ErrNotFound
+	}
+	data, err := os.ReadFile(filepath.Join(r.cfg.Dir, id+".json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	return data, err
+}
+
+func validID(id string) bool {
+	if !strings.HasPrefix(id, "bundle-") || len(id) > 128 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(id, "..")
+}
+
+// reasonOf recovers the trigger reason from a bundle id
+// (bundle-<timestamp>.<seq>-<reason>).
+func reasonOf(id string) string {
+	rest := strings.TrimPrefix(id, "bundle-")
+	if _, reason, ok := strings.Cut(rest, "-"); ok {
+		return reason
+	}
+	return ""
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func profileText(name string, debug int) string {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return ""
+	}
+	var b bytes.Buffer
+	if err := p.WriteTo(&b, debug); err != nil {
+		return "profile error: " + err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package diag
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/imin-dev/imin/internal/obs"
+)
+
+// testTrace builds a minimal finished trace.
+func testTrace(op, graphName, reqID string) *obs.TraceOut {
+	tr := obs.NewTrace(op, graphName, reqID)
+	sp := tr.StartSpan("phase")
+	sp.End()
+	return tr.Finish()
+}
+
+// TestCaptureListReadRoundtrip checks the whole bundle lifecycle: capture
+// writes one JSON document carrying the trigger, the offending trace, the
+// ring, the metrics snapshot and both runtime profiles; List and Read get
+// it back.
+func TestCaptureListReadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Config{
+		Dir:      dir,
+		Cooldown: -1,
+		Build:    map[string]string{"version": "test"},
+		Metrics:  func() ([]byte, error) { return []byte("imind_up 1\n"), nil },
+	})
+
+	trig := Trigger{
+		Reason: "slo_solve", Route: "solve", Graph: "g1",
+		RequestID: "req-1", SLOMS: 5, ElapsedMS: 120.5, Detail: "slow",
+	}
+	ring := []*obs.TraceOut{testTrace("solve", "g1", "req-1"), testTrace("solve", "g2", "req-0")}
+	id, err := rec.Capture(trig, ring[0], ring)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if id == "" {
+		t.Fatal("Capture suppressed with cooldown disabled")
+	}
+	if !strings.HasPrefix(id, "bundle-") || !strings.HasSuffix(id, "-slo_solve") {
+		t.Fatalf("unexpected id %q", id)
+	}
+
+	infos, err := rec.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(infos) != 1 || infos[0].ID != id {
+		t.Fatalf("List = %+v, want one entry %q", infos, id)
+	}
+	if infos[0].Reason != "slo_solve" {
+		t.Fatalf("Reason = %q, want slo_solve", infos[0].Reason)
+	}
+	if infos[0].SizeBytes <= 0 {
+		t.Fatalf("SizeBytes = %d", infos[0].SizeBytes)
+	}
+
+	data, err := rec.Read(id)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle is not valid JSON: %v", err)
+	}
+	if b.ID != id || b.Trigger != trig {
+		t.Fatalf("bundle round-trip mismatch: id %q trigger %+v", b.ID, b.Trigger)
+	}
+	if b.Trace == nil || b.Trace.Graph != "g1" {
+		t.Fatalf("offending trace missing: %+v", b.Trace)
+	}
+	if len(b.RecentTraces) != 2 {
+		t.Fatalf("ring traces = %d, want 2", len(b.RecentTraces))
+	}
+	if !strings.Contains(b.Metrics, "imind_up 1") {
+		t.Fatalf("metrics snapshot missing: %q", b.Metrics)
+	}
+	if !strings.Contains(b.Goroutine, "goroutine") {
+		t.Fatal("goroutine profile missing")
+	}
+	if b.Heap == "" {
+		t.Fatal("heap profile missing")
+	}
+	if b.CapturedAt.IsZero() {
+		t.Fatal("captured_at is zero")
+	}
+
+	// No stray temp files after an atomic publish.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}
+
+// TestRetentionDeletesOldest captures past MaxBundles and checks only the
+// newest survive.
+func TestRetentionDeletesOldest(t *testing.T) {
+	rec := NewRecorder(Config{Dir: t.TempDir(), MaxBundles: 2, Cooldown: -1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := rec.Capture(Trigger{Reason: "degraded"}, nil, nil)
+		if err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	infos, err := rec.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("retained %d bundles, want 2", len(infos))
+	}
+	if infos[0].ID != ids[2] || infos[1].ID != ids[1] {
+		t.Fatalf("retained %q/%q, want newest %q/%q", infos[0].ID, infos[1].ID, ids[2], ids[1])
+	}
+	if _, err := rec.Read(ids[0]); err != ErrNotFound {
+		t.Fatalf("oldest bundle still readable: err=%v", err)
+	}
+}
+
+// TestCooldownSuppresses checks that a second capture inside the cooldown
+// window returns "" without error, and that the suppression is not sticky.
+func TestCooldownSuppresses(t *testing.T) {
+	rec := NewRecorder(Config{Dir: t.TempDir(), Cooldown: time.Hour})
+	id, err := rec.Capture(Trigger{Reason: "slo_solve"}, nil, nil)
+	if err != nil || id == "" {
+		t.Fatalf("first capture: id=%q err=%v", id, err)
+	}
+	id2, err := rec.Capture(Trigger{Reason: "slo_solve"}, nil, nil)
+	if err != nil {
+		t.Fatalf("suppressed capture errored: %v", err)
+	}
+	if id2 != "" {
+		t.Fatalf("capture inside cooldown produced %q, want suppression", id2)
+	}
+	infos, _ := rec.List()
+	if len(infos) != 1 {
+		t.Fatalf("retained %d bundles, want 1", len(infos))
+	}
+}
+
+// TestReadRejectsTraversal checks the id validation: path-traversal and
+// malformed ids must map to ErrNotFound before any filesystem access.
+func TestReadRejectsTraversal(t *testing.T) {
+	rec := NewRecorder(Config{Dir: t.TempDir(), Cooldown: -1})
+	for _, id := range []string{
+		"../etc/passwd",
+		"bundle-../../etc/passwd",
+		"bundle-x/../../secret",
+		"nope",
+		"bundle-" + strings.Repeat("a", 200),
+	} {
+		if _, err := rec.Read(id); err != ErrNotFound {
+			t.Fatalf("Read(%q) err = %v, want ErrNotFound", id, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"github.com/imin-dev/imin/internal/cascade"
 	"github.com/imin-dev/imin/internal/core"
 	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/diag"
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/obs"
@@ -841,7 +843,7 @@ func measureBenchPersist(g *graph.Graph, seed uint64, minTime time.Duration) (*B
 				if err != nil {
 					return 0, err
 				}
-				if err := gs.Append(epoch, enc); err != nil {
+				if err := gs.Append(context.Background(), epoch, enc); err != nil {
 					return 0, err
 				}
 				iters++
@@ -885,7 +887,7 @@ func measureBenchPersist(g *graph.Graph, seed uint64, minTime time.Duration) (*B
 			if err == nil {
 				var enc []byte
 				if enc, err = dynamic.EncodeBatch(nil, batches[i%cycle]); err == nil {
-					err = gs.Append(info.Epoch, enc)
+					err = gs.Append(context.Background(), info.Epoch, enc)
 				}
 			}
 			if err != nil {
@@ -943,10 +945,11 @@ func measureBenchPersist(g *graph.Graph, seed uint64, minTime time.Duration) (*B
 
 // measureInstrumentation times the same warm-pool AdvancedGreedy solve with
 // the OnRound hook absent and present. The hooked variant performs exactly
-// the metric work internal/service's observer does per round — one latency
-// histogram observation, a labeled-counter resolve + increment, and two
-// counter adds — so the measured delta is the real serving-path tax of
-// turning metrics on.
+// the per-round work internal/service's observer does — one latency
+// histogram observation, a labeled-counter resolve + increment, two counter
+// adds, and the flight recorder's SolveCost accumulation — so the measured
+// delta is the real serving-path tax of turning metrics plus cost
+// accounting on, and the committed ≤2% bar covers both.
 func measureInstrumentation(g *graph.Graph, seeds []graph.V, cfg Config, opt BenchCoreOptions) (*BenchCoreInstrumentation, error) {
 	reg := obs.NewRegistry()
 	roundSeconds := reg.Histogram("bench_solve_round_seconds", "per-round latency", obs.DefTimeBuckets)
@@ -955,8 +958,10 @@ func measureInstrumentation(g *graph.Graph, seeds []graph.V, cfg Config, opt Ben
 	stolen := reg.Counter("bench_solve_stolen_samples_total", "stolen samples")
 
 	var observed int64
+	var cost diag.SolveCost
 	hook := func(ri core.RoundInfo) {
 		observed++
+		cost.AddRound(ri.Duration, ri.SamplesDirty, ri.SamplesStolen)
 		roundSeconds.Observe(ri.Duration.Seconds())
 		rounds.With(ri.Phase).Inc()
 		dirty.Add(float64(ri.SamplesDirty))
@@ -966,12 +971,12 @@ func measureInstrumentation(g *graph.Graph, seeds []graph.V, cfg Config, opt Ben
 	solveOpt := core.Options{
 		Theta: cfg.Theta, Seed: cfg.Seed, Workers: cfg.Workers, ReuseSamples: true,
 	}
-	run := func(onRound func(core.RoundInfo)) (nsPerRound float64, blockers []graph.V, err error) {
+	run := func(onRound func(core.RoundInfo), budget time.Duration) (nsPerRound float64, blockers []graph.V, err error) {
 		o := solveOpt
 		o.OnRound = onRound
 		var elapsed time.Duration
 		var timedRounds int64
-		for elapsed < opt.MinTime/2 {
+		for elapsed < budget {
 			t0 := time.Now()
 			res, err := core.Solve(g, seeds, opt.Budget, core.AdvancedGreedy, o)
 			if err != nil {
@@ -986,13 +991,31 @@ func measureInstrumentation(g *graph.Graph, seeds []graph.V, cfg Config, opt Ben
 		return float64(elapsed.Nanoseconds()) / float64(timedRounds), blockers, nil
 	}
 
-	offNs, offBlockers, err := run(nil)
-	if err != nil {
-		return nil, err
-	}
-	onNs, onBlockers, err := run(hook)
-	if err != nil {
-		return nil, err
+	// The true hook cost is a handful of field updates per round, far below
+	// run-to-run scheduler noise. Alternating off/on segments and keeping
+	// each arm's minimum ns/round (the classic low-noise estimator) makes
+	// the reported overhead reflect the hook, not which arm drew the
+	// noisier scheduling — the ≤2% acceptance bar gates on this number.
+	const pairs = 3
+	var offNs, onNs float64
+	var offBlockers, onBlockers []graph.V
+	segment := opt.MinTime / (2 * pairs)
+	for i := 0; i < pairs; i++ {
+		ns, blockers, err := run(nil, segment)
+		if err != nil {
+			return nil, err
+		}
+		if offNs == 0 || ns < offNs {
+			offNs = ns
+		}
+		offBlockers = blockers
+		if ns, blockers, err = run(hook, segment); err != nil {
+			return nil, err
+		}
+		if onNs == 0 || ns < onNs {
+			onNs = ns
+		}
+		onBlockers = blockers
 	}
 	return &BenchCoreInstrumentation{
 		UninstrumentedNsPerRound: offNs,

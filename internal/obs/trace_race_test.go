@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTraceRingConcurrentAddSnapshot hammers a small ring with concurrent
+// writers and snapshotters; under -race it proves Add and Snapshot are safe
+// to interleave, which is exactly what a /debug/traces scrape during a
+// solve burst (or a flight-recorder capture) does. Snapshot results must
+// always be fully-formed traces, never partially published ones.
+func TestTraceRingConcurrentAddSnapshot(t *testing.T) {
+	const (
+		adders       = 4
+		perAdder     = 500
+		snapshotters = 2
+		capacity     = 8
+	)
+	ring := NewTraceRing(capacity)
+
+	var addWG sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		addWG.Add(1)
+		go func(a int) {
+			defer addWG.Done()
+			for i := 0; i < perAdder; i++ {
+				tr := NewTrace("solve", fmt.Sprintf("g%d", a), fmt.Sprintf("req-%d-%d", a, i))
+				sp := tr.StartSpan("round")
+				sp.End()
+				ring.Add(tr.Finish())
+			}
+		}(a)
+	}
+
+	done := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for s := 0; s < snapshotters; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				snap := ring.Snapshot()
+				if len(snap) > capacity {
+					t.Errorf("snapshot larger than capacity: %d", len(snap))
+					return
+				}
+				for _, tr := range snap {
+					if tr == nil || tr.Op != "solve" || tr.Root == nil {
+						t.Errorf("snapshot returned malformed trace: %+v", tr)
+						return
+					}
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	addWG.Wait()
+	close(done)
+	snapWG.Wait()
+
+	if snap := ring.Snapshot(); len(snap) != capacity {
+		t.Fatalf("final snapshot has %d traces, want full ring of %d", len(snap), capacity)
+	}
+}

@@ -45,7 +45,20 @@ type serverMetrics struct {
 	panics         *obs.Counter
 	degradedEnters *obs.Counter
 	selfHeals      *obs.Counter
+
+	// Flight recorder: per-solve cost model and SLO watchdogs.
+	costSeconds    *obs.HistogramVec // phase = queue_session | queue_slot | migrate | solve | eval
+	costSamples    *obs.HistogramVec // kind = drawn | dirty | stolen | redrawn
+	sloBreaches    *obs.CounterVec   // route = solve | mutate
+	bundles        *obs.Counter
+	bundleErrors   *obs.Counter
+	bundlesSkipped *obs.Counter
 }
+
+// sampleCountBuckets spans the sample volumes one solve can touch: from a
+// handful of dirty samples on an incremental round to the ~1e7 fresh draws
+// of a cold high-theta pool.
+var sampleCountBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	if reg == nil {
@@ -105,6 +118,22 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"Graph transitions into degraded read-only mode after a persistence failure.")
 	m.selfHeals = reg.Counter("imind_self_heals_total",
 		"Degraded graphs restored to writable by a self-heal checkpoint.")
+
+	m.costSeconds = reg.HistogramVec("imind_solve_cost_seconds",
+		"Per-solve cost model: wall time attributed to each phase (queue_session, queue_slot, migrate, solve, eval).",
+		obs.DefTimeBuckets, "phase")
+	m.costSamples = reg.HistogramVec("imind_solve_cost_samples",
+		"Per-solve cost model: sample counts by kind (drawn, dirty, stolen, redrawn).",
+		sampleCountBuckets, "kind")
+	m.sloBreaches = reg.CounterVec("imind_slo_breaches_total",
+		"Latency-objective breaches, by route (solve = -slo-solve-ms, mutate = -slo-mutate-ms).",
+		"route")
+	m.bundles = reg.Counter("imind_diag_bundles_total",
+		"Diagnostic bundles captured by the flight recorder.")
+	m.bundleErrors = reg.Counter("imind_diag_bundle_errors_total",
+		"Diagnostic bundle captures that failed.")
+	m.bundlesSkipped = reg.Counter("imind_diag_bundles_skipped_total",
+		"Diagnostic bundle captures suppressed by the cooldown or an in-flight capture.")
 	return m
 }
 

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"github.com/imin-dev/imin/internal/store"
 )
 
 // ctxKeyRequestID carries the request ID through handler contexts.
@@ -100,7 +102,10 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
-		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id))
+		// The store has its own context key so it can tag WAL/checkpoint
+		// log lines without importing the service package.
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, id)
+		r = r.WithContext(store.WithRequestID(ctx, id))
 
 		defer func() {
 			rec := recover()
@@ -165,11 +170,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves the bounded in-memory ring of recent solve traces,
-// newest first.
+// newest first. Two query filters narrow the view: ?min_duration_ms= keeps
+// only traces whose root span took at least that long, and ?route= keeps
+// only traces for one operation (e.g. solve).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if !s.traces.Enabled() {
 		writeErr(w, http.StatusNotFound, "tracing disabled: start the server with a positive trace ring capacity")
 		return
 	}
-	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.traces.Snapshot()})
+	var minDur time.Duration
+	if raw := r.URL.Query().Get("min_duration_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid min_duration_ms %q: want a non-negative number", raw)
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	route := r.URL.Query().Get("route")
+
+	traces := s.traces.Snapshot()
+	if minDur > 0 || route != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if route != "" && t.Op != route {
+				continue
+			}
+			if minDur > 0 && (t.Root == nil || time.Duration(t.Root.DurationUS)*time.Microsecond < minDur) {
+				continue
+			}
+			kept = append(kept, t)
+		}
+		traces = kept
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: traces})
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -132,8 +133,9 @@ func (e *GraphEntry) Durable() bool { return e.gs != nil }
 // never half-applied, so the epoch sequence on disk can have no gap. A WAL
 // write failure after the commit returns an ErrPersist-wrapped error; the
 // log is poisoned (see store) so no later batch can silently skip an
-// epoch either.
-func (e *GraphEntry) Commit(muts []dynamic.Mutation) (dynamic.CommitInfo, error) {
+// epoch either. The context only carries the request id into the store's
+// log lines — a commit is never aborted on cancellation.
+func (e *GraphEntry) Commit(ctx context.Context, muts []dynamic.Mutation) (dynamic.CommitInfo, error) {
 	if e.gs == nil {
 		return e.Dyn.Commit(muts)
 	}
@@ -151,7 +153,7 @@ func (e *GraphEntry) Commit(muts []dynamic.Mutation) (dynamic.CommitInfo, error)
 		return info, err
 	}
 	if info.Applied > 0 {
-		if err := e.gs.Append(info.Epoch, batch); err != nil {
+		if err := e.gs.Append(ctx, info.Epoch, batch); err != nil {
 			return info, fmt.Errorf("%w: %v", ErrPersist, err)
 		}
 	}
@@ -169,8 +171,8 @@ func (e *GraphEntry) NeedsCheckpoint() bool {
 // checkpoint runs; extra calls return immediately) and concurrently with
 // commits — rotation synchronizes with them through commitMu, the snapshot
 // write runs unlocked.
-func (e *GraphEntry) Checkpoint() error {
-	if err := e.checkpoint(); err != nil && !errors.Is(err, errCheckpointBusy) {
+func (e *GraphEntry) Checkpoint(ctx context.Context) error {
+	if err := e.checkpoint(ctx); err != nil && !errors.Is(err, errCheckpointBusy) {
 		return err
 	}
 	return nil
@@ -178,7 +180,7 @@ func (e *GraphEntry) Checkpoint() error {
 
 // checkpoint is Checkpoint with the busy case surfaced as errCheckpointBusy
 // instead of folded into success — the self-heal loop needs the distinction.
-func (e *GraphEntry) checkpoint() error {
+func (e *GraphEntry) checkpoint(ctx context.Context) error {
 	if e.gs == nil {
 		return nil
 	}
@@ -188,12 +190,12 @@ func (e *GraphEntry) checkpoint() error {
 	defer e.gs.FinishCheckpoint()
 	e.commitMu.Lock()
 	g, epoch := e.Dyn.Snapshot()
-	gen, err := e.gs.BeginCheckpoint()
+	gen, err := e.gs.BeginCheckpoint(ctx)
 	e.commitMu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := e.gs.CompleteCheckpoint(gen, g, epoch); err != nil {
+	if err := e.gs.CompleteCheckpoint(ctx, gen, g, epoch); err != nil {
 		return err
 	}
 	e.lastCheckpoint.Store(epoch)
@@ -213,7 +215,7 @@ func (e *GraphEntry) SyncAndCheckpoint() error {
 	if syncErr == nil && e.Dyn.Epoch() == e.lastCheckpoint.Load() {
 		return nil
 	}
-	if err := e.Checkpoint(); err != nil {
+	if err := e.Checkpoint(context.Background()); err != nil {
 		if syncErr != nil {
 			return syncErr
 		}

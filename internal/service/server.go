@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 
 	"github.com/imin-dev/imin/internal/core"
 	"github.com/imin-dev/imin/internal/datasets"
+	"github.com/imin-dev/imin/internal/diag"
 	"github.com/imin-dev/imin/internal/dynamic"
 	"github.com/imin-dev/imin/internal/graph"
 	"github.com/imin-dev/imin/internal/obs"
@@ -107,6 +109,23 @@ type Config struct {
 	// negative disables tracing entirely, which also makes the per-solve
 	// span bookkeeping allocation-free.
 	TraceRing int
+	// SLOSolve and SLOMutate are per-route latency objectives. A request
+	// that exceeds its objective counts an imind_slo_breaches_total breach
+	// and — when DiagDir is set — captures a diagnostic bundle. 0 disables
+	// the watchdog for that route.
+	SLOSolve  time.Duration
+	SLOMutate time.Duration
+	// DiagDir enables the flight recorder: SLO breaches and degraded-mode
+	// entries capture a diagnostic bundle (offending trace, recent trace
+	// ring, metrics snapshot, goroutine + heap profiles, build info),
+	// written atomically under this directory and served by
+	// GET /debug/bundles. Empty disables capture.
+	DiagDir string
+	// DiagMaxBundles bounds bundle retention (oldest deleted past it;
+	// default 16). DiagCooldown spaces captures so a breach storm cannot
+	// churn the directory (default 30s; negative disables the cooldown).
+	DiagMaxBundles int
+	DiagCooldown   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -177,10 +196,13 @@ type Server struct {
 
 	// metrics holds every runtime instrument; /stats and /metrics both
 	// read from it, so the two views cannot drift. traces is the bounded
-	// ring behind /debug/traces (nil when tracing is disabled).
+	// ring behind /debug/traces (nil when tracing is disabled). diag is
+	// the flight recorder behind /debug/bundles (nil when DiagDir is
+	// unset).
 	metrics *serverMetrics
 	logger  *slog.Logger
 	traces  *obs.TraceRing
+	diag    *diag.Recorder
 
 	// Robustness accounting and background-goroutine lifecycle: stopHeal
 	// cancels self-heal and checkpoint-retry loops at Close, bgWG waits for
@@ -209,6 +231,23 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		s.registry.AttachStore(cfg.Store)
 	}
+	if cfg.DiagDir != "" {
+		reg := s.metrics.reg
+		s.diag = diag.NewRecorder(diag.Config{
+			Dir:        cfg.DiagDir,
+			MaxBundles: cfg.DiagMaxBundles,
+			Cooldown:   cfg.DiagCooldown,
+			Logger:     cfg.Logger,
+			Build:      buildVersion,
+			Metrics: func() ([]byte, error) {
+				var b bytes.Buffer
+				if err := reg.WritePrometheus(&b); err != nil {
+					return nil, err
+				}
+				return b.Bytes(), nil
+			},
+		})
+	}
 	s.metrics.registerDerived(s)
 	registerBuildInfo(s.metrics.reg)
 	s.mux.HandleFunc("POST /graphs", s.handleRegister)
@@ -223,6 +262,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/bundles", s.handleBundles)
+	s.mux.HandleFunc("GET /debug/bundles/{id}", s.handleBundle)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
 	return s
 }
@@ -289,6 +330,15 @@ func (s *Server) degrade(entry *GraphEntry, cause error) {
 	}
 	s.metrics.degradedEnters.Inc()
 	s.logger.Error("graph entered degraded read-only mode", "graph", entry.Name, "cause", cause.Error())
+	// A degraded-mode entry is exactly the moment worth a flight-recorder
+	// snapshot: the trace ring still holds the requests that led up to the
+	// persistence failure.
+	s.captureBundle(diag.Trigger{
+		Reason: "degraded",
+		Route:  "mutate",
+		Graph:  entry.Name,
+		Detail: cause.Error(),
+	}, nil)
 	s.bgWG.Add(1)
 	go s.healLoop(entry)
 }
@@ -312,7 +362,7 @@ func (s *Server) healLoop(entry *GraphEntry) {
 		if cur, ok := s.registry.Get(entry.Name); !ok || cur != entry {
 			return // deleted or replaced while degraded; nothing left to heal
 		}
-		err := entry.checkpoint()
+		err := entry.checkpoint(context.Background())
 		if err == nil {
 			entry.clearDegraded()
 			s.metrics.selfHeals.Inc()
@@ -333,20 +383,23 @@ func (s *Server) healLoop(entry *GraphEntry) {
 // request path, retrying transient failures (ENOSPC and friends) a bounded
 // number of times with doubling backoff. Permanent failures are not
 // retried. Either way, if the attempts left the WAL poisoned the graph is
-// degraded so the self-heal loop takes over.
-func (s *Server) backgroundCheckpoint(entry *GraphEntry) {
+// degraded so the self-heal loop takes over. ctx only carries the
+// triggering request's id into store/checkpoint log lines — pass a
+// context.WithoutCancel so the client hanging up cannot cancel the
+// checkpoint it triggered.
+func (s *Server) backgroundCheckpoint(ctx context.Context, entry *GraphEntry) {
 	s.bgWG.Add(1)
 	go func() {
 		defer s.bgWG.Done()
 		backoff := s.cfg.CheckpointRetryBackoff
 		var err error
 		for attempt := 0; ; attempt++ {
-			err = entry.Checkpoint()
+			err = entry.Checkpoint(ctx)
 			if err == nil {
 				return
 			}
 			s.logger.Warn("background checkpoint failed",
-				"graph", entry.Name, "attempt", attempt+1,
+				"graph", entry.Name, "attempt", attempt+1, "request_id", RequestID(ctx),
 				"class", store.Classify(err).String(), "error", err.Error())
 			if attempt >= s.cfg.CheckpointRetries || !store.IsTransient(err) {
 				break
@@ -757,6 +810,8 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
 		return
 	}
+	mutateStart := time.Now()
+	defer func() { s.noteMutateSLO(r.Context(), entry.Name, time.Since(mutateStart)) }()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	var muts []dynamic.Mutation
 	for {
@@ -788,7 +843,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// the same 503 until self-heal restores writability. DisableDegraded
 	// keeps the legacy plain 500 instead.
 	commitStart := time.Now()
-	info, err := entry.Commit(muts)
+	info, err := entry.Commit(r.Context(), muts)
 	s.metrics.mutateSeconds.Observe(time.Since(commitStart).Seconds())
 	if errors.Is(err, ErrDegraded) {
 		w.Header().Set("Retry-After", "1")
@@ -814,7 +869,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// snapshot covers. At most one checkpoint per graph runs at a time
 	// (Checkpoint self-limits); the mutate path never waits on it.
 	if entry.NeedsCheckpoint() {
-		s.backgroundCheckpoint(entry)
+		s.backgroundCheckpoint(context.WithoutCancel(r.Context()), entry)
 	}
 
 	// Eagerly migrate the graph's warm sessions so the repair cost is paid
@@ -1053,21 +1108,37 @@ const maxRoundSpans = 128
 // fails — shed and canceled requests are exactly the ones worth debugging.
 func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequest) (resp *SolveResponse, aerr *apiError) {
 	t0 := time.Now()
+	cost := &diag.SolveCost{}
 	var tr *obs.Trace
-	if req.Trace || s.traces.Enabled() {
+	// An armed solve SLO forces trace recording even with the ring off:
+	// when the watchdog fires, the bundle must contain the offending trace.
+	if req.Trace || s.traces.Enabled() || (s.diag != nil && s.cfg.SLOSolve > 0) {
 		tr = obs.NewTrace("solve", entry.Name, RequestID(ctx))
-		defer func() {
+	}
+	defer func() {
+		total := time.Since(t0)
+		cost.TotalNS = total.Nanoseconds()
+		if resp != nil {
+			resp.Cost = cost
+			s.observeCost(cost)
+		}
+		var out *obs.TraceOut
+		if tr != nil {
 			if aerr != nil {
 				tr.SetAttr("error", aerr.msg)
 				tr.SetAttr("status", aerr.code)
 			}
-			out := tr.Finish()
+			// Attach a value copy: the trace may be marshaled from the
+			// ring by a concurrent scrape the moment Add returns.
+			tr.SetAttr("cost", *cost)
+			out = tr.Finish()
 			s.traces.Add(out)
 			if req.Trace && resp != nil {
 				resp.Trace = out
 			}
-		}()
-	}
+		}
+		s.noteSolveSLO(ctx, entry.Name, total, out, aerr)
+	}()
 	if req.Budget < 0 {
 		return nil, apiErrorf(http.StatusBadRequest, "negative budget %d", req.Budget)
 	}
@@ -1114,6 +1185,7 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	sessionSpan := tr.StartSpan("queue.session")
 	lh, err := sess.Acquire(queueCtx)
 	sessionSpan.End()
+	cost.QueueSessionNS = time.Since(sessionQueued).Nanoseconds()
 	s.metrics.queueWait.With("session").Observe(time.Since(sessionQueued).Seconds())
 	if err != nil {
 		return nil, s.shedOrCanceled(ctx, "the graph session")
@@ -1130,10 +1202,12 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		defer func() { <-s.sem }()
 	case <-queueCtx.Done():
 		slotSpan.End()
+		cost.QueueSlotNS = time.Since(slotQueued).Nanoseconds()
 		s.metrics.queueWait.With("slot").Observe(time.Since(slotQueued).Seconds())
 		return nil, s.shedOrCanceled(ctx, "a solve slot")
 	}
 	slotSpan.End()
+	cost.QueueSlotNS = time.Since(slotQueued).Nanoseconds()
 	s.metrics.queueWait.With("slot").Observe(time.Since(slotQueued).Seconds())
 	cancelQueue() // admitted; the queue bound must not cut the solve short
 	s.metrics.inFlight.Inc()
@@ -1146,6 +1220,7 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	// the snapshot it reports.
 	if lh.Epoch() != epoch {
 		var rep RepairStats
+		migrateStart := time.Now()
 		migrateSpan := tr.StartSpan("migrate")
 		s.migrateSession(lh, entry, &rep)
 		migrateSpan.SetAttr("sessions_advanced", rep.SessionsAdvanced)
@@ -1154,6 +1229,9 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 		migrateSpan.SetAttr("samples_redrawn", rep.SamplesRedrawn)
 		migrateSpan.SetAttr("samples_kept", rep.SamplesKept)
 		migrateSpan.End()
+		cost.MigrateNS = time.Since(migrateStart).Nanoseconds()
+		cost.SamplesRedrawn = rep.SamplesRedrawn
+		cost.SamplesKept = rep.SamplesKept
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -1182,6 +1260,7 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	var solveSpan *obs.Span // set right before lh.Solve; rounds attach to it
 	m := s.metrics
 	opt.OnRound = func(ri core.RoundInfo) {
+		cost.AddRound(ri.Duration, ri.SamplesDirty, ri.SamplesStolen)
 		m.roundSeconds.Observe(ri.Duration.Seconds())
 		m.rounds.With(ri.Phase).Inc()
 		m.dirtySamples.Add(float64(ri.SamplesDirty))
@@ -1220,9 +1299,11 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 
 	var before float64
 	if evalRounds > 0 {
+		evalStart := time.Now()
 		evalSpan := tr.StartSpan("eval.before")
 		before, err = evaluateSpread(ctx, lh, seeds, nil, evalRounds, opt)
 		evalSpan.End()
+		cost.EvalNS += time.Since(evalStart).Nanoseconds()
 		if err != nil {
 			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}
@@ -1244,6 +1325,10 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	m.solveSeconds.
 		With(resp.Model, warmLabel(hit), encodingLabel(req.ReuseSamples, req.PoolEncoding)).
 		Observe(res.Runtime.Seconds())
+	cost.SolveNS = res.Runtime.Nanoseconds()
+	cost.SamplesDrawn = res.SampledGraphs
+	cost.MCSSimulations = res.MCSSimulations
+	cost.PoolBytes, _, _ = sess.PoolStats()
 	resp.Blockers = verticesToInts(res.Blockers)
 	resp.SampledGraphs = res.SampledGraphs
 	resp.MCSSimulations = res.MCSSimulations
@@ -1252,9 +1337,11 @@ func (s *Server) solveOne(ctx context.Context, entry *GraphEntry, req *SolveRequ
 	resp.Canceled = res.Canceled
 
 	if evalRounds > 0 && !resp.Canceled {
+		evalStart := time.Now()
 		evalSpan := tr.StartSpan("eval.after")
 		after, err := evaluateSpread(ctx, lh, seeds, res.Blockers, evalRounds, opt)
 		evalSpan.End()
+		cost.EvalNS += time.Since(evalStart).Nanoseconds()
 		if err != nil {
 			return nil, apiErrorf(evalStatus(ctx), "spread evaluation: %v", err)
 		}

@@ -24,6 +24,7 @@ package service
 import (
 	"time"
 
+	"github.com/imin-dev/imin/internal/diag"
 	"github.com/imin-dev/imin/internal/obs"
 )
 
@@ -252,6 +253,11 @@ type SolveResponse struct {
 	// RequestID echoes the X-Request-Id the middleware accepted or
 	// generated, matching the structured log lines and trace entries.
 	RequestID string `json:"request_id,omitempty"`
+	// Cost is the per-solve cost model: queue waits, migrate/solve/eval
+	// time, rounds, and sample counts. Always present; purely
+	// observational — blockers are bit-identical with accounting on or
+	// off.
+	Cost *diag.SolveCost `json:"cost,omitempty"`
 	// Trace is the solve's span tree, present when the request set
 	// "trace": true.
 	Trace *obs.TraceOut `json:"trace,omitempty"`
@@ -335,4 +341,10 @@ type ErrorResponse struct {
 // recent solve traces, newest first.
 type TracesResponse struct {
 	Traces []*obs.TraceOut `json:"traces"`
+}
+
+// BundlesResponse is GET /debug/bundles: the flight recorder's retained
+// diagnostic bundles, newest first.
+type BundlesResponse struct {
+	Bundles []diag.BundleInfo `json:"bundles"`
 }

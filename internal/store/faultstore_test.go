@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,11 +37,11 @@ func TestCheckpointENOSPCKeepsOldGeneration(t *testing.T) {
 
 	inj.SetRules(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "snap-1", Err: syscall.ENOSPC})
 	snap, epoch := live.Snapshot()
-	gen, err := gs.BeginCheckpoint()
+	gen, err := gs.BeginCheckpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = gs.CompleteCheckpoint(gen, snap, epoch)
+	err = gs.CompleteCheckpoint(context.Background(), gen, snap, epoch)
 	if err == nil {
 		t.Fatal("checkpoint succeeded despite ENOSPC on the snapshot write")
 	}
@@ -72,11 +73,11 @@ func TestCheckpointENOSPCKeepsOldGeneration(t *testing.T) {
 	// Space comes back: the retried checkpoint (a fresh generation) wins.
 	inj.ClearRules()
 	snap, epoch = live.Snapshot()
-	gen, err = gs.BeginCheckpoint()
+	gen, err = gs.BeginCheckpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+	if err := gs.CompleteCheckpoint(context.Background(), gen, snap, epoch); err != nil {
 		t.Fatalf("retried checkpoint: %v", err)
 	}
 	commitAndLog(t, live, gs, randomBatch(live, 4, r))
@@ -135,7 +136,7 @@ func TestFsyncFailurePoisonsThenCheckpointHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gs.Append(info.Epoch, batch); err == nil {
+	if err := gs.Append(context.Background(), info.Epoch, batch); err == nil {
 		t.Fatal("append succeeded despite the failing fsync")
 	}
 	if !gs.Poisoned() {
@@ -150,11 +151,11 @@ func TestFsyncFailurePoisonsThenCheckpointHeals(t *testing.T) {
 	if epoch != info.Epoch {
 		t.Fatalf("epoch %d, want %d", epoch, info.Epoch)
 	}
-	gen, err := gs.BeginCheckpoint()
+	gen, err := gs.BeginCheckpoint(context.Background())
 	if err != nil {
 		t.Fatalf("BeginCheckpoint on a poisoned log: %v", err)
 	}
-	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+	if err := gs.CompleteCheckpoint(context.Background(), gen, snap, epoch); err != nil {
 		t.Fatal(err)
 	}
 	if gs.Poisoned() {

@@ -91,7 +91,7 @@ func runSweepWorkload(fs faultfs.FS, dir, ackPath string) error {
 		if err != nil {
 			return err
 		}
-		if err := gs.Append(info.Epoch, batch); err != nil {
+		if err := gs.Append(context.Background(), info.Epoch, batch); err != nil {
 			return err
 		}
 		sweepAck(ackPath, info.Epoch) // FsyncAlways: the append is on disk
@@ -103,11 +103,11 @@ func runSweepWorkload(fs faultfs.FS, dir, ackPath string) error {
 		}
 	}
 	snap, epoch := live.Snapshot()
-	gen, err := gs.BeginCheckpoint()
+	gen, err := gs.BeginCheckpoint(context.Background())
 	if err != nil {
 		return err
 	}
-	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+	if err := gs.CompleteCheckpoint(context.Background(), gen, snap, epoch); err != nil {
 		return err
 	}
 	for i := 0; i < sweepPostBatch; i++ {

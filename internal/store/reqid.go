@@ -1,0 +1,36 @@
+package store
+
+import "context"
+
+// ctxKeyRequestID carries the serving layer's request id into store
+// operations, so WAL/checkpoint log lines correlate with the request that
+// triggered them. The store defines its own key (rather than importing the
+// service package) to keep the dependency arrow pointing service → store.
+type ctxKeyRequestID struct{}
+
+// WithRequestID returns ctx tagged with a request id for store log lines.
+// An empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID{}, id)
+}
+
+// RequestID extracts the request id set by WithRequestID ("" when absent).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// logArgs builds the common structured-log key/value tail for a graph-scoped
+// store event, appending request_id only when the context carries one.
+func logArgs(ctx context.Context, args ...any) []any {
+	if id := RequestID(ctx); id != "" {
+		args = append(args, "request_id", id)
+	}
+	return args
+}

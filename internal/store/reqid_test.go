@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestRequestIDContext checks the context plumbing: WithRequestID stores,
+// RequestID reads, logArgs tags — and all of them tolerate absent ids.
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if id := RequestID(ctx); id != "" {
+		t.Fatalf("RequestID on empty ctx = %q", id)
+	}
+	if got := WithRequestID(ctx, ""); got != ctx {
+		t.Fatal("WithRequestID with empty id should return ctx unchanged")
+	}
+	ctx = WithRequestID(ctx, "req-42")
+	if id := RequestID(ctx); id != "req-42" {
+		t.Fatalf("RequestID = %q, want req-42", id)
+	}
+
+	args := logArgs(ctx, "graph", "g1", "epoch", 7)
+	if len(args) != 6 || args[4] != "request_id" || args[5] != "req-42" {
+		t.Fatalf("logArgs = %v", args)
+	}
+	bare := logArgs(context.Background(), "graph", "g1")
+	if len(bare) != 2 {
+		t.Fatalf("logArgs without id = %v", bare)
+	}
+}
+
+// TestCheckpointLogsRequestID drives a real checkpoint through a store
+// whose logger writes to a buffer and checks the completion line carries
+// the request id from the context — the WAL/checkpoint observability
+// contract the service layer relies on.
+func TestCheckpointLogsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	st, err := Open(t.TempDir(), Config{Fsync: FsyncNone, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := testGraph(50, 200, 1)
+	gs, err := st.Create("g1", g, 0, "test", "TR")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := WithRequestID(context.Background(), "req-ckpt-1")
+	gen, err := gs.BeginCheckpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.CompleteCheckpoint(ctx, gen, g, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "checkpoint complete") {
+		t.Fatalf("no checkpoint completion line logged:\n%s", out)
+	}
+	if !strings.Contains(out, "request_id=req-ckpt-1") {
+		t.Fatalf("checkpoint line missing request id:\n%s", out)
+	}
+}

@@ -28,8 +28,10 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -66,6 +68,10 @@ type Config struct {
 	// serving layer's registry so one GET /metrics scrape covers both.
 	// Nil records nothing; the Stats counters work either way.
 	Metrics *obs.Registry
+	// Logger receives WAL/checkpoint lifecycle lines, tagged with the
+	// request id carried by WithRequestID so durability errors correlate
+	// with the request that triggered them. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointWALBytes <= 0 {
 		c.CheckpointWALBytes = 16 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -400,8 +409,10 @@ func (gs *GraphStore) Name() string { return gs.name }
 // with the batch's Commit (per-graph commit lock) so WAL epochs are
 // strictly increasing. Under FsyncAlways the record is on stable storage
 // when Append returns; any failure poisons the WAL (see wal.append) and
-// surfaces on every later call.
-func (gs *GraphStore) Append(epoch uint64, batch []byte) error {
+// surfaces on every later call. The context is consulted only for the
+// request id logged on failure — an append never aborts on cancellation,
+// because the in-memory commit it backs has already happened.
+func (gs *GraphStore) Append(ctx context.Context, epoch uint64, batch []byte) error {
 	if len(batch) == 0 {
 		return fmt.Errorf("store: refusing to log an empty batch")
 	}
@@ -414,6 +425,8 @@ func (gs *GraphStore) Append(epoch uint64, batch []byte) error {
 	appendStart := time.Now()
 	n, err := w.append(epoch, batch)
 	if err != nil {
+		gs.store.cfg.Logger.Error("wal append failed",
+			logArgs(ctx, "graph", gs.name, "epoch", epoch, "bytes", len(batch), "error", err.Error())...)
 		return err
 	}
 	if m := gs.store.met; m != nil {
@@ -469,11 +482,15 @@ func (gs *GraphStore) FinishCheckpoint() { gs.checkpointing.Store(false) }
 // every later append lands in the new generation. The old WAL is fsynced
 // and closed — its records must survive until the manifest supersedes them.
 // A graph closed underneath a queued background checkpoint (shutdown,
-// DELETE) returns an error rather than resurrecting the log.
-func (gs *GraphStore) BeginCheckpoint() (uint64, error) {
+// DELETE) returns an error rather than resurrecting the log. The context
+// carries the triggering request's id for log correlation; rotation itself
+// never aborts on cancellation.
+func (gs *GraphStore) BeginCheckpoint(ctx context.Context) (uint64, error) {
 	gen, err := gs.beginCheckpoint()
 	if err != nil {
 		gs.store.checkpointFailures.Add(1)
+		gs.store.cfg.Logger.Error("checkpoint rotation failed",
+			logArgs(ctx, "graph", gs.name, "error", err.Error())...)
 	}
 	return gen, err
 }
@@ -525,15 +542,20 @@ func (gs *GraphStore) beginCheckpoint() (uint64, error) {
 // CompleteCheckpoint persists the snapshot (g at epoch) for the generation
 // BeginCheckpoint returned, commits it via the manifest, and deletes the
 // older generations it supersedes. Runs without any graph lock — commits
-// proceed concurrently into the rotated WAL.
-func (gs *GraphStore) CompleteCheckpoint(gen uint64, g *graph.Graph, epoch uint64) error {
+// proceed concurrently into the rotated WAL. The context carries the
+// triggering request's id for log correlation only.
+func (gs *GraphStore) CompleteCheckpoint(ctx context.Context, gen uint64, g *graph.Graph, epoch uint64) error {
 	ckptStart := time.Now()
 	err := gs.completeCheckpoint(gen, g, epoch)
 	if err != nil {
 		gs.store.checkpointFailures.Add(1)
+		gs.store.cfg.Logger.Error("checkpoint completion failed",
+			logArgs(ctx, "graph", gs.name, "generation", gen, "epoch", epoch, "error", err.Error())...)
 		return err
 	}
 	gs.store.checkpoints.Add(1)
+	gs.store.cfg.Logger.Debug("checkpoint complete",
+		logArgs(ctx, "graph", gs.name, "generation", gen, "epoch", epoch)...)
 	if m := gs.store.met; m != nil {
 		m.checkpointSeconds.Observe(time.Since(ckptStart).Seconds())
 		if fi, err := gs.store.fs.Stat(filepath.Join(gs.dir, snapName(gen))); err == nil {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -88,7 +89,7 @@ func commitAndLog(t *testing.T, d *dynamic.Graph, gs *GraphStore, muts []dynamic
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gs.Append(info.Epoch, batch); err != nil {
+	if err := gs.Append(context.Background(), info.Epoch, batch); err != nil {
 		t.Fatal(err)
 	}
 	return info
@@ -214,7 +215,7 @@ func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
 
 	// Checkpoint at epoch 8: rotate, then complete in the "background".
 	snap, epoch := live.Snapshot()
-	gen, err := gs.BeginCheckpoint()
+	gen, err := gs.BeginCheckpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
 	}
 	// Appends continue into the new generation while the snapshot writes.
 	commitAndLog(t, live, gs, randomBatch(live, 4, r))
-	if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+	if err := gs.CompleteCheckpoint(context.Background(), gen, snap, epoch); err != nil {
 		t.Fatal(err)
 	}
 	// The old generation's files are gone.
@@ -276,7 +277,7 @@ func TestRecoverAfterCrashedCheckpoint(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		commitAndLog(t, live, gs, randomBatch(live, 4, r))
 	}
-	if _, err := gs.BeginCheckpoint(); err != nil {
+	if _, err := gs.BeginCheckpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// CompleteCheckpoint never runs (crash). Two more batches land in the
@@ -482,7 +483,7 @@ func TestCheckpointRacingMutates(t *testing.T) {
 				info, err = live.Commit(muts)
 			}
 			if err == nil {
-				err = gs.Append(info.Epoch, batch)
+				err = gs.Append(context.Background(), info.Epoch, batch)
 			}
 			commitMu.Unlock()
 			if err != nil {
@@ -497,12 +498,12 @@ func TestCheckpointRacingMutates(t *testing.T) {
 		default:
 			commitMu.Lock()
 			snap, epoch := live.Snapshot()
-			gen, err := gs.BeginCheckpoint()
+			gen, err := gs.BeginCheckpoint(context.Background())
 			commitMu.Unlock()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := gs.CompleteCheckpoint(gen, snap, epoch); err != nil {
+			if err := gs.CompleteCheckpoint(context.Background(), gen, snap, epoch); err != nil {
 				t.Fatal(err)
 			}
 			continue
@@ -601,12 +602,12 @@ func TestAppendFailurePoisonsTheLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gs.Append(1, batch); err == nil {
+	if err := gs.Append(context.Background(), 1, batch); err == nil {
 		t.Fatal("append to a closed file succeeded")
 	}
 	// Every later append fails too, even if the fd were somehow usable:
 	// the log's tail state is unknown.
-	if err := gs.Append(2, batch); err == nil {
+	if err := gs.Append(context.Background(), 2, batch); err == nil {
 		t.Fatal("append after a failed append succeeded")
 	}
 }
